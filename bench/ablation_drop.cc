@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: reactive dropping vs proactive migration.
+ *
+ * The paper positions ALTOCUMULUS against prior work that identifies
+ * critical RPCs *after* they violate the deadline and simply drops
+ * them ([14], [21]): "ALTOCUMULUS achieves high performance without
+ * unnecessarily dropping packets." This bench puts a MittOS-style
+ * drop-on-deadline c-FCFS against AC on the same bursty traffic and
+ * reports goodput (completed, non-dropped, SLO-satisfying requests).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "system/experiment.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+RunResult
+run(Design design, double rate)
+{
+    DesignConfig cfg;
+    cfg.design = design;
+    cfg.cores = 32;
+    cfg.groups = 4;
+    cfg.lineRateGbps = 1600.0;
+    cfg.dropBudget = 8500; // the 10x-mean SLO minus service
+
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(850);
+    spec.rateMrps = rate;
+    spec.requests = 200000;
+    spec.requestBytes = 64;
+    // Few connections: RSS hashing concentrates load on some queues
+    // -- the imbalance regime where the comparison is meaningful.
+    spec.connections = 48;
+    spec.sloFactor = 10.0;
+    spec.seed = 59;
+    return runExperiment(cfg, spec);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation",
+                  "Reactive deadline dropping vs proactive migration "
+                  "(32 cores, bursty 850 ns traffic)");
+    bench::Stopwatch watch;
+
+    std::printf("\n%-8s | %-28s | %-28s\n", "", "DeadlineDrop",
+                "AC_int (no drops by design)");
+    std::printf("%-8s | %9s %9s %8s | %9s %9s %8s\n", "MRPS",
+                "goodput%", "dropped", "p99(us)", "goodput%",
+                "dropped", "p99(us)");
+    for (double rate : {10.0, 15.0, 20.0, 25.0, 30.0, 34.0}) {
+        const RunResult drop = run(Design::DeadlineDrop, rate);
+        const RunResult ac = run(Design::AcInt, rate);
+        const auto goodput = [](const RunResult &r) {
+            // Survivors: completed, not dropped, within SLO.
+            const std::uint64_t bad = r.dropped + r.violations;
+            const std::uint64_t total = r.latency.count;
+            return total > bad
+                       ? 100.0 * static_cast<double>(total - bad) /
+                             static_cast<double>(total)
+                       : 0.0;
+        };
+        std::printf("%-8.0f | %8.2f%% %9llu %8.2f | %8.2f%% %9llu "
+                    "%8.2f\n",
+                    rate, goodput(drop),
+                    static_cast<unsigned long long>(drop.dropped),
+                    drop.latency.p99 / 1e3, goodput(ac),
+                    static_cast<unsigned long long>(ac.dropped),
+                    ac.latency.p99 / 1e3);
+        std::fflush(stdout);
+    }
+
+    std::printf("\nExpectation: under RSS imbalance the reactive "
+                "dropper sheds exactly the work its hot queues cannot "
+                "serve, while proactive migration moves that work to "
+                "idle groups and completes it -- higher goodput with "
+                "zero drops (the paper's 'without unnecessarily "
+                "dropping packets').\n");
+    watch.report();
+    return 0;
+}

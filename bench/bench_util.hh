@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: consistent
+ * headers, row printing and wall-clock accounting.
+ */
+
+#ifndef ALTOC_BENCH_BENCH_UTIL_HH
+#define ALTOC_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace bench {
+
+/** Print the bench banner: which figure/table this regenerates. */
+inline void
+banner(const char *exp_id, const char *description)
+{
+    std::printf("=============================================================="
+                "====\n");
+    std::printf("%s - %s\n", exp_id, description);
+    std::printf("=============================================================="
+                "====\n");
+}
+
+/** Section sub-header. */
+inline void
+section(const char *title)
+{
+    std::printf("\n--- %s ---\n", title);
+}
+
+/** Wall-clock stopwatch for reporting bench runtime. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+    void
+    report() const
+    {
+        std::printf("\n[bench wall-clock: %.1f s]\n", seconds());
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace bench
+
+#endif // ALTOC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fig. 3: the cost of scheduling overhead for sub-1 us RPCs. A
+ * 64-core system serves fixed 1 us requests; per-request scheduling
+ * overhead is swept from 5 ns to 360 ns (45 ns ~ a memory access,
+ * 360 ns ~ a work-stealing operation). The overhead rides the
+ * critical path *and* consumes core time, so higher overhead both
+ * lifts the latency floor and pulls the saturation knee left.
+ *
+ * Output: p99 latency vs offered load, one series per overhead, plus
+ * the throughput each overhead sustains at a 5 us p99 target.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sched/jbsq.hh"
+#include "system/server.hh"
+#include "system/experiment.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+/** One run: 64-core c-FCFS with per-request overhead folded into the
+ *  request demand (it occupies the core) at the given load. */
+RunResult
+runAt(Tick overhead, double load, std::uint64_t requests)
+{
+    DesignConfig cfg;
+    cfg.design = Design::Nebula; // hardware c-FCFS substrate
+    cfg.cores = 64;
+    cfg.lineRateGbps = 1600.0; // keep the NIC out of the bottleneck
+
+    WorkloadSpec spec;
+    // 200 ns handlers: the sub-1 us RPC regime where a few hundred
+    // ns of scheduling overhead costs a multiple of the capacity.
+    spec.service = workload::makeFixed(200 + overhead);
+    // Offered load relative to the *un-inflated* capacity, as the
+    // paper plots: 64 cores / 200 ns = 320 MRPS.
+    spec.rateMrps = load * 320.0;
+    spec.requests = requests;
+    spec.requestBytes = 64;
+    spec.sloAbsolute = 5 * kUs;
+    spec.seed = 21;
+    return runExperiment(cfg, spec);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 3",
+                  "99th-percentile latency vs load for scheduling "
+                  "overheads of 5-360 ns (64 cores, 200 ns requests)");
+    bench::Stopwatch watch;
+
+    const std::vector<Tick> overheads{5, 45, 90, 135, 180, 360};
+    const std::vector<double> loads{0.2,  0.3,  0.4,  0.5, 0.6,
+                                    0.65, 0.7,  0.75, 0.8, 0.85,
+                                    0.9,  0.95};
+
+    std::printf("\np99 latency (us) by offered load:\n");
+    std::printf("%-10s", "overhead");
+    for (double load : loads)
+        std::printf(" %8.3f", load);
+    std::printf("\n");
+
+    std::vector<double> tput_at_slo;
+    for (Tick ov : overheads) {
+        std::printf("%6lluns  ", static_cast<unsigned long long>(ov));
+        double best_ok = 0.0;
+        for (double load : loads) {
+            const RunResult res = runAt(ov, load, 120000);
+            std::printf(" %8.2f", res.latency.p99 / 1e3);
+            if (res.latency.p99 <= 5 * kUs)
+                best_ok = load;
+        }
+        std::printf("\n");
+        tput_at_slo.push_back(best_ok);
+    }
+
+    bench::section("throughput at p99 <= 5 us");
+    for (std::size_t i = 0; i < overheads.size(); ++i) {
+        std::printf("overhead %4llu ns -> load %.3f (%.1f MRPS)\n",
+                    static_cast<unsigned long long>(overheads[i]),
+                    tput_at_slo[i], tput_at_slo[i] * 320.0);
+    }
+    if (tput_at_slo.back() > 0.0) {
+        std::printf("\n5 ns vs 360 ns throughput ratio: %.2fx "
+                    "(paper: ~3x at 5 us p99)\n",
+                    tput_at_slo.front() / tput_at_slo.back());
+    }
+    watch.report();
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fig. 9: snapshot of temporal load imbalance across 4 network
+ * receive queues (256-core system: 4 NetRX queues, each fronting a
+ * 64-core c-FCFS group) under Connection (RSS), Random and
+ * Round-Robin steering. The snapshot is taken at the cycle when the
+ * first 10 SLO violations have occurred, exactly as the paper does.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "system/experiment.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+std::vector<std::size_t>
+snapshotAtTenViolations(net::Steering steering, std::uint64_t seed)
+{
+    DesignConfig cfg;
+    cfg.design = Design::AcInt;
+    cfg.cores = 256;
+    cfg.groups = 4; // 4 x (1 manager + 63 workers)
+    cfg.params.migrationEnabled = false; // observe raw imbalance
+    cfg.steering = steering;
+    cfg.lineRateGbps = 1600.0;
+
+    // Sec. VIII-C's mix: ~630 ns mean with rare 26 us longs, so all
+    // steering policies see violations (the paper's snapshot exists
+    // for every policy).
+    const Tick mean_service = 630;
+    const Tick slo = 10 * mean_service;
+    auto server = makeServer(cfg, mean_service, "Bimodal", slo, 0, seed);
+
+    WorkloadSpec spec;
+    spec.service =
+        std::make_shared<workload::BimodalDist>(0.005, 500, 26 * kUs);
+    // Deep load so violations build: 4 x 63 workers at ~630 ns ->
+    // ~400 MRPS capacity; offer 97%.
+    spec.rateMrps = 0.97 * 4 * 63 / 0.63;
+    spec.requests = 3000000;
+    spec.seed = seed;
+
+    std::vector<std::size_t> snapshot;
+    std::uint64_t violations = 0;
+    server->setCompletionHook(
+        [&](const net::Rpc &, Tick latency) {
+            if (latency > slo && snapshot.empty()) {
+                if (++violations == 10) {
+                    snapshot = server->scheduler().queueLengths();
+                    server->sim().requestStop();
+                }
+            }
+        });
+    server->stopAfterCompletions(spec.requests);
+
+    LoadGenerator gen(*server, spec);
+    gen.start();
+    server->run();
+    return snapshot;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 9",
+                  "Queue lengths of 4 NetRX queues at the first 10 "
+                  "SLO violations (256 cores, d-FCFS across groups)");
+    bench::Stopwatch watch;
+
+    std::printf("\n%-12s %8s %8s %8s %8s %10s\n", "steering", "RX Q0",
+                "RX Q1", "RX Q2", "RX Q3", "max-min");
+    for (net::Steering s : {net::Steering::Rss, net::Steering::Random,
+                            net::Steering::RoundRobin}) {
+        const auto snap = snapshotAtTenViolations(s, 17);
+        if (snap.size() < 4) {
+            std::printf("%-12s (no violations observed)\n",
+                        net::steeringName(s));
+            continue;
+        }
+        const auto [mn, mx] =
+            std::minmax_element(snap.begin(), snap.end());
+        std::printf("%-12s %8zu %8zu %8zu %8zu %10zu\n",
+                    net::steeringName(s), snap[0], snap[1], snap[2],
+                    snap[3], *mx - *mn);
+    }
+
+    std::printf("\nShape check (paper): every policy shows a "
+                "noticeable spread; connection-based (RSS) steering "
+                "is the lumpiest, matching the Hill/Pairing/Valley "
+                "patterns the runtime classifies.\n");
+    watch.report();
+    return 0;
+}

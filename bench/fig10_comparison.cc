@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fig. 10 (headline): tail latency vs throughput for ALTOCUMULUS
+ * against prior work on a 16-core system with a bimodal service mix
+ * and a 300 us SLO target.
+ *
+ * The paper's text and figure disagree on the long-request mode: the
+ * text says 0.5% of requests take 500 us (mean 3 us -> 16 cores
+ * saturate at 5.3 MRPS), while the figure's x-axis runs to 20 MRPS
+ * (which requires ~50 us longs, mean 0.75 us). We therefore run BOTH
+ * parameterizations:
+ *   variant A (text-exact):    Bimodal(0.5%, 0.5 us, 500 us)
+ *   variant B (figure-scale):  Bimodal(0.5%, 0.5 us, 50 us)
+ * See EXPERIMENTS.md for the reconciliation discussion.
+ *
+ * AC_rss uses a single 1+15 group (the paper: "we dedicate one core
+ * as the manager - sacrificing 6.25% potential throughput"); a
+ * 2-group configuration that exercises inter-manager migration is
+ * reported alongside.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "system/sweep.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+struct Entry
+{
+    const char *label;
+    DesignConfig cfg;
+};
+
+std::vector<Entry>
+entries()
+{
+    std::vector<Entry> out;
+    auto base = [](Design d, unsigned groups = 2) {
+        DesignConfig cfg;
+        cfg.design = d;
+        cfg.cores = 16;
+        cfg.groups = groups;
+        return cfg;
+    };
+    out.push_back({"IX", base(Design::Ix)});
+    out.push_back({"ZygOS", base(Design::ZygOs)});
+    out.push_back({"Shinjuku", base(Design::Shinjuku)});
+    out.push_back({"RPCValet", base(Design::RpcValet)});
+    out.push_back({"Nebula", base(Design::Nebula)});
+    out.push_back({"nanoPU", base(Design::NanoPu)});
+    out.push_back({"AC_rss", base(Design::AcRss, 1)});
+    out.push_back({"AC_rss_2g", base(Design::AcRss, 2)});
+    return out;
+}
+
+void
+runVariant(const char *title, Tick long_service,
+           const std::vector<double> &rates)
+{
+    bench::section(title);
+    WorkloadSpec spec;
+    spec.service = std::make_shared<workload::BimodalDist>(
+        0.005, 500, long_service);
+    spec.requests = 200000;
+    spec.sloAbsolute = 300 * kUs;
+    spec.seed = 10;
+
+    std::printf("\np99 latency (us) by offered MRPS:\n%-10s", "design");
+    for (double r : rates)
+        std::printf(" %8.1f", r);
+    std::printf("   tput@SLO\n");
+
+    std::vector<std::pair<std::string, double>> at_slo;
+    for (const Entry &e : entries()) {
+        std::printf("%-10s", e.label);
+        std::fflush(stdout);
+        double best = 0.0;
+        for (double r : rates) {
+            WorkloadSpec s = spec;
+            s.rateMrps = r;
+            const RunResult res = runExperiment(e.cfg, s);
+            std::printf(" %8.1f", res.latency.p99 / 1e3);
+            std::fflush(stdout);
+            if (res.meetsSlo())
+                best = std::max(best, r);
+        }
+        std::printf(" %8.2f\n", best);
+        at_slo.emplace_back(e.label, best);
+    }
+
+    // Headline ratios.
+    auto find = [&](const char *name) {
+        for (auto &[n, v] : at_slo) {
+            if (n == name)
+                return v;
+        }
+        return 0.0;
+    };
+    const double ac = find("AC_rss");
+    std::printf("\nthroughput@SLO ratios (paper's comparisons):\n");
+    if (find("ZygOS") > 0)
+        std::printf("  AC_rss / ZygOS    = %5.1fx (paper: 24.6x)\n",
+                    ac / find("ZygOS"));
+    if (find("Nebula") > 0)
+        std::printf("  AC_rss / Nebula   = %5.2fx (paper: 1.05x)\n",
+                    ac / find("Nebula"));
+    if (find("nanoPU") > 0)
+        std::printf("  AC_rss / nanoPU   = %5.1f%% (paper: 92.5%%)\n",
+                    100.0 * ac / find("nanoPU"));
+    if (find("Shinjuku") > 0)
+        std::printf("  Nebula / Shinjuku = %5.2fx (paper: 3.9-4.4x "
+                    "for the hw schedulers)\n",
+                    find("Nebula") / find("Shinjuku"));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 10",
+                  "Tail latency vs throughput, 16 cores, bimodal "
+                  "service, SLO = 300 us p99");
+    bench::Stopwatch watch;
+
+    runVariant("variant A: text-exact Bimodal(0.5%, 0.5us, 500us)",
+               500 * kUs,
+               {0.5, 1.0, 2.0, 3.0, 4.0, 4.5, 5.0});
+    runVariant("variant B: figure-scale Bimodal(0.5%, 0.5us, 50us)",
+               50 * kUs,
+               {2.0, 5.0, 8.0, 11.0, 14.0, 17.0, 19.0, 20.5});
+
+    watch.report();
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fig. 11: impact of migration granularity (Bulk) and period on SLO
+ * violations (bars) and p99 latency (line). 256-core ALTOCUMULUS
+ * (16 groups x 16 cores) fed by a 1.6 TbE NIC; the service mix
+ * follows Sec. VIII-C's ~630 ns mean (99.5% 0.5 us + 0.5% ~26 us).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "system/experiment.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+RunResult
+runWith(Tick period, unsigned bulk, std::uint64_t seed)
+{
+    DesignConfig cfg;
+    cfg.design = Design::AcInt;
+    cfg.cores = 256;
+    cfg.groups = 16;
+    cfg.lineRateGbps = 1600.0;
+    cfg.params.period = period;
+    cfg.params.bulk = bulk;
+    cfg.params.concurrency = 8;
+
+    WorkloadSpec spec;
+    // Sec. VIII-C: mean service ~630 ns.
+    spec.service =
+        std::make_shared<workload::BimodalDist>(0.005, 500, 26 * kUs);
+    // 16 x 15 workers at 630 ns -> ~380 MRPS capacity; offer 92%.
+    spec.rateMrps = 350.0;
+    spec.requests = 400000;
+    spec.requestBytes = 64;
+    spec.connections = 256; // lumpy RSS across 16 groups
+    spec.sloFactor = 10.0;
+    spec.seed = seed;
+    return runExperiment(cfg, spec);
+}
+
+void
+printRow(const char *label, const RunResult &res)
+{
+    std::printf("%-12s %12llu %12.2f %12llu %10.4f%%\n", label,
+                static_cast<unsigned long long>(res.violations),
+                res.latency.p99 / 1e3,
+                static_cast<unsigned long long>(res.migrated),
+                res.violationRatio * 100.0);
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 11",
+                  "SLO violations + p99 vs Bulk and vs migration "
+                  "period (256 cores, 16 groups, 1.6 TbE)");
+    bench::Stopwatch watch;
+
+    bench::section("(a) Bulk sweep at period = 200 ns");
+    std::printf("%-12s %12s %12s %12s %11s\n", "bulk", "violations",
+                "p99 (us)", "migrated", "viol ratio");
+    for (unsigned bulk : {8u, 16u, 24u, 32u, 40u}) {
+        char label[16];
+        std::snprintf(label, sizeof label, "%u", bulk);
+        printRow(label, runWith(200, bulk, 31));
+    }
+
+    bench::section("(b) period sweep at Bulk = 16");
+    std::printf("%-12s %12s %12s %12s %11s\n", "period", "violations",
+                "p99 (us)", "migrated", "viol ratio");
+    {
+        // "No migration" reference bar.
+        DesignConfig cfg;
+        cfg.design = Design::AcInt;
+        cfg.cores = 256;
+        cfg.groups = 16;
+        cfg.lineRateGbps = 1600.0;
+        cfg.params.migrationEnabled = false;
+        WorkloadSpec spec;
+        spec.service = std::make_shared<workload::BimodalDist>(
+            0.005, 500, 26 * kUs);
+        spec.rateMrps = 350.0;
+        spec.requests = 400000;
+        spec.requestBytes = 64;
+        spec.connections = 256;
+        spec.seed = 31;
+        printRow("No Migra.", runExperiment(cfg, spec));
+    }
+    for (Tick period : {10u, 40u, 100u, 200u, 400u, 1000u}) {
+        char label[16];
+        std::snprintf(label, sizeof label, "%llu",
+                      static_cast<unsigned long long>(period));
+        printRow(label, runWith(period, 16, 31));
+    }
+
+    std::printf("\nShape check (paper): Bulk=16 eliminates nearly all "
+                "violations; periods of 10-400 ns perform similarly "
+                "while 1000 ns misses ~1/3 of migration "
+                "opportunities.\n");
+    watch.report();
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 12(a): group-size exploration on a 64-core system. Every
+ * (#groups x size) factorization is evaluated for both AC_int and
+ * AC_rss. Small groups waste cores on managers; large groups recreate
+ * the single-manager bottleneck (AC_rss) or deepen remote-access
+ * variance (AC_int).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "system/sweep.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+double
+throughputAtSlo(Design design, unsigned groups)
+{
+    DesignConfig cfg;
+    cfg.design = design;
+    cfg.cores = 64;
+    cfg.groups = groups;
+    cfg.lineRateGbps = 1600.0;
+
+    WorkloadSpec spec;
+    spec.service =
+        std::make_shared<workload::BimodalDist>(0.005, 500, 26 * kUs);
+    spec.requests = 120000;
+    spec.requestBytes = 64;
+    spec.connections = 512;
+    spec.sloFactor = 10.0;
+    spec.seed = 41;
+
+    const SweepResult sweep =
+        findThroughputAtSlo(cfg, spec, 5.0, 100.0, 6, 4);
+    return sweep.throughputAtSloMrps;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 12a",
+                  "Group-size exploration, 64 cores "
+                  "(#groups x group size), throughput@SLO in MRPS");
+    bench::Stopwatch watch;
+
+    std::printf("\n%-12s %12s %12s\n", "config", "AC_int", "AC_rss");
+    const struct
+    {
+        unsigned groups;
+        const char *label;
+    } configs[] = {
+        {16, "16 x 4"}, {8, "8 x 8"}, {4, "4 x 16"},
+        {2, "2 x 32"},  {1, "1 x 64"},
+    };
+    for (const auto &c : configs) {
+        const double ti = throughputAtSlo(Design::AcInt, c.groups);
+        std::fflush(stdout);
+        const double tr = throughputAtSlo(Design::AcRss, c.groups);
+        std::printf("%-12s %12.1f %12.1f\n", c.label, ti, tr);
+        std::fflush(stdout);
+    }
+
+    std::printf("\nShape check (paper): 16-core and 32-core groups "
+                "peak for AC_int; AC_rss degrades past 16-core groups "
+                "because one manager saturates (~28 MRPS hand-off "
+                "ceiling); tiny groups waste worker cores on "
+                "managers.\n");
+    watch.report();
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fig. 13(a): throughput@SLO scaling with core count (16-256) for
+ * the MICA server under (1) a fixed 850 ns (eRPC-stack) service time
+ * with Poisson arrivals and (2) real-world (bursty MMPP) traffic.
+ * Designs: commodity RSS, Nebula, AC_int with suboptimal (synthetic-
+ * tuned) parameters, and AC_int with tuned parameters. The AC rows
+ * also report SLO-prediction accuracy under real-world traffic.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "system/sweep.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+DesignConfig
+configFor(Design design, unsigned cores, bool tuned)
+{
+    DesignConfig cfg;
+    cfg.design = design;
+    cfg.cores = cores;
+    cfg.groups = std::max(1u, cores / 16);
+    cfg.lineRateGbps = 1600.0;
+    if (design == Design::AcInt) {
+        if (tuned) {
+            // Real-world-tuned: faster periods and deeper batches
+            // absorb bursts (Sec. VIII-C's exploration).
+            cfg.params.period = 100;
+            cfg.params.bulk = 24;
+            cfg.params.concurrency = 16;
+            cfg.label = "AC_int_opt";
+        } else {
+            // Synthetic-trace optimum (Sec. VIII-C).
+            cfg.params.period = 200;
+            cfg.params.bulk = 16;
+            cfg.params.concurrency = 8;
+            cfg.label = "AC_int_subopt";
+        }
+    }
+    return cfg;
+}
+
+struct Row
+{
+    double tput = 0.0;
+    double accuracy = 0.0;
+};
+
+Row
+measure(Design design, unsigned cores, bool tuned, bool real_world)
+{
+    const DesignConfig cfg = configFor(design, cores, tuned);
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(850);
+    spec.realWorldArrivals = real_world;
+    spec.requests = 100000;
+    spec.requestBytes = 64;
+    spec.connections = cores * 8;
+    spec.sloFactor = 10.0;
+    spec.seed = 61;
+
+    const double capacity =
+        static_cast<double>(cores) / 0.85; // MRPS upper bound
+    const SweepResult sweep = findThroughputAtSlo(
+        cfg, spec, capacity * 0.1, capacity * 1.0, 6, 4);
+
+    Row row;
+    row.tput = sweep.throughputAtSloMrps;
+    // Accuracy from the highest-load passing run.
+    for (auto it = sweep.points.rbegin(); it != sweep.points.rend();
+         ++it) {
+        if (it->meetsSlo() && it->predictions.actualViolations > 0) {
+            row.accuracy = it->predictions.accuracy();
+            break;
+        }
+    }
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 13a",
+                  "MICA throughput@SLO vs core count, fixed 850 ns "
+                  "(eRPC) and real-world traffic");
+    bench::Stopwatch watch;
+
+    const std::vector<unsigned> core_counts{16, 32, 64, 128, 256};
+
+    for (bool real_world : {false, true}) {
+        bench::section(real_world
+                           ? "(2) real-world (MMPP) arrival pattern"
+                           : "(1) fixed service, Poisson arrivals");
+        std::printf("%-8s %10s %10s %14s %14s\n", "cores", "RSS",
+                    "Nebula", "AC_int_subopt", "AC_int_opt");
+        for (unsigned cores : core_counts) {
+            const Row rss =
+                measure(Design::Rss, cores, false, real_world);
+            const Row nebula =
+                measure(Design::Nebula, cores, false, real_world);
+            const Row subopt =
+                measure(Design::AcInt, cores, false, real_world);
+            const Row opt =
+                measure(Design::AcInt, cores, true, real_world);
+            std::printf("%-8u %10.1f %10.1f %14.1f %14.1f\n", cores,
+                        rss.tput, nebula.tput, subopt.tput, opt.tput);
+            std::fflush(stdout);
+        }
+    }
+
+    std::printf("\nShape check (paper): all AC configurations scale "
+                "near-linearly with cores; under real-world traffic "
+                "RSS and Nebula plateau while AC_int_opt keeps "
+                "scaling (2.8-7.4x over the baselines at 256 "
+                "cores).\n");
+    watch.report();
+    return 0;
+}

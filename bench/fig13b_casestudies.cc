@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fig. 13(b): case studies 1 and 2 (Sec. IX-E) on a 256-core
+ * system. Five bars:
+ *
+ *   RSS           commodity RSS baseline
+ *   AC_int_1      scale-out Nebula + the decentralized runtime only
+ *                 (software shared-cache messaging)      [case 1 rt]
+ *   AC_int_2      runtime + hardware messaging           [case 1 rt+msg]
+ *   AC_rss_1      AC_rss tuned for synthetic traces      [case 2 syn]
+ *   AC_rss_2      AC_rss tuned for the real-world trace  [case 2 rw]
+ *
+ * All five run the same real-world (MMPP) 850 ns workload and report
+ * throughput@SLO.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "system/sweep.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+double
+tputAtSlo(const DesignConfig &cfg)
+{
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(850);
+    spec.realWorldArrivals = true;
+    spec.requests = 120000;
+    spec.requestBytes = 64;
+    spec.connections = 2048;
+    spec.sloFactor = 10.0;
+    spec.seed = 71;
+    const SweepResult sweep =
+        findThroughputAtSlo(cfg, spec, 20.0, 300.0, 6, 4);
+    return sweep.throughputAtSloMrps;
+}
+
+DesignConfig
+base(Design d)
+{
+    DesignConfig cfg;
+    cfg.design = d;
+    cfg.cores = 256;
+    cfg.groups = 16;
+    cfg.lineRateGbps = 1600.0;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 13b",
+                  "Case studies 1 & 2: throughput@SLO on 256 cores, "
+                  "real-world traffic");
+    bench::Stopwatch watch;
+
+    std::printf("\n%-12s %14s   %s\n", "config", "tput@SLO", "notes");
+
+    const double rss = tputAtSlo(base(Design::Rss));
+    std::printf("%-12s %14.1f   commodity RSS NIC\n", "RSS", rss);
+    std::fflush(stdout);
+
+    // Case study 1: integrated-NIC (Nebula-style) system + AC parts.
+    DesignConfig rt_only = base(Design::AcInt);
+    rt_only.params.hardwareMessaging = false;
+    rt_only.label = "AC_int_1";
+    const double v_rt = tputAtSlo(rt_only);
+    std::printf("%-12s %14.1f   runtime only (shared-cache msgs)\n",
+                "AC_int_1", v_rt);
+    std::fflush(stdout);
+
+    DesignConfig rt_msg = base(Design::AcInt);
+    rt_msg.label = "AC_int_2";
+    const double v_msg = tputAtSlo(rt_msg);
+    std::printf("%-12s %14.1f   runtime + hardware messaging\n",
+                "AC_int_2", v_msg);
+    std::fflush(stdout);
+
+    // Case study 2: AC_rss parameter tuning.
+    DesignConfig syn = base(Design::AcRss);
+    syn.params.period = 200;
+    syn.params.bulk = 16;
+    syn.params.concurrency = 8;
+    syn.label = "AC_rss_1";
+    const double v_syn = tputAtSlo(syn);
+    std::printf("%-12s %14.1f   tuned for synthetic traces\n",
+                "AC_rss_1", v_syn);
+    std::fflush(stdout);
+
+    DesignConfig rw = base(Design::AcRss);
+    rw.params.period = 100;
+    rw.params.bulk = 24;
+    rw.params.concurrency = 16;
+    rw.label = "AC_rss_2";
+    const double v_rw = tputAtSlo(rw);
+    std::printf("%-12s %14.1f   tuned for real-world traffic\n",
+                "AC_rss_2", v_rw);
+
+    bench::section("paper comparisons");
+    if (rss > 0) {
+        std::printf("AC_int_1 / RSS  = %.2fx (paper: 2.2x)\n",
+                    v_rt / rss);
+        std::printf("AC_rss_1 / RSS  = %.2fx (paper: 1.4x)\n",
+                    v_syn / rss);
+        std::printf("AC_rss_2 / RSS  = %.2fx (paper: 2.7x)\n",
+                    v_rw / rss);
+    }
+    if (v_rt > 0)
+        std::printf("AC_int_2 / AC_int_1 = %.2fx (paper: 1.3x)\n",
+                    v_msg / v_rt);
+    if (v_msg > 0)
+        std::printf("AC_rss_2 / AC_int_2 = %.2f (paper: ~0.93, "
+                    "'performance only degrades by 7%%')\n",
+                    v_rw / v_msg);
+
+    watch.report();
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fig. 13(c): SLO-prediction accuracy while varying the SLO target
+ * (5A / 10A / 20A, A = 850 ns mean service, load 0.9). Configurations:
+ * baseline RSS (reported as the fraction of SLO violations it avoids
+ * relative to itself, i.e. its violation profile), AC_rss_opt and
+ * AC_int_opt, both tuned. AC rows report the paper's prediction
+ * accuracy metric: correctly predicted violations / total
+ * violations.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "system/experiment.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+RunResult
+runAt(Design design, double slo_factor, std::uint64_t seed)
+{
+    DesignConfig cfg;
+    cfg.design = design;
+    cfg.cores = 256;
+    cfg.groups = 16;
+    cfg.lineRateGbps = 1600.0;
+    cfg.params.period = 100;
+    cfg.params.bulk = 24;
+    cfg.params.concurrency = 16;
+    // The SLO multiple feeds the Eq. 2 threshold model.
+    cfg.params.sloFactor = slo_factor;
+    // Let the online estimator track the bursty load (the adaptive
+    // path); a fixed override would mis-state the burst phases.
+    cfg.params.loadOverride = -1.0;
+
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(850);
+    spec.realWorldArrivals = true;
+    // 100 MRPS mean: RSS's hot queues already violate moderately
+    // here (its per-queue hash imbalance saturates under the MMPP's
+    // 3x bursts) while the machine as a whole has headroom -- the
+    // regime where prediction + migration pays.
+    spec.rateMrps = 100.0;
+    spec.requests = 250000;
+    spec.requestBytes = 64;
+    spec.connections = 2048;
+    spec.sloFactor = slo_factor;
+    spec.seed = seed;
+    return runExperiment(cfg, spec);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 13c",
+                  "Prediction accuracy vs SLO target (A = 850 ns, "
+                  "100 MRPS, 256 cores, real-world traffic)");
+    bench::Stopwatch watch;
+
+    std::printf("\n%-10s %-12s %14s %14s %16s\n", "SLO", "design",
+                "violations", "accuracy", "viol vs RSS");
+
+    for (double slo : {5.0, 10.0, 20.0}) {
+        const RunResult rss = runAt(Design::Rss, slo, 81);
+        std::printf("%3.0fA       %-12s %14llu %14s %16s\n", slo,
+                    "RSS",
+                    static_cast<unsigned long long>(rss.violations),
+                    "-", "1.00x");
+        for (Design d : {Design::AcRss, Design::AcInt}) {
+            const RunResult res = runAt(d, slo, 81);
+            const double saved =
+                rss.violations > 0
+                    ? static_cast<double>(res.violations) /
+                          static_cast<double>(rss.violations)
+                    : 0.0;
+            std::printf("%3.0fA       %-12s %14llu %14.3f %15.2fx\n",
+                        slo, res.design.c_str(),
+                        static_cast<unsigned long long>(res.violations),
+                        res.predictions.accuracy(), saved);
+            std::fflush(stdout);
+        }
+    }
+
+    std::printf("\nShape check (paper): the AC systems matter most at "
+                "strict targets (<= 10A); at 20A every approach "
+                "satisfies the relaxed SLO (>95%% accuracy / few "
+                "violations).\n");
+    watch.report();
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark micro benches for the ALTOCUMULUS core
+ * primitives. These back the latency-cost claims of Sec. VIII-E:
+ * the per-period prediction work is tens of nanoseconds of real
+ * computation, far below the migration budget.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/calibration.hh"
+#include "core/erlang.hh"
+#include "core/pattern.hh"
+#include "core/prediction.hh"
+#include "core/runtime.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::core;
+
+static void
+BM_ErlangC64(benchmark::State &state)
+{
+    double a = 0.99 * 64;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(erlangC(64, a));
+        a += 1e-9;
+    }
+}
+BENCHMARK(BM_ErlangC64);
+
+static void
+BM_ErlangC256(benchmark::State &state)
+{
+    double a = 0.99 * 256;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(erlangC(256, a));
+        a += 1e-9;
+    }
+}
+BENCHMARK(BM_ErlangC256);
+
+static void
+BM_ThresholdEval(benchmark::State &state)
+{
+    ThresholdModel model(15, 10.0, defaultConstants("Fixed"));
+    double load = 13.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.threshold(load));
+        load += 1e-9;
+    }
+}
+BENCHMARK(BM_ThresholdEval);
+
+static void
+BM_PatternClassify(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    std::vector<std::size_t> q(n);
+    for (unsigned i = 0; i < n; ++i)
+        q[i] = (i * 37) % 100;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(classifyPattern(q, 16, 8));
+}
+BENCHMARK(BM_PatternClassify)->Arg(4)->Arg(16)->Arg(64);
+
+static void
+BM_DecideMigrations(benchmark::State &state)
+{
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    std::vector<std::size_t> q(n);
+    for (unsigned i = 0; i < n; ++i)
+        q[i] = 10 + (i * 53) % 80;
+    AltocParams params;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(decideMigrations(q, 0, 40, params));
+}
+BENCHMARK(BM_DecideMigrations)->Arg(4)->Arg(16)->Arg(64);
+
+static void
+BM_LoadEstimatorArrival(benchmark::State &state)
+{
+    LoadEstimator est(850);
+    Tick now = 0;
+    for (auto _ : state) {
+        now += 100;
+        est.onArrival(now);
+    }
+    benchmark::DoNotOptimize(est.offeredLoad(now));
+}
+BENCHMARK(BM_LoadEstimatorArrival);
+
+static void
+BM_OfflineCalibrationPoint(benchmark::State &state)
+{
+    workload::FixedDist dist(1000);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(firstViolationQueueLength(
+            dist, 16, 0.99, 10.0, 20000, seed++));
+    }
+}
+BENCHMARK(BM_OfflineCalibrationPoint);
+
+BENCHMARK_MAIN();

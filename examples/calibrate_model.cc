@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Offline calibration walk-through (Sec. IV / Fig. 5's offline
+ * component): profile SLO violations for a workload, fit the Eq. 2
+ * threshold model, and show how the fitted threshold compares with
+ * the naive bounds across loads.
+ */
+
+#include <cstdio>
+
+#include "core/calibration.hh"
+#include "core/erlang.hh"
+#include "core/prediction.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::core;
+
+int
+main()
+{
+    constexpr unsigned kWorkers = 16;
+    constexpr double kSloFactor = 10.0;
+    workload::UniformDist dist(500, 1500);
+
+    std::printf("Offline calibration: %u-core c-FCFS, %s service, "
+                "SLO = %.0fx mean\n\n",
+                kWorkers, dist.name().c_str(), kSloFactor);
+
+    // 1. Profile: measure the first-violation queue length per load.
+    const std::vector<double> loads{0.95, 0.97, 0.98, 0.99, 0.995};
+    const CalibrationResult cal =
+        calibrate(dist, kWorkers, kSloFactor, loads, 400000, 1);
+
+    std::printf("%-8s %12s %14s %14s\n", "load", "E[Nq]",
+                "measured T", "viol ratio");
+    for (const auto &pt : cal.points) {
+        std::printf("%-8.3f %12.1f %14s %13.4f%%\n", pt.load,
+                    pt.expectedNq,
+                    pt.sawViolation
+                        ? std::to_string(pt.firstViolationQ).c_str()
+                        : "none",
+                    pt.violationRatio * 100.0);
+    }
+
+    // 2. The fitted Eq. 2 constants.
+    std::printf("\nfitted constants: a=%.3f b=%.3f c=%.3f d=%.3f\n",
+                cal.fit.a, cal.fit.b, cal.fit.c, cal.fit.d);
+
+    // 3. Compare the fitted threshold with the naive bounds.
+    ThresholdModel model(kWorkers, kSloFactor, cal.fit);
+    std::printf("\n%-8s %14s %14s\n", "load", "model T",
+                "naive kL+1");
+    for (double load : loads) {
+        std::printf("%-8.3f %14u %14u\n", load,
+                    model.threshold(load * kWorkers),
+                    model.upperBound());
+    }
+
+    std::printf("\nFeed these constants to "
+                "GroupScheduler::Config::distName-matched defaults or "
+                "construct the ThresholdModel directly.\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * End-to-end MICA key-value store example (Sec. IX): a 64-core
+ * server running the GET/SET/SCAN mix under bursty "real-world"
+ * traffic, comparing Nebula's hardware JBSQ against ALTOCUMULUS.
+ *
+ * This mirrors the paper's Fig. 14 setup at example scale: the same
+ * dataset, the same EREW partitioning, the nanoRPC-class ~50 ns
+ * GET/SET service times and 0.5% ~50 us SCANs.
+ */
+
+#include <cstdio>
+
+#include "system/mica_run.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+MicaRunConfig
+baseConfig()
+{
+    MicaRunConfig cfg;
+    cfg.design.cores = 64;
+    cfg.design.groups = 4;
+    cfg.design.lineRateGbps = 1600.0;
+    // SCANs are 0.5% of requests but ~80% of the demanded core time;
+    // 60 MRPS keeps the burst phases of the MMPP inside capacity.
+    cfg.rateMrps = 60.0;
+    cfg.requests = 300000;
+    cfg.realWorldArrivals = true;
+    cfg.sloAbsolute = 10 * kUs;
+    // Few client connections make RSS steering lumpy across groups,
+    // which is the imbalance ALTOCUMULUS migrations correct.
+    cfg.connections = 12;
+    cfg.store.keysPerPartition = 20000;
+    cfg.store.buckets = 1 << 15;
+    cfg.store.logBytes = 32u << 20;
+    cfg.seed = 2026;
+    return cfg;
+}
+
+void
+report(const MicaRunResult &res)
+{
+    const RunResult &r = res.run;
+    std::printf("%-12s  %7.1f MRPS  p50 %8.2f us  p99 %8.2f us  "
+                "viol %6.3f%%  migr %8llu  remote %8llu  miss %llu\n",
+                r.design.c_str(), r.achievedMrps, r.latency.p50 / 1e3,
+                r.latency.p99 / 1e3, r.violationRatio * 100.0,
+                static_cast<unsigned long long>(r.migrated),
+                static_cast<unsigned long long>(res.remoteExecutions),
+                static_cast<unsigned long long>(res.misses));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("MICA over RPC scheduling, 64 cores, real-world "
+                "traffic (0.5%% SCAN / 99.5%% GET+SET)\n\n");
+
+    // Baseline: Nebula's NIC-driven JBSQ across all 64 cores.
+    MicaRunConfig nebula = baseConfig();
+    nebula.design.design = Design::Nebula;
+    report(runMicaExperiment(nebula));
+
+    // ALTOCUMULUS on the integrated NIC, 4 groups of 1+15 -- first
+    // with migration disabled to expose the raw steering imbalance,
+    // then with the full runtime.
+    MicaRunConfig ac_off = baseConfig();
+    ac_off.design.design = Design::AcInt;
+    ac_off.design.params.migrationEnabled = false;
+    report(runMicaExperiment(ac_off));
+
+    MicaRunConfig ac = baseConfig();
+    ac.design.design = Design::AcInt;
+    report(runMicaExperiment(ac));
+
+    // ALTOCUMULUS on a commodity PCIe RSS NIC with the custom ISA
+    // interface (the Fig. 14 AC_rss-ISA configuration).
+    MicaRunConfig ac_rss = baseConfig();
+    ac_rss.design.design = Design::AcRss;
+    report(runMicaExperiment(ac_rss));
+
+    std::printf("\nCompare the two AC_int rows: proactive migration "
+                "recovers most of the tail that lumpy RSS steering "
+                "costs a grouped design, approaching Nebula's "
+                "perfectly balanced (but coherence-domain-bound) "
+                "central queue. AC_rss additionally shows the "
+                "software manager's ~28 MRPS hand-off ceiling under "
+                "bursts.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: simulate a 16-core server scheduled by ALTOCUMULUS,
+ * offer it a bimodal RPC workload, and print latency metrics.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "system/experiment.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+
+int
+main()
+{
+    // 1. Describe the machine: 16 cores in 2 ALTOCUMULUS groups
+    //    (1 manager + 7 workers each) behind a commodity RSS NIC.
+    system::DesignConfig machine;
+    machine.design = system::Design::AcRss;
+    machine.cores = 16;
+    machine.groups = 2;
+    machine.params.period = 200;  // runtime every 200 ns
+    machine.params.bulk = 16;     // up to 16 descriptors per MIGRATE
+    machine.params.concurrency = 4;
+
+    // 2. Describe the traffic: 99.5% short (500 ns) / 0.5% long
+    //    (50 us) RPCs arriving as a Poisson stream at 8 MRPS.
+    system::WorkloadSpec traffic;
+    traffic.service =
+        std::make_shared<workload::BimodalDist>(0.005, 500, 50 * kUs);
+    traffic.rateMrps = 8.0;
+    traffic.requests = 200000;
+    traffic.sloAbsolute = 300 * kUs; // Fig. 10's SLO target
+
+    // 3. Run and inspect.
+    const system::RunResult res = system::runExperiment(machine, traffic);
+
+    std::printf("design            : %s\n", res.design.c_str());
+    std::printf("offered load      : %.1f MRPS\n", res.offeredMrps);
+    std::printf("achieved          : %.1f MRPS\n", res.achievedMrps);
+    std::printf("completed         : %llu requests\n",
+                static_cast<unsigned long long>(res.completed));
+    std::printf("p50 / p99 / p99.9 : %.2f / %.2f / %.2f us\n",
+                res.latency.p50 / 1e3, res.latency.p99 / 1e3,
+                res.latency.p999 / 1e3);
+    std::printf("SLO (%llu us)      : %s  (%.3f%% violations)\n",
+                static_cast<unsigned long long>(res.sloTarget / kUs),
+                res.meetsSlo() ? "met" : "VIOLATED",
+                res.violationRatio * 100.0);
+    std::printf("worker utilization: %.1f%%\n", res.utilization * 100.0);
+    std::printf("requests migrated : %llu (%llu MIGRATE msgs, "
+                "%llu NACKed)\n",
+                static_cast<unsigned long long>(res.migrated),
+                static_cast<unsigned long long>(
+                    res.messaging.migratesSent),
+                static_cast<unsigned long long>(
+                    res.messaging.migratesNacked));
+    return res.meetsSlo() ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace altoc {
+namespace detail {
+
+std::string
+vformat(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<size_t>(n) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, ap2);
+        out.resize(static_cast<size_t>(n));
+    }
+    va_end(ap2);
+    return out;
+}
+
+void
+logAbort(const char *kind, const char *file, int line,
+         const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file,
+                 line);
+    std::fflush(stderr);
+    if (std::string(kind) == "fatal")
+        std::exit(1);
+    std::abort();
+}
+
+void
+logPrint(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+}
+
+} // namespace detail
+} // namespace altoc

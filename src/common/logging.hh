@@ -1,0 +1,64 @@
+/**
+ * @file
+ * gem5-style status/error reporting helpers.
+ *
+ * panic() aborts on internal invariant violations (simulator bugs);
+ * fatal() exits on user/configuration errors; warn()/inform() print
+ * status without stopping the simulation.
+ */
+
+#ifndef ALTOC_COMMON_LOGGING_HH
+#define ALTOC_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace altoc {
+
+namespace detail {
+
+[[noreturn]] void logAbort(const char *kind, const char *file, int line,
+                           const std::string &msg);
+
+void logPrint(const char *kind, const std::string &msg);
+
+/** Minimal printf-style formatter returning std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace altoc
+
+/** Abort: something happened that should never happen (a library bug). */
+#define panic(...)                                                          \
+    ::altoc::detail::logAbort("panic", __FILE__, __LINE__,                  \
+                              ::altoc::detail::vformat(__VA_ARGS__))
+
+/** Exit: the simulation cannot continue due to a user error. */
+#define fatal(...)                                                          \
+    ::altoc::detail::logAbort("fatal", __FILE__, __LINE__,                  \
+                              ::altoc::detail::vformat(__VA_ARGS__))
+
+/** Warn about questionable but survivable conditions. */
+#define warn(...)                                                           \
+    ::altoc::detail::logPrint("warn",                                       \
+                              ::altoc::detail::vformat(__VA_ARGS__))
+
+/** Informative status message. */
+#define inform(...)                                                         \
+    ::altoc::detail::logPrint("info",                                       \
+                              ::altoc::detail::vformat(__VA_ARGS__))
+
+/** panic() unless the condition holds. The stringified condition is
+ *  passed as an argument (never pasted into the format string, where
+ *  a '%' inside the expression would corrupt the format). */
+#define altoc_assert(cond, msg, ...)                                        \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            panic("assertion failed: " msg " [%s]", ##__VA_ARGS__, #cond);  \
+        }                                                                   \
+    } while (0)
+
+#endif // ALTOC_COMMON_LOGGING_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator flows through Rng so that
+ * a (seed, configuration) pair fully determines an experiment's
+ * outcome. The generator is xoshiro256++, seeded via splitmix64.
+ */
+
+#ifndef ALTOC_COMMON_RNG_HH
+#define ALTOC_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace altoc {
+
+/**
+ * xoshiro256++ generator with convenience distributions.
+ *
+ * Distribution helpers intentionally mirror the needs of the workload
+ * models (uniform, exponential inter-arrivals, discrete choices)
+ * rather than exposing the full <random> surface.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded with splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Exponentially distributed value with the given mean. */
+    double exponential(double mean);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /** Standard normal via Box-Muller (mean 0, stddev 1). */
+    double gaussian();
+
+    /**
+     * Split off an independent child generator. Children derived
+     * from distinct salts are statistically independent streams.
+     */
+    Rng fork(std::uint64_t salt);
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace altoc
+
+#endif // ALTOC_COMMON_RNG_HH

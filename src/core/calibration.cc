@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Offline calibration implementation.
+ *
+ * The k-server c-FCFS system is simulated directly (no event queue):
+ * in FIFO order each arrival takes the earliest-free server, so
+ * start times are non-decreasing and the queue length at an arrival
+ * can be tracked with a single monotone pointer. This keeps the
+ * offline pass fast enough to sweep dozens of loads in tests.
+ */
+
+#include "core/calibration.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/erlang.hh"
+
+namespace altoc::core {
+
+double
+ViolationProfile::ratioAt(unsigned qlen) const
+{
+    auto it = byLength.find(qlen);
+    if (it == byLength.end() || it->second.second == 0)
+        return 0.0;
+    return static_cast<double>(it->second.first) /
+           static_cast<double>(it->second.second);
+}
+
+namespace {
+
+/** One simulated request's observable facts. */
+struct Outcome
+{
+    unsigned queueAtArrival;
+    bool violated;
+};
+
+/**
+ * Core c-FCFS simulation shared by the profiling entry points.
+ * Calls @p visit for every request in arrival order.
+ */
+template <typename Visitor>
+void
+simulateCFcfs(const workload::ServiceDist &dist, unsigned k, double load,
+              double l_factor, std::uint64_t num_requests,
+              std::uint64_t seed, Visitor &&visit)
+{
+    altoc_assert(k > 0, "need at least one server");
+    altoc_assert(load > 0.0 && load < 1.0,
+                 "utilization must lie in (0, 1): %f", load);
+
+    Rng rng(seed);
+    const double mean = dist.mean();
+    const double rate = load * static_cast<double>(k) / mean;
+    const Tick slo = static_cast<Tick>(l_factor * mean);
+
+    // Min-heap of server free times.
+    std::priority_queue<Tick, std::vector<Tick>, std::greater<>> free;
+    for (unsigned i = 0; i < k; ++i)
+        free.push(0);
+
+    // Start times are monotone, so a ring of recent start times plus
+    // a monotone pointer yields the waiting count at each arrival.
+    std::vector<Tick> starts;
+    starts.reserve(num_requests);
+    std::size_t started_ptr = 0;
+
+    double arrival_d = 0.0;
+    for (std::uint64_t i = 0; i < num_requests; ++i) {
+        arrival_d += rng.exponential(1.0 / rate);
+        const Tick arrival = static_cast<Tick>(arrival_d);
+        const Tick service = dist.sample(rng).service;
+
+        const Tick earliest = free.top();
+        free.pop();
+        const Tick start = std::max(arrival, earliest);
+        free.push(start + service);
+        starts.push_back(start);
+
+        // Requests j < i with start_j > arrival are still waiting.
+        while (started_ptr < i && starts[started_ptr] <= arrival)
+            ++started_ptr;
+        const unsigned waiting = static_cast<unsigned>(i - started_ptr);
+
+        const Tick latency = start + service - arrival;
+        visit(Outcome{waiting, latency > slo});
+    }
+}
+
+} // namespace
+
+ViolationProfile
+profileViolations(const workload::ServiceDist &dist, unsigned k,
+                  double load, double l_factor,
+                  std::uint64_t num_requests, std::uint64_t seed)
+{
+    ViolationProfile profile;
+    simulateCFcfs(dist, k, load, l_factor, num_requests, seed,
+                  [&profile](const Outcome &o) {
+                      auto &cell = profile.byLength[o.queueAtArrival];
+                      ++cell.second;
+                      if (o.violated)
+                          ++cell.first;
+                  });
+    return profile;
+}
+
+std::pair<unsigned, bool>
+firstViolationQueueLength(const workload::ServiceDist &dist, unsigned k,
+                          double load, double l_factor,
+                          std::uint64_t num_requests, std::uint64_t seed)
+{
+    unsigned first_q = 0;
+    bool found = false;
+    simulateCFcfs(dist, k, load, l_factor, num_requests, seed,
+                  [&first_q, &found](const Outcome &o) {
+                      if (!found && o.violated) {
+                          first_q = o.queueAtArrival;
+                          found = true;
+                      }
+                  });
+    return {first_q, found};
+}
+
+CalibrationResult
+calibrate(const workload::ServiceDist &dist, unsigned k, double l_factor,
+          const std::vector<double> &loads,
+          std::uint64_t requests_per_load, std::uint64_t seed)
+{
+    CalibrationResult result;
+
+    double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+    unsigned fit_points = 0;
+
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const double load = loads[i];
+        CalibrationPoint pt;
+        pt.load = load;
+        pt.expectedNq =
+            expectedQueueLength(k, load * static_cast<double>(k));
+
+        std::uint64_t violations = 0;
+        unsigned first_q = 0;
+        bool found = false;
+        simulateCFcfs(dist, k, load, l_factor, requests_per_load,
+                      seed + i,
+                      [&](const Outcome &o) {
+                          if (o.violated) {
+                              ++violations;
+                              if (!found) {
+                                  first_q = o.queueAtArrival;
+                                  found = true;
+                              }
+                          }
+                      });
+        pt.firstViolationQ = first_q;
+        pt.sawViolation = found;
+        pt.violationRatio = static_cast<double>(violations) /
+                            static_cast<double>(requests_per_load);
+        result.points.push_back(pt);
+
+        if (found) {
+            sum_x += pt.expectedNq;
+            sum_y += static_cast<double>(first_q);
+            sum_xx += pt.expectedNq * pt.expectedNq;
+            sum_xy += pt.expectedNq * static_cast<double>(first_q);
+            ++fit_points;
+        }
+    }
+
+    // Least squares T = slope * E[Nq] + intercept, repackaged into
+    // Eq. 2's (a, b, c, d) with c = 0.998, d = 0.
+    ModelConstants fit;
+    if (fit_points >= 2) {
+        const double n = static_cast<double>(fit_points);
+        const double denom = n * sum_xx - sum_x * sum_x;
+        if (denom > 1e-9) {
+            const double slope = (n * sum_xy - sum_x * sum_y) / denom;
+            const double intercept = (sum_y - slope * sum_x) / n;
+            fit.c = 0.998;
+            fit.d = 0.0;
+            fit.a = slope / fit.c;
+            fit.b = intercept;
+        }
+    }
+    result.fit = fit;
+    return result;
+}
+
+} // namespace altoc::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The offline component (Fig. 5, left): SLO-violation profiling and
+ * model fitting.
+ *
+ * The paper measures, in simulation, the queue length at which the
+ * first SLO-violating request arrives for each system load, then
+ * models the threshold as a linear transformation of the Erlang-C
+ * expected queue length (Fig. 7d). This module reproduces that
+ * pass with a self-contained k-server c-FCFS simulation (fast
+ * enough to run inside tests) and a least-squares fit yielding the
+ * Eq. 2 constants.
+ */
+
+#ifndef ALTOC_CORE_CALIBRATION_HH
+#define ALTOC_CORE_CALIBRATION_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.hh"
+#include "core/prediction.hh"
+#include "workload/distributions.hh"
+
+namespace altoc::core {
+
+/** Per-load profiling outcome. */
+struct CalibrationPoint
+{
+    double load = 0.0;           //!< utilization rho in (0, 1)
+    unsigned firstViolationQ = 0; //!< queue length at first violation
+    bool sawViolation = false;
+    double expectedNq = 0.0;     //!< Erlang-C E[Nq] at this load
+    double violationRatio = 0.0; //!< overall violation ratio
+};
+
+/** Violation statistics bucketed by queue length at arrival
+ *  (Fig. 7a-c's x-axis). */
+struct ViolationProfile
+{
+    /** queue length -> {violations, arrivals} seen at that length. */
+    std::map<unsigned, std::pair<std::uint64_t, std::uint64_t>> byLength;
+
+    /** Ratio of SLO violations among arrivals at @p qlen. */
+    double ratioAt(unsigned qlen) const;
+};
+
+/** Full calibration output. */
+struct CalibrationResult
+{
+    std::vector<CalibrationPoint> points;
+    ModelConstants fit;
+};
+
+/**
+ * Simulate a k-server c-FCFS queue at utilization @p load with
+ * Poisson arrivals and the given service distribution, recording per
+ * queue-length violation counts. SLO = l_factor x mean service time.
+ */
+ViolationProfile profileViolations(const workload::ServiceDist &dist,
+                                   unsigned k, double load,
+                                   double l_factor,
+                                   std::uint64_t num_requests,
+                                   std::uint64_t seed);
+
+/**
+ * Queue length at which the first SLO violation arrived (the
+ * measured T for one load); {0, false} when no violation occurred.
+ */
+std::pair<unsigned, bool>
+firstViolationQueueLength(const workload::ServiceDist &dist, unsigned k,
+                          double load, double l_factor,
+                          std::uint64_t num_requests, std::uint64_t seed);
+
+/**
+ * Run the full offline pass: profile every load in @p loads, fit
+ * T ~ slope * E[Nq] + intercept by least squares and package the
+ * result as Eq. 2 constants (c fixed at 0.998, d at 0, matching the
+ * paper's parameterization).
+ */
+CalibrationResult calibrate(const workload::ServiceDist &dist, unsigned k,
+                            double l_factor,
+                            const std::vector<double> &loads,
+                            std::uint64_t requests_per_load,
+                            std::uint64_t seed);
+
+} // namespace altoc::core
+
+#endif // ALTOC_CORE_CALIBRATION_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Erlang formula implementations.
+ *
+ * Erlang-B is computed with the standard numerically stable
+ * recurrence B(0) = 1, B(j) = a*B(j-1) / (j + a*B(j-1)); Erlang-C
+ * follows from C = k*B / (k - a*(1 - B)).
+ */
+
+#include "core/erlang.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace altoc::core {
+
+double
+erlangB(unsigned k, double a)
+{
+    altoc_assert(a >= 0.0, "offered load must be non-negative");
+    double b = 1.0;
+    for (unsigned j = 1; j <= k; ++j)
+        b = a * b / (static_cast<double>(j) + a * b);
+    return b;
+}
+
+double
+erlangC(unsigned k, double a)
+{
+    altoc_assert(k > 0, "need at least one server");
+    if (a <= 0.0)
+        return 0.0;
+    if (a >= static_cast<double>(k))
+        return 1.0;
+    const double b = erlangB(k, a);
+    const double kd = static_cast<double>(k);
+    return kd * b / (kd - a * (1.0 - b));
+}
+
+double
+expectedQueueLength(unsigned k, double a)
+{
+    const double kd = static_cast<double>(k);
+    if (a >= kd)
+        return std::numeric_limits<double>::max();
+    return erlangC(k, a) * a / (kd - a);
+}
+
+double
+expectedWaitFactor(unsigned k, double a)
+{
+    const double kd = static_cast<double>(k);
+    if (a >= kd)
+        return std::numeric_limits<double>::max();
+    return erlangC(k, a) / (kd - a);
+}
+
+} // namespace altoc::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Erlang-C queueing model (Sec. IV-A, Eq. 1).
+ *
+ * The proactive scheduler models the expected queue length of a
+ * k-server FCFS system under offered load A (Erlangs) as
+ *
+ *     E[Nq] = C_k(A) * A / (k - A)
+ *
+ * where C_k(A) is the Erlang-C probability that an arriving request
+ * must queue. Evaluation is done in log space so it stays stable for
+ * the paper's k up to 256.
+ */
+
+#ifndef ALTOC_CORE_ERLANG_HH
+#define ALTOC_CORE_ERLANG_HH
+
+namespace altoc::core {
+
+/**
+ * Erlang-C: probability an arrival waits in an M/M/k queue with
+ * offered load @p a Erlangs and @p k servers. Returns 1.0 when the
+ * system is saturated (a >= k).
+ */
+double erlangC(unsigned k, double a);
+
+/**
+ * Erlang-B (loss) formula; used internally and exposed for tests.
+ */
+double erlangB(unsigned k, double a);
+
+/**
+ * Expected number of waiting requests, Eq. 1:
+ * E[Nq] = C_k(A) * A / (k - A). Unbounded (returns a large value) at
+ * saturation.
+ */
+double expectedQueueLength(unsigned k, double a);
+
+/**
+ * Expected waiting time in units of mean service time:
+ * E[W]/E[S] = C_k(A) / (k - A).
+ */
+double expectedWaitFactor(unsigned k, double a);
+
+} // namespace altoc::core
+
+#endif // ALTOC_CORE_ERLANG_HH

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * GroupScheduler implementation.
+ */
+
+#include "core/group.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace altoc::core {
+
+GroupScheduler::GroupScheduler(const Config &cfg)
+    : cfg_(cfg)
+{
+    altoc_assert(cfg.numGroups >= 1, "need at least one group");
+    altoc_assert(cfg.workersPerGroup >= 1,
+                 "each group needs at least one worker");
+    altoc_assert(cfg.localDepth >= 1, "local depth must be at least 1");
+    model_ = std::make_unique<ThresholdModel>(
+        cfg.workersPerGroup, cfg.params.sloFactor,
+        defaultConstants(cfg.distName));
+}
+
+std::string
+GroupScheduler::name() const
+{
+    if (!cfg_.label.empty())
+        return cfg_.label;
+    std::string base =
+        cfg_.variant == Variant::Int ? "AC_int" : "AC_rss";
+    if (!cfg_.params.migrationEnabled)
+        base += "-nomig";
+    else if (cfg_.params.iface == Interface::Msr)
+        base += "-MSR";
+    return base;
+}
+
+void
+GroupScheduler::onAttach()
+{
+    const unsigned per_group = cfg_.workersPerGroup + 1;
+    altoc_assert(ctx_.cores.size() == cfg_.numGroups * per_group,
+                 "core count %zu does not match %u groups of %u",
+                 ctx_.cores.size(), cfg_.numGroups, per_group);
+    altoc_assert(ctx_.mesh != nullptr, "group scheduler needs a NoC");
+
+    groups_.clear();
+    groups_.resize(cfg_.numGroups);
+    coreGroup_.assign(ctx_.cores.size(), 0);
+
+    std::vector<unsigned> manager_tiles;
+    for (unsigned g = 0; g < cfg_.numGroups; ++g) {
+        Group &grp = groups_[g];
+        const unsigned base = g * per_group;
+        grp.managerCore = base;
+        coreGroup_[base] = g;
+        for (unsigned w = 0; w < cfg_.workersPerGroup; ++w) {
+            grp.workerCores.push_back(base + 1 + w);
+            coreGroup_[base + 1 + w] = g;
+        }
+        grp.occupancy.assign(cfg_.workersPerGroup, 0);
+        grp.local.assign(cfg_.workersPerGroup, {});
+        grp.qView.assign(cfg_.numGroups, 0);
+        grp.estimator.emplace(cfg_.meanService);
+        manager_tiles.push_back(ctx_.cores[base]->tile());
+    }
+
+    HwMessaging::Config mcfg;
+    mcfg.hardware = cfg_.params.hardwareMessaging;
+    msg_ = std::make_unique<HwMessaging>(*ctx_.sim, *ctx_.mesh,
+                                         manager_tiles, mcfg);
+    msg_->setMigrateIn([this](unsigned g,
+                              const std::vector<net::Rpc *> &reqs) {
+        onMigrateIn(g, reqs);
+    });
+    msg_->setUpdate([this](unsigned g, unsigned src, std::size_t q) {
+        onUpdate(g, src, q);
+    });
+    msg_->setReturn([this](unsigned g,
+                           const std::vector<net::Rpc *> &reqs) {
+        onReturn(g, reqs);
+    });
+}
+
+void
+GroupScheduler::start()
+{
+    if (!cfg_.params.migrationEnabled || cfg_.numGroups < 2)
+        return;
+    // Stagger manager invocations by 1 ns so event ordering between
+    // managers stays deterministic without artificial lock-step.
+    for (unsigned g = 0; g < cfg_.numGroups; ++g) {
+        ctx_.sim->after(cfg_.params.period + g,
+                        [this, g] { runtimeTick(g); });
+    }
+}
+
+void
+GroupScheduler::deliver(net::Rpc *r, unsigned queue)
+{
+    altoc_assert(queue < groups_.size(), "group %u out of range", queue);
+    Group &grp = groups_[queue];
+    r->curGroup = static_cast<std::uint16_t>(queue);
+    grp.rx.enqueue(r, ctx_.sim->now());
+    grp.estimator->onArrival(ctx_.sim->now());
+    pump(queue);
+}
+
+std::vector<std::size_t>
+GroupScheduler::queueLengths() const
+{
+    std::vector<std::size_t> lens;
+    lens.reserve(groups_.size());
+    for (const Group &grp : groups_)
+        lens.push_back(grp.rx.length());
+    return lens;
+}
+
+const MessagingStats &
+GroupScheduler::messagingStats() const
+{
+    altoc_assert(msg_ != nullptr, "messaging not initialized");
+    return msg_->stats();
+}
+
+// ---------------------------------------------------------------------
+// Local dispatch
+// ---------------------------------------------------------------------
+
+int
+GroupScheduler::pickWorker(const Group &grp) const
+{
+    int best = -1;
+    unsigned best_occ = cfg_.localDepth;
+    for (unsigned w = 0; w < grp.occupancy.size(); ++w) {
+        if (grp.occupancy[w] < best_occ) {
+            best_occ = grp.occupancy[w];
+            best = static_cast<int>(w);
+        }
+    }
+    return best;
+}
+
+void
+GroupScheduler::pump(unsigned g)
+{
+    if (cfg_.variant == Variant::Int)
+        pumpInt(g);
+    else
+        pumpRss(g);
+}
+
+void
+GroupScheduler::pumpInt(unsigned g)
+{
+    Group &grp = groups_[g];
+    // Hardware JBSQ: push NetRX heads toward under-occupied workers
+    // with no manager involvement.
+    for (;;) {
+        if (grp.rx.empty())
+            return;
+        const int w = pickWorker(grp);
+        if (w < 0)
+            return;
+        net::Rpc *r = grp.rx.dequeueHead();
+        ++grp.occupancy[static_cast<unsigned>(w)];
+        const unsigned mgr_tile = ctx_.cores[grp.managerCore]->tile();
+        const unsigned wrk_tile =
+            ctx_.cores[grp.workerCores[static_cast<unsigned>(w)]]->tile();
+        const Tick now = ctx_.sim->now();
+        const Tick arrive =
+            ctx_.mesh->send(noc::kVnData, mgr_tile, wrk_tile,
+                            net::kDescriptorBytes, now) +
+            hw::kControllerNs;
+        ctx_.sim->at(arrive, [this, g, w, r] {
+            arriveWorker(g, static_cast<unsigned>(w), r);
+        });
+    }
+}
+
+void
+GroupScheduler::pumpRss(unsigned g)
+{
+    Group &grp = groups_[g];
+    if (grp.dispatchPending || grp.rx.empty() || pickWorker(grp) < 0)
+        return;
+    // The manager core is a serial resource: one hand-off per
+    // rssDispatchCost, shared with runtime invocations.
+    grp.dispatchPending = true;
+    const Tick start = std::max(ctx_.sim->now(), grp.managerFree);
+    grp.managerFree = start + cfg_.rssDispatchCost;
+    ctx_.sim->at(grp.managerFree, [this, g] { finishRssDispatch(g); });
+}
+
+void
+GroupScheduler::finishRssDispatch(unsigned g)
+{
+    Group &grp = groups_[g];
+    grp.dispatchPending = false;
+    const int w = pickWorker(grp);
+    net::Rpc *r = grp.rx.dequeueHead();
+    if (r != nullptr && w >= 0) {
+        ++grp.occupancy[static_cast<unsigned>(w)];
+        arriveWorker(g, static_cast<unsigned>(w), r);
+    } else if (r != nullptr) {
+        grp.rx.pushFront(r);
+    }
+    pumpRss(g);
+}
+
+void
+GroupScheduler::arriveWorker(unsigned g, unsigned w, net::Rpc *r)
+{
+    Group &grp = groups_[g];
+    r->enqueued = ctx_.sim->now();
+    grp.local[w].push_back(r);
+    tryRunWorker(g, w);
+}
+
+void
+GroupScheduler::tryRunWorker(unsigned g, unsigned w)
+{
+    Group &grp = groups_[g];
+    cpu::Core *core = ctx_.cores[grp.workerCores[w]];
+    if (core->busy() || grp.local[w].empty())
+        return;
+    net::Rpc *r = grp.local[w].front();
+    grp.local[w].pop_front();
+    if (cfg_.nucaPayload && r->started == kTickInf) {
+        const unsigned mgr_tile = ctx_.cores[grp.managerCore]->tile();
+        r->remaining += 2 * ctx_.mesh->flightTime(mgr_tile, core->tile());
+    }
+    core->run(r, 0, cfg_.workerQuantum);
+}
+
+void
+GroupScheduler::onCompletion(cpu::Core &core, net::Rpc *r)
+{
+    const unsigned g = groupOfCore(core.id());
+    Group &grp = groups_[g];
+    // Locate the worker slot of this core within its group.
+    const unsigned base = grp.managerCore;
+    altoc_assert(core.id() > base, "manager core completed a request");
+    const unsigned w = core.id() - base - 1;
+    altoc_assert(grp.occupancy[w] > 0, "occupancy underflow");
+    --grp.occupancy[w];
+    sink_->onRpcDone(core, r);
+    tryRunWorker(g, w);
+    pump(g);
+}
+
+void
+GroupScheduler::onPreempt(cpu::Core &core, net::Rpc *r)
+{
+    // Quantum expiry (workerQuantum extension): rotate the long
+    // request back to the group's NetRX tail so queued shorts get
+    // the worker; the context-switch cost rides on its demand.
+    const unsigned g = groupOfCore(core.id());
+    Group &grp = groups_[g];
+    const unsigned w = core.id() - grp.managerCore - 1;
+    if (grp.local[w].empty() && grp.rx.empty()) {
+        // Nothing is waiting anywhere in the group: resume in place
+        // without paying a context switch.
+        core.run(r, 0, cfg_.workerQuantum);
+        return;
+    }
+    ++preemptions_;
+    altoc_assert(grp.occupancy[w] > 0, "occupancy underflow");
+    --grp.occupancy[w];
+    r->remaining += cfg_.preemptCost;
+    grp.rx.enqueue(r, ctx_.sim->now());
+    tryRunWorker(g, w);
+    pump(g);
+}
+
+// ---------------------------------------------------------------------
+// Runtime (Algorithm 1)
+// ---------------------------------------------------------------------
+
+void
+GroupScheduler::runtimeTick(unsigned g)
+{
+    Group &grp = groups_[g];
+    ++runtimeTicks_;
+
+    // Line 2: refresh the local entry and broadcast it (UPDATE).
+    grp.qView[g] = grp.rx.length();
+    msg_->broadcastUpdate(g, grp.qView[g]);
+
+    // Line 3: recompute the threshold from the current load.
+    const double load =
+        cfg_.params.loadOverride >= 0.0
+            ? cfg_.params.loadOverride * cfg_.workersPerGroup
+            : grp.estimator->offeredLoad(ctx_.sim->now());
+    unsigned threshold;
+    switch (cfg_.params.thresholdMode) {
+      case ThresholdMode::UpperBound:
+        // k*L + 1: every migration is justified, many violators are
+        // missed (maximal precision, Sec. IV-A).
+        threshold = model_->upperBound();
+        break;
+      case ThresholdMode::LowerBound:
+        // First-violation queue length from offline profiling:
+        // saves every violator at the cost of extra traffic.
+        threshold = cfg_.params.lowerBoundThreshold > 0
+                        ? cfg_.params.lowerBoundThreshold
+                        : model_->threshold(load);
+        break;
+      case ThresholdMode::Model:
+      default:
+        threshold = model_->threshold(load);
+        break;
+    }
+    lastThreshold_ = threshold;
+
+    // Lines 4-13: decide and execute migrations.
+    const RuntimeDecision dec =
+        decideMigrations(grp.qView, g, threshold, cfg_.params);
+    patternCounts_[static_cast<std::size_t>(dec.pattern)] += 1;
+
+    unsigned sent = 0;
+    for (const MigrationDecision &md : dec.migrations) {
+        const unsigned cap = std::min(md.count, msg_->sendCapacity(g));
+        if (cap == 0)
+            continue;
+        std::vector<net::Rpc *> batch = collectFromTail(g, cap, threshold);
+        if (batch.empty())
+            continue;
+        const unsigned n = static_cast<unsigned>(batch.size());
+        if (msg_->sendMigrate(g, md.dst, std::move(batch))) {
+            ++sent;
+            reqsMigrated_ += n;
+        }
+    }
+
+    // Interface cost: the invocation occupies the manager. With the
+    // software (shared-cache) messaging fallback the manager also
+    // pays CPU time to marshal every UPDATE and MIGRATE through
+    // memory, which is exactly the overhead the hardware mechanism
+    // removes (case study 1).
+    Tick cost = runtimeInvocationCost(cfg_.params.iface, sent);
+    if (!cfg_.params.hardwareMessaging) {
+        const Tick per_msg = lat::kCoherenceDispatch * 2;
+        cost += static_cast<Tick>(cfg_.numGroups - 1 + sent) * per_msg;
+    }
+    if (cfg_.variant == Variant::Rss) {
+        grp.managerFree =
+            std::max(ctx_.sim->now(), grp.managerFree) + cost;
+    }
+
+    // The runtime is a software loop: it cannot re-run before its
+    // own work finishes, and it must leave the manager cycles for
+    // dispatch, so the effective period is bounded below by twice
+    // the invocation cost (runtime <= 50% of the core). This is how
+    // the MSR interface's ~100-cycle register accesses translate
+    // into a slower control loop (Fig. 14's ISA-vs-MSR gap).
+    ctx_.sim->after(std::max<Tick>(cfg_.params.period, 2 * cost),
+                    [this, g] { runtimeTick(g); });
+}
+
+std::vector<net::Rpc *>
+GroupScheduler::collectFromTail(unsigned g, unsigned count,
+                                unsigned threshold)
+{
+    Group &grp = groups_[g];
+    std::vector<net::Rpc *> batch;
+    std::vector<net::Rpc *> skipped;
+    while (batch.size() < count) {
+        const std::size_t pos = grp.rx.length();
+        net::Rpc *r = grp.rx.dequeueTail();
+        if (r == nullptr)
+            break;
+        if (r->migrated) {
+            // Migrate-at-most-once: leave already-migrated requests
+            // in place (Sec. V-B).
+            skipped.push_back(r);
+            continue;
+        }
+        // Requests queued beyond the threshold are the predicted
+        // SLO violators (Sec. IV-A).
+        if (pos > threshold)
+            r->predictedViolation = true;
+        batch.push_back(r);
+    }
+    // Restore skipped entries in their original order.
+    for (auto it = skipped.rbegin(); it != skipped.rend(); ++it)
+        grp.rx.enqueue(*it, ctx_.sim->now());
+    return batch;
+}
+
+// ---------------------------------------------------------------------
+// Messaging callbacks
+// ---------------------------------------------------------------------
+
+void
+GroupScheduler::onMigrateIn(unsigned g, const std::vector<net::Rpc *> &reqs)
+{
+    Group &grp = groups_[g];
+    for (net::Rpc *r : reqs)
+        grp.rx.enqueue(r, ctx_.sim->now());
+    pump(g);
+}
+
+void
+GroupScheduler::onUpdate(unsigned g, unsigned src, std::size_t qlen)
+{
+    groups_[g].qView[src] = qlen;
+}
+
+void
+GroupScheduler::onReturn(unsigned g, const std::vector<net::Rpc *> &reqs)
+{
+    // NACKed migration: the requests never left; hand them back.
+    Group &grp = groups_[g];
+    for (net::Rpc *r : reqs)
+        grp.rx.enqueue(r, ctx_.sim->now());
+    pump(g);
+}
+
+} // namespace altoc::core

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The ALTOCUMULUS two-tier group scheduler (Sec. III / VI / VII-A).
+ *
+ * Cores are split into groups of one manager + w workers. Across
+ * groups the NIC steers arrivals into per-group NetRX queues (global
+ * d-FCFS); within a group the manager dispatches to workers (local
+ * c-FCFS). Two variants match the paper's configurations:
+ *
+ *  - ACint: hardware-terminated integrated NIC; group-local dispatch
+ *    is the inherited hardware JBSQ pushing descriptors over the NoC
+ *    with no manager occupancy -- the manager core only runs the
+ *    software runtime.
+ *  - ACrss: commodity PCIe RSS NIC; the manager core is a software
+ *    dispatcher (Shinjuku-style within the group) paying ~70 cycles
+ *    of coherence traffic per hand-off, which caps one manager at
+ *    ~28 MRPS. Runtime invocations contend with dispatch for the
+ *    manager's cycles, which is exactly how the MSR-vs-ISA interface
+ *    cost shows up in throughput (Fig. 14).
+ *
+ * Every `period` ns each manager runs Algorithm 1: refresh + broadcast
+ * queue lengths (UPDATE), recompute the threshold from the Erlang-C
+ * model, classify the load pattern, and issue guarded MIGRATE batches
+ * through the hardware messaging mechanism.
+ */
+
+#ifndef ALTOC_CORE_GROUP_HH
+#define ALTOC_CORE_GROUP_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hw_messaging.hh"
+#include "core/params.hh"
+#include "core/prediction.hh"
+#include "core/runtime.hh"
+#include "net/netrx.hh"
+#include "sched/scheduler.hh"
+
+namespace altoc::core {
+
+/**
+ * ALTOCUMULUS scheduler.
+ */
+class GroupScheduler : public sched::Scheduler
+{
+  public:
+    enum class Variant : std::uint8_t
+    {
+        Int, //!< integrated NIC, hardware local JBSQ
+        Rss, //!< PCIe RSS NIC, software manager dispatch
+    };
+
+    struct Config
+    {
+        unsigned numGroups = 4;
+        unsigned workersPerGroup = 15;
+        Variant variant = Variant::Int;
+        AltocParams params;
+
+        /** Per-worker outstanding-request bound for local dispatch.
+         *  The paper's worker tiles queue at most 2 requests (Fig. 8);
+         *  we default to 1 (dispatch to idle workers only), which
+         *  avoids short-behind-long head-of-line blocking in local
+         *  queues -- see DESIGN.md and the depth ablation bench. */
+        unsigned localDepth = 1;
+
+        /** Mean request service time (model + load estimator input). */
+        Tick meanService = 850;
+
+        /** Service distribution name for Eq. 2 constants. */
+        std::string distName = "Fixed";
+
+        /** Manager hand-off cost in the Rss variant. */
+        Tick rssDispatchCost = lat::kCoherenceDispatch;
+
+        /**
+         * Model NUCA payload reads: the RPC payload sits in the LLC
+         * slice by the group's NetRX (the manager tile), so a worker
+         * pays a round trip over the NoC proportional to its
+         * distance when it starts the request. Larger groups place
+         * workers farther out -- the "variance in remote cache
+         * access latency" that degrades 64-core groups in Fig. 12a.
+         */
+        bool nucaPayload = true;
+
+        /**
+         * Optional worker preemption quantum (extension beyond the
+         * paper): kTickInf keeps the paper's run-to-completion
+         * workers; a finite quantum rotates long requests back to
+         * the group's NetRX so shorts are never head-of-line blocked
+         * (nanoPU-style, but at the group tier). Preempted requests
+         * pay preemptCost of extra demand per rotation.
+         */
+        Tick workerQuantum = kTickInf;
+        Tick preemptCost = 200;
+
+        /** Report label; derived from the variant when empty. */
+        std::string label;
+    };
+
+    explicit GroupScheduler(const Config &cfg);
+
+    // Scheduler interface.
+    std::string name() const override;
+    unsigned nicQueues() const override { return cfg_.numGroups; }
+    void deliver(net::Rpc *r, unsigned queue) override;
+    std::vector<std::size_t> queueLengths() const override;
+    void start() override;
+
+    /** Manager cores run the runtime, never request handlers. */
+    bool
+    isWorkerCore(unsigned core_id) const override
+    {
+        return core_id % (cfg_.workersPerGroup + 1) != 0;
+    }
+
+    /** Aggregate messaging statistics. */
+    const MessagingStats &messagingStats() const;
+
+    /** Total requests that left their home queue via MIGRATE. */
+    std::uint64_t requestsMigrated() const { return reqsMigrated_; }
+
+    /** Runtime invocations across all managers. */
+    std::uint64_t runtimeTicks() const { return runtimeTicks_; }
+
+    /** Pattern occurrence counts, indexed by core::Pattern. */
+    const std::array<std::uint64_t, 4> &patternCounts() const
+    {
+        return patternCounts_;
+    }
+
+    /** The threshold model in use (for introspection / benches). */
+    const ThresholdModel &model() const { return *model_; }
+
+    /** Most recent threshold computed by any manager. */
+    unsigned lastThreshold() const { return lastThreshold_; }
+
+    const Config &config() const { return cfg_; }
+
+    /** Worker preemptions observed (workerQuantum extension). */
+    std::uint64_t preemptions() const { return preemptions_; }
+
+  protected:
+    void onAttach() override;
+    void onCompletion(cpu::Core &core, net::Rpc *r) override;
+    void onPreempt(cpu::Core &core, net::Rpc *r) override;
+
+  private:
+    struct Group
+    {
+        unsigned managerCore = 0;
+        std::vector<unsigned> workerCores;
+        net::NetRxQueue rx;
+        /** Outstanding (running + queued + in flight) per worker. */
+        std::vector<unsigned> occupancy;
+        /** Worker-local queues (depth-bounded). */
+        std::vector<std::deque<net::Rpc *>> local;
+        /** Synchronized queue-length view (Algorithm 1's q). */
+        std::vector<std::size_t> qView;
+        /** Next time the manager core is free (Rss variant). */
+        Tick managerFree = 0;
+        bool dispatchPending = false;
+        std::optional<LoadEstimator> estimator;
+    };
+
+    unsigned groupOfCore(unsigned core) const { return coreGroup_[core]; }
+
+    /** Dispatch pump, variant-dispatching. */
+    void pump(unsigned g);
+    void pumpInt(unsigned g);
+    void pumpRss(unsigned g);
+    void finishRssDispatch(unsigned g);
+
+    /** A pushed descriptor lands at worker slot @p w of group @p g. */
+    void arriveWorker(unsigned g, unsigned w, net::Rpc *r);
+    void tryRunWorker(unsigned g, unsigned w);
+
+    /** Pick the least-occupied worker with room; -1 if none. */
+    int pickWorker(const Group &grp) const;
+
+    /** Periodic Algorithm 1 invocation for manager @p g. */
+    void runtimeTick(unsigned g);
+
+    /** Collect up to @p count migratable requests from the RX tail. */
+    std::vector<net::Rpc *> collectFromTail(unsigned g, unsigned count,
+                                            unsigned threshold);
+
+    /** Hardware messaging callbacks. */
+    void onMigrateIn(unsigned g, const std::vector<net::Rpc *> &reqs);
+    void onUpdate(unsigned g, unsigned src, std::size_t qlen);
+    void onReturn(unsigned g, const std::vector<net::Rpc *> &reqs);
+
+    Config cfg_;
+    std::vector<Group> groups_;
+    std::vector<unsigned> coreGroup_;
+    std::unique_ptr<ThresholdModel> model_;
+    std::unique_ptr<HwMessaging> msg_;
+    std::uint64_t reqsMigrated_ = 0;
+    std::uint64_t runtimeTicks_ = 0;
+    std::uint64_t preemptions_ = 0;
+    std::array<std::uint64_t, 4> patternCounts_{};
+    unsigned lastThreshold_ = 0;
+};
+
+} // namespace altoc::core
+
+#endif // ALTOC_CORE_GROUP_HH

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Hardware messaging implementation.
+ *
+ * Timing model per MIGRATE:
+ *   send:    controller (2 ns) + migrator MR->FIFO (n/2 ns) +
+ *            NoC transit of header + n x 14 B descriptors
+ *   receive: controller (2 ns) + migrator FIFO->MR (n/2 ns), then
+ *            the descriptors are handed to the runtime's NetRX
+ *   ACK:     header-sized NoC message back; invalidates the staged
+ *            source MR entries
+ * In software mode (hardware=false) each leg instead costs the
+ * shared-cache constants of core/params.hh and ignores MR/FIFO
+ * bounds (memory is plentiful, latency is the price).
+ */
+
+#include "core/hw_messaging.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace altoc::core {
+
+HwMessaging::HwMessaging(sim::Simulator &sim, noc::Mesh &mesh,
+                         std::vector<unsigned> manager_tiles,
+                         const Config &cfg)
+    : sim_(sim), mesh_(mesh), tiles_(std::move(manager_tiles)), cfg_(cfg)
+{
+    altoc_assert(!tiles_.empty(), "messaging needs at least one manager");
+    boxes_.assign(tiles_.size(), Mailbox{});
+    updates_.assign(tiles_.size() * tiles_.size(), UpdateChannel{});
+}
+
+std::uint32_t
+HwMessaging::migrateBytes(std::size_t n)
+{
+    return hw::kHeaderBytes +
+           static_cast<std::uint32_t>(n) * net::kDescriptorBytes;
+}
+
+Tick
+HwMessaging::transit(unsigned src, unsigned dst, std::uint32_t bytes)
+{
+    if (!cfg_.hardware)
+        return hw::kSwMessageNs;
+    const Tick depart = sim_.now();
+    const Tick arrive = mesh_.send(noc::kVnSched, tiles_[src],
+                                   tiles_[dst], bytes, depart);
+    stats_.bytesOnNoc += bytes;
+    return arrive - depart;
+}
+
+unsigned
+HwMessaging::freeMrEntries(unsigned mgr) const
+{
+    const Mailbox &box = boxes_[mgr];
+    const unsigned used = box.mrStaged + box.mrInbound;
+    return used >= cfg_.mrEntries ? 0 : cfg_.mrEntries - used;
+}
+
+unsigned
+HwMessaging::sendCapacity(unsigned mgr) const
+{
+    if (!cfg_.hardware)
+        return ~0u;
+    const Mailbox &box = boxes_[mgr];
+    const unsigned fifo_free = box.sendFifoUsed >= cfg_.fifoEntries
+                                   ? 0
+                                   : cfg_.fifoEntries - box.sendFifoUsed;
+    return std::min(freeMrEntries(mgr), fifo_free);
+}
+
+bool
+HwMessaging::sendMigrate(unsigned src, unsigned dst,
+                         std::vector<net::Rpc *> reqs)
+{
+    altoc_assert(src < boxes_.size() && dst < boxes_.size(),
+                 "manager id out of range");
+    altoc_assert(src != dst, "self-migration is meaningless");
+    altoc_assert(!reqs.empty(), "empty MIGRATE");
+
+    const unsigned n = static_cast<unsigned>(reqs.size());
+    if (cfg_.hardware && sendCapacity(src) < n) {
+        ++stats_.sendsRefused;
+        return false;
+    }
+
+    Mailbox &box = boxes_[src];
+    if (cfg_.hardware) {
+        box.mrStaged += n;
+        box.sendFifoUsed += n;
+    }
+    ++stats_.migratesSent;
+    stats_.descriptorsSent += n;
+
+    // Source-side controller + migrator time, then NoC transit.
+    const Tick local = hw::kControllerNs +
+                       (n + hw::kMigratorDescsPerNs - 1) /
+                           hw::kMigratorDescsPerNs;
+    const Tick flight = transit(src, dst, migrateBytes(n));
+    sim_.after(local + flight,
+               [this, src, dst, reqs = std::move(reqs)]() mutable {
+                   deliverMigrate(src, dst, std::move(reqs));
+               });
+    return true;
+}
+
+void
+HwMessaging::deliverMigrate(unsigned src, unsigned dst,
+                            std::vector<net::Rpc *> reqs)
+{
+    const unsigned n = static_cast<unsigned>(reqs.size());
+    Mailbox &dbox = boxes_[dst];
+    // The send FIFO drains once the message is on the wire.
+    Mailbox &sbox = boxes_[src];
+    if (cfg_.hardware)
+        sbox.sendFifoUsed -= std::min(sbox.sendFifoUsed, n);
+
+    const bool room =
+        !cfg_.hardware ||
+        (dbox.recvFifoUsed + n <= cfg_.fifoEntries &&
+         dbox.mrInbound + n + dbox.mrStaged <= cfg_.mrEntries);
+    if (!room) {
+        // Drop + NACK; the source hands the requests back to its
+        // local queue (no replay, Sec. V-A).
+        ++stats_.migratesNacked;
+        const Tick flight = transit(dst, src, hw::kHeaderBytes);
+        sim_.after(hw::kControllerNs + flight,
+                   [this, src, reqs = std::move(reqs)]() mutable {
+                       deliverNack(src, std::move(reqs));
+                   });
+        return;
+    }
+
+    if (cfg_.hardware) {
+        dbox.recvFifoUsed += n;
+        dbox.mrInbound += n;
+    }
+    // Controller validation + migrator drain into the MR bank, after
+    // which the descriptors are scheduled (handed to the runtime) and
+    // the ACK departs.
+    const Tick drain = hw::kControllerNs +
+                       (n + hw::kMigratorDescsPerNs - 1) /
+                           hw::kMigratorDescsPerNs;
+    sim_.after(drain, [this, src, dst, n, reqs = std::move(reqs)] {
+        Mailbox &box = boxes_[dst];
+        if (cfg_.hardware) {
+            box.recvFifoUsed -= std::min(box.recvFifoUsed, n);
+            box.mrInbound -= std::min(box.mrInbound, n);
+        }
+        stats_.descriptorsDelivered += n;
+        for (net::Rpc *r : reqs) {
+            r->migrated = true;
+            r->curGroup = static_cast<std::uint16_t>(dst);
+        }
+        if (migrateIn_)
+            migrateIn_(dst, reqs);
+        ++stats_.migratesAcked;
+        const Tick flight = transit(dst, src, hw::kHeaderBytes);
+        sim_.after(hw::kControllerNs + flight,
+                   [this, src, n] { deliverAck(src, n); });
+    });
+}
+
+void
+HwMessaging::deliverAck(unsigned src, std::size_t n)
+{
+    // ACK invalidates the staged MR entries at the source.
+    Mailbox &box = boxes_[src];
+    if (cfg_.hardware) {
+        box.mrStaged -=
+            std::min<unsigned>(box.mrStaged, static_cast<unsigned>(n));
+    }
+}
+
+void
+HwMessaging::deliverNack(unsigned src, std::vector<net::Rpc *> reqs)
+{
+    Mailbox &box = boxes_[src];
+    if (cfg_.hardware) {
+        box.mrStaged -= std::min<unsigned>(
+            box.mrStaged, static_cast<unsigned>(reqs.size()));
+    }
+    stats_.descriptorsReturned += reqs.size();
+    if (returnFn_)
+        returnFn_(src, reqs);
+}
+
+void
+HwMessaging::broadcastUpdate(unsigned src, std::size_t qlen)
+{
+    for (unsigned dst = 0; dst < numManagers(); ++dst) {
+        if (dst == src)
+            continue;
+        UpdateChannel &chan = updates_[src * numManagers() + dst];
+        if (chan.inFlight) {
+            // Coalesce: the newest value supersedes any pending one.
+            chan.hasPending = true;
+            chan.pending = qlen;
+            continue;
+        }
+        launchUpdate(src, dst, qlen);
+    }
+}
+
+void
+HwMessaging::launchUpdate(unsigned src, unsigned dst, std::size_t qlen)
+{
+    UpdateChannel &chan = updates_[src * numManagers() + dst];
+    chan.inFlight = true;
+    ++stats_.updatesSent;
+    const Tick flight = cfg_.hardware
+                            ? transit(src, dst, hw::kHeaderBytes)
+                            : hw::kSwUpdateNs;
+    sim_.after(hw::kControllerNs + flight, [this, src, dst, qlen] {
+        if (update_)
+            update_(dst, src, qlen);
+        UpdateChannel &ch = updates_[src * numManagers() + dst];
+        ch.inFlight = false;
+        if (ch.hasPending) {
+            ch.hasPending = false;
+            launchUpdate(src, dst, ch.pending);
+        }
+    });
+}
+
+} // namespace altoc::core

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The hardware messaging mechanism (Sec. V).
+ *
+ * Each manager tile gains migration registers (MRs), parameter
+ * registers (PRs), a send FIFO, a receive FIFO, a migrator and a
+ * controller (Fig. 6). Four message types flow between manager tiles
+ * over the NoC's dedicated scheduling virtual network (Table II):
+ *
+ *  - PREDICT_CONFIG: core-local PR writes (never crosses the NoC);
+ *  - MIGRATE:  a batch of RPC descriptors moved source -> dest;
+ *  - UPDATE:   queue-length broadcast to all other managers;
+ *  - ACK/NACK: completion / rejection of a MIGRATE.
+ *
+ * Faithful buffer semantics: a source stages outgoing descriptors in
+ * its MR bank until the ACK arrives (ACK invalidates the entries); a
+ * destination whose receive FIFO or MR bank is full drops the
+ * MIGRATE and returns a NACK; the source does not replay -- it hands
+ * the requests back to its local queue (Sec. V-A).
+ */
+
+#ifndef ALTOC_CORE_HW_MESSAGING_HH
+#define ALTOC_CORE_HW_MESSAGING_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hh"
+#include "core/params.hh"
+#include "net/rpc.hh"
+#include "noc/mesh.hh"
+#include "sim/simulator.hh"
+
+namespace altoc::core {
+
+/** Aggregate counters for migration-traffic accounting (Sec. VIII-E). */
+struct MessagingStats
+{
+    std::uint64_t migratesSent = 0;
+    std::uint64_t migratesAcked = 0;
+    std::uint64_t migratesNacked = 0;
+    std::uint64_t descriptorsSent = 0;
+    std::uint64_t descriptorsDelivered = 0;
+    std::uint64_t descriptorsReturned = 0;
+    std::uint64_t updatesSent = 0;
+    std::uint64_t sendsRefused = 0;
+    std::uint64_t bytesOnNoc = 0;
+};
+
+/**
+ * System-wide messaging fabric: one mailbox per manager tile.
+ */
+class HwMessaging
+{
+  public:
+    struct Config
+    {
+        unsigned mrEntries = hw::kMrEntries;
+        unsigned fifoEntries = hw::kFifoEntries;
+        /** False models the software shared-cache fallback. */
+        bool hardware = true;
+    };
+
+    /** Migrated descriptors arrived at manager @p mgr. */
+    using MigrateInFn =
+        std::function<void(unsigned mgr, const std::vector<net::Rpc *> &)>;
+
+    /** Manager @p mgr learned manager @p src has queue length @p q. */
+    using UpdateFn =
+        std::function<void(unsigned mgr, unsigned src, std::size_t q)>;
+
+    /** A NACKed migration returned its descriptors to @p mgr. */
+    using ReturnFn =
+        std::function<void(unsigned mgr, const std::vector<net::Rpc *> &)>;
+
+    /**
+     * @param sim           simulation engine
+     * @param mesh          NoC carrying the messages
+     * @param manager_tiles NoC tile of each manager core
+     */
+    HwMessaging(sim::Simulator &sim, noc::Mesh &mesh,
+                std::vector<unsigned> manager_tiles, const Config &cfg);
+
+    void setMigrateIn(MigrateInFn fn) { migrateIn_ = std::move(fn); }
+    void setUpdate(UpdateFn fn) { update_ = std::move(fn); }
+    void setReturn(ReturnFn fn) { returnFn_ = std::move(fn); }
+
+    /**
+     * Issue a MIGRATE carrying @p reqs from manager @p src to
+     * manager @p dst. Returns false (and touches nothing) when the
+     * source lacks free MR staging entries or send-FIFO slots; the
+     * caller keeps ownership of the requests in that case.
+     */
+    bool sendMigrate(unsigned src, unsigned dst,
+                     std::vector<net::Rpc *> reqs);
+
+    /**
+     * Broadcast manager @p src's queue length to all others.
+     *
+     * UPDATEs carry *status*, not events: a newer value supersedes an
+     * older one. At most one UPDATE per (src, dst) pair is in flight;
+     * while one is airborne, newer broadcasts just overwrite the
+     * pending value, and the freshest value is re-sent when the wire
+     * frees. This mirrors hardware status registers and keeps tiny
+     * periods (Fig. 11's 10 ns sweep) from saturating the
+     * scheduling virtual network.
+     */
+    void broadcastUpdate(unsigned src, std::size_t qlen);
+
+    /** Free MR staging capacity at manager @p mgr right now. */
+    unsigned freeMrEntries(unsigned mgr) const;
+
+    /** Largest batch sendMigrate() would currently accept. */
+    unsigned sendCapacity(unsigned mgr) const;
+
+    const MessagingStats &stats() const { return stats_; }
+
+    unsigned numManagers() const
+    {
+        return static_cast<unsigned>(tiles_.size());
+    }
+
+  private:
+    struct Mailbox
+    {
+        /** MR entries staged for in-flight outbound migrations. */
+        unsigned mrStaged = 0;
+        /** Occupied send-FIFO slots (descriptors in flight). */
+        unsigned sendFifoUsed = 0;
+        /** Occupied receive-FIFO slots (descriptors draining). */
+        unsigned recvFifoUsed = 0;
+        /** MR entries holding migrated-in descriptors being drained
+         *  toward the NetRX queue. */
+        unsigned mrInbound = 0;
+    };
+
+    /** Per-(src,dst) UPDATE coalescing state. */
+    struct UpdateChannel
+    {
+        bool inFlight = false;
+        bool hasPending = false;
+        std::size_t pending = 0;
+    };
+
+    /** Wire size of a MIGRATE with @p n descriptors. */
+    static std::uint32_t migrateBytes(std::size_t n);
+
+    /** Launch the freshest value on an idle update channel. */
+    void launchUpdate(unsigned src, unsigned dst, std::size_t qlen);
+
+    void deliverMigrate(unsigned src, unsigned dst,
+                        std::vector<net::Rpc *> reqs);
+    void deliverAck(unsigned src, std::size_t n);
+    void deliverNack(unsigned src, std::vector<net::Rpc *> reqs);
+
+    /** NoC transit time for @p bytes between two managers. */
+    Tick transit(unsigned src, unsigned dst, std::uint32_t bytes);
+
+    sim::Simulator &sim_;
+    noc::Mesh &mesh_;
+    std::vector<unsigned> tiles_;
+    Config cfg_;
+    std::vector<Mailbox> boxes_;
+    /** updates_[src * numManagers + dst] */
+    std::vector<UpdateChannel> updates_;
+    MigrateInFn migrateIn_;
+    UpdateFn update_;
+    ReturnFn returnFn_;
+    MessagingStats stats_;
+};
+
+} // namespace altoc::core
+
+#endif // ALTOC_CORE_HW_MESSAGING_HH

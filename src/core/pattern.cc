@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Pattern classification implementation.
+ */
+
+#include "core/pattern.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace altoc::core {
+
+const char *
+patternName(Pattern p)
+{
+    switch (p) {
+      case Pattern::None:
+        return "None";
+      case Pattern::Hill:
+        return "Hill";
+      case Pattern::Valley:
+        return "Valley";
+      case Pattern::Pairing:
+        return "Pairing";
+    }
+    return "?";
+}
+
+PatternResult
+classifyPattern(const std::vector<std::size_t> &q, std::size_t bulk,
+                unsigned concurrency)
+{
+    PatternResult res;
+    const std::size_t n = q.size();
+    if (n < 2 || bulk == 0)
+        return res;
+
+    // Rank managers by queue length, longest first. Ties break on the
+    // index so every manager computes the identical ranking.
+    std::vector<unsigned> rank(n);
+    std::iota(rank.begin(), rank.end(), 0u);
+    std::sort(rank.begin(), rank.end(), [&q](unsigned x, unsigned y) {
+        return q[x] != q[y] ? q[x] > q[y] : x < y;
+    });
+
+    const unsigned longest = rank[0];
+    const unsigned second_longest = rank[1];
+    const unsigned shortest = rank[n - 1];
+    const unsigned second_shortest = rank[n - 2];
+
+    if (q[longest] >= q[second_longest] + bulk) {
+        // Hill: drain the outlier into up to `concurrency` of the
+        // shortest other queues.
+        res.pattern = Pattern::Hill;
+        const unsigned dsts =
+            std::min<unsigned>(concurrency, static_cast<unsigned>(n) - 1);
+        for (unsigned i = 0; i < dsts; ++i) {
+            const unsigned dst = rank[n - 1 - i];
+            if (dst == longest)
+                continue;
+            res.plans.push_back({longest, dst});
+        }
+        return res;
+    }
+
+    if (q[shortest] + bulk <= q[second_shortest]) {
+        // Valley: every other manager sends one MIGRATE to the
+        // under-loaded queue.
+        res.pattern = Pattern::Valley;
+        for (unsigned src = 0; src < n; ++src) {
+            if (src != shortest)
+                res.plans.push_back({src, shortest});
+        }
+        return res;
+    }
+
+    if (q[longest] >= q[shortest] + bulk) {
+        // Pairing: gradual imbalance; the i-th longest queue feeds
+        // the i-th shortest.
+        res.pattern = Pattern::Pairing;
+        const unsigned pairs = std::min<unsigned>(
+            concurrency, static_cast<unsigned>(n) / 2);
+        for (unsigned i = 0; i < pairs; ++i) {
+            const unsigned src = rank[i];
+            const unsigned dst = rank[n - 1 - i];
+            if (src == dst || q[src] < q[dst] + bulk)
+                continue;
+            res.plans.push_back({src, dst});
+        }
+        if (res.plans.empty())
+            res.pattern = Pattern::None;
+        return res;
+    }
+
+    return res;
+}
+
+} // namespace altoc::core

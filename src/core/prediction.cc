@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Threshold model and load estimator implementations.
+ */
+
+#include "core/prediction.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/erlang.hh"
+
+namespace altoc::core {
+
+ModelConstants
+defaultConstants(const std::string &dist_name)
+{
+    // Shipped calibration results (see core/calibration.* and the
+    // fig07 bench, which regenerates them). The Fixed entry matches
+    // the constants the paper quotes in Fig. 7d.
+    if (dist_name == "Fixed")
+        return ModelConstants{1.01, 0.0, 0.998, 0.0};
+    if (dist_name == "Uniform")
+        return ModelConstants{0.97, 0.0, 0.998, 0.0};
+    if (dist_name == "Bimodal")
+        return ModelConstants{1.12, 4.0, 0.998, 0.0};
+    if (dist_name == "Exponential")
+        return ModelConstants{1.05, 0.0, 0.998, 0.0};
+    // Unknown workloads fall back to the Fixed constants; the
+    // calibration pass can refine them offline.
+    return ModelConstants{};
+}
+
+ThresholdModel::ThresholdModel(unsigned k, double l_factor,
+                               ModelConstants consts)
+    : k_(k), lFactor_(l_factor), consts_(consts)
+{
+    altoc_assert(k > 0, "threshold model needs at least one worker");
+    altoc_assert(l_factor > 1.0, "SLO factor must exceed 1");
+}
+
+double
+ThresholdModel::expectedThreshold(double a) const
+{
+    // Linearity of expectation collapses Eq. 2 to
+    // a*c*E[Nq] + a*d + b.
+    const double nq = expectedQueueLength(k_, std::min(
+        a, static_cast<double>(k_) - 1e-6));
+    return consts_.a * consts_.c * nq + consts_.a * consts_.d +
+           consts_.b;
+}
+
+unsigned
+ThresholdModel::threshold(double a) const
+{
+    const double t = expectedThreshold(a);
+    const double upper = static_cast<double>(upperBound());
+    const double clamped = std::clamp(t, 1.0, upper);
+    return static_cast<unsigned>(clamped + 0.5);
+}
+
+unsigned
+ThresholdModel::upperBound() const
+{
+    return static_cast<unsigned>(static_cast<double>(k_) * lFactor_) + 1;
+}
+
+LoadEstimator::LoadEstimator(Tick mean_service, Tick window)
+    : meanService_(static_cast<double>(mean_service)),
+      window_(static_cast<double>(window))
+{
+    altoc_assert(mean_service > 0, "mean service must be positive");
+    altoc_assert(window > 0, "window must be positive");
+}
+
+void
+LoadEstimator::onArrival(Tick now)
+{
+    ++arrivals_;
+    if (arrivals_ == 1) {
+        lastUpdate_ = now;
+        return;
+    }
+    const double dt =
+        static_cast<double>(now - lastUpdate_);
+    lastUpdate_ = now;
+    if (dt <= 0.0)
+        return;
+    // EWMA with a time-proportional gain: fast gaps barely move the
+    // estimate, window-sized gaps replace it.
+    const double inst = 1.0 / dt;
+    const double alpha = std::min(1.0, dt / window_);
+    rate_ = (1.0 - alpha) * rate_ + alpha * inst;
+}
+
+double
+LoadEstimator::offeredLoad(Tick now) const
+{
+    if (arrivals_ < 2)
+        return 0.0;
+    double rate = rate_;
+    // Decay the estimate across arrival droughts so a silent queue
+    // is not treated as loaded.
+    const double idle = static_cast<double>(now - lastUpdate_);
+    if (idle > window_)
+        rate *= window_ / idle;
+    return rate * meanService_;
+}
+
+} // namespace altoc::core

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Algorithm 1 decision logic.
+ */
+
+#include "core/runtime.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace altoc::core {
+
+RuntimeDecision
+decideMigrations(const std::vector<std::size_t> &q_in, unsigned self,
+                 unsigned threshold, const AltocParams &params)
+{
+    RuntimeDecision out;
+    const std::size_t n = q_in.size();
+    altoc_assert(self < n, "manager id out of range");
+    if (n < 2)
+        return out;
+
+    out.overThreshold = q_in[self] > threshold;
+
+    const PatternResult pat =
+        classifyPattern(q_in, params.bulk, params.concurrency);
+    out.pattern = pat.pattern;
+
+    // Destinations this manager should feed: pattern plans where we
+    // are the source. If we are over threshold but the pattern gave
+    // us no role, fall back to the shortest other queues (the deep
+    // tail must drain somewhere).
+    std::vector<unsigned> dests;
+    for (const MigrationPlan &plan : pat.plans) {
+        if (plan.src == self)
+            dests.push_back(plan.dst);
+    }
+    if (dests.empty() && out.overThreshold) {
+        std::vector<unsigned> order(n);
+        std::iota(order.begin(), order.end(), 0u);
+        std::sort(order.begin(), order.end(),
+                  [&q_in](unsigned a, unsigned b) {
+                      return q_in[a] != q_in[b] ? q_in[a] < q_in[b]
+                                                : a < b;
+                  });
+        for (unsigned idx : order) {
+            if (idx == self)
+                continue;
+            dests.push_back(idx);
+            if (dests.size() >= params.concurrency)
+                break;
+        }
+    }
+    if (dests.empty())
+        return out;
+
+    // Line 7: each MIGRATE carries S = Bulk / Concurrency requests.
+    const unsigned s = std::max(
+        1u, params.bulk / std::max(1u, params.concurrency));
+
+    // Apply the line-8 guard against a local working copy of q that
+    // reflects the decisions already taken this period.
+    std::vector<std::size_t> q(q_in);
+    for (unsigned dst : dests) {
+        if (q[self] < s)
+            break;
+        // Skip when the move would not leave the source strictly
+        // ahead: q[self] - S < q[dst] + S.
+        if (q[self] - s < q[dst] + s)
+            continue;
+        out.migrations.push_back({dst, s});
+        q[self] -= s;
+        q[dst] += s;
+    }
+    return out;
+}
+
+Tick
+runtimeInvocationCost(Interface iface, unsigned migrates)
+{
+    // Threshold arithmetic: 2 multiplies (7 cycles each) + 2 adds +
+    // 3 compares ~= 18 cycles -> 9 ns at 2 GHz (the paper rounds its
+    // worst case to 18 ns including the NoC update hop, which we
+    // charge separately in the messaging layer).
+    const Tick arithmetic = cyclesToNs(18);
+    const Tick per_op = iface == Interface::Isa ? lat::kIsaAccess
+                                                : lat::kMsrAccess;
+    // update + status + predict_config + one send per MIGRATE.
+    const unsigned ops = 3 + migrates;
+    return arithmetic + static_cast<Tick>(ops) * per_op;
+}
+
+} // namespace altoc::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The software runtime's per-period decision procedure
+ * (Sec. VI, Algorithm 1), factored as pure functions so the policy
+ * is unit-testable independent of simulation timing. The
+ * GroupScheduler (core/group.*) executes the returned decisions
+ * through the hardware messaging mechanism.
+ */
+
+#ifndef ALTOC_CORE_RUNTIME_HH
+#define ALTOC_CORE_RUNTIME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "core/params.hh"
+#include "core/pattern.hh"
+
+namespace altoc::core {
+
+/** One MIGRATE the runtime decided to issue from the local manager. */
+struct MigrationDecision
+{
+    unsigned dst;   //!< destination manager id
+    unsigned count; //!< descriptors in this MIGRATE (the S of Alg. 1)
+};
+
+/** Result of one runtime invocation on one manager. */
+struct RuntimeDecision
+{
+    Pattern pattern = Pattern::None;
+    /** True when the local queue exceeded the threshold T. */
+    bool overThreshold = false;
+    std::vector<MigrationDecision> migrations;
+};
+
+/**
+ * Algorithm 1 for manager @p self: given the synchronized queue
+ * view @p q, the current threshold @p threshold and the runtime
+ * parameters, decide this period's MIGRATE messages.
+ *
+ * Implements:
+ *  - the trigger conditions (q[self] > T, or a pattern match);
+ *  - message sizing S = Bulk / Concurrency (line 7);
+ *  - the line-8 guard (skip a migration that would leave the
+ *    destination no shorter than the source), applied against a
+ *    local copy of q updated as decisions accumulate.
+ */
+RuntimeDecision decideMigrations(const std::vector<std::size_t> &q,
+                                 unsigned self, unsigned threshold,
+                                 const AltocParams &params);
+
+/**
+ * Manager-core occupancy of one runtime invocation (Sec. VI,
+ * "Software-Hardware Interface" and Sec. VIII-E "Latency cost").
+ *
+ * The invocation performs: one altom_update, one altom_status, one
+ * altom_predict_config, the threshold arithmetic (2 multiplies +
+ * 2 adds + up to 3 compares, ~18 ns worst case at 2 GHz), and one
+ * altom_send per MIGRATE issued. With the ISA interface each
+ * register op costs ~2 cycles; with MSRs each costs ~100 cycles of
+ * rdmsr/wrmsr syscall.
+ */
+Tick runtimeInvocationCost(Interface iface, unsigned migrates);
+
+} // namespace altoc::core
+
+#endif // ALTOC_CORE_RUNTIME_HH

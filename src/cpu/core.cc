@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Core execution implementation.
+ */
+
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace altoc::cpu {
+
+Core::Core(sim::Simulator &sim, unsigned id, unsigned tile)
+    : sim_(sim), id_(id), tile_(tile)
+{
+}
+
+void
+Core::run(net::Rpc *r, Tick dispatch_delay, Tick quantum)
+{
+    altoc_assert(!busy_, "core %u dispatched while busy", id_);
+    altoc_assert(r->remaining > 0, "dispatching a finished request");
+    altoc_assert(quantum > 0, "zero quantum");
+
+    busy_ = true;
+    current_ = r;
+    if (r->started == kTickInf) {
+        r->started = sim_.now() + dispatch_delay;
+        if (resolver_)
+            resolver_(*r, *this);
+    }
+
+    const Tick slice = std::min(r->remaining, quantum);
+    sim_.after(dispatch_delay + slice, [this, r, slice] {
+        finishSlice(r, slice);
+    });
+}
+
+void
+Core::finishSlice(net::Rpc *r, Tick slice)
+{
+    busyNs_ += slice;
+    r->remaining -= slice;
+    busy_ = false;
+    current_ = nullptr;
+    if (r->remaining == 0) {
+        ++completed_;
+        altoc_assert(static_cast<bool>(onComplete_),
+                     "core %u has no completion callback", id_);
+        onComplete_(*this, r);
+    } else {
+        ++preemptions_;
+        altoc_assert(static_cast<bool>(onPreempt_),
+                     "core %u preempted without a preempt callback", id_);
+        onPreempt_(*this, r);
+    }
+}
+
+} // namespace altoc::cpu

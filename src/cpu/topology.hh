@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Socket / coherence-domain topology helpers.
+ *
+ * Coherence domains are bounded in real machines (Sec. II-D cites
+ * [18]); the paper's MICA evaluation keeps designs at 64 cores
+ * because crossing the QPI bus is "detrimental for 50 ns GET/SET"
+ * (Sec. IX-D). We model sockets of kCoresPerSocket cores; accesses
+ * that cross sockets pay QPI latency on top of the LLC access.
+ */
+
+#ifndef ALTOC_CPU_TOPOLOGY_HH
+#define ALTOC_CPU_TOPOLOGY_HH
+
+#include "common/units.hh"
+
+namespace altoc::cpu {
+
+/** Largest single coherence domain we model (Sec. IX-D). */
+constexpr unsigned kCoresPerSocket = 64;
+
+/** Socket index of a core. */
+constexpr unsigned
+socketOf(unsigned core)
+{
+    return core / kCoresPerSocket;
+}
+
+/** True if two cores share a coherence domain. */
+constexpr bool
+sameSocket(unsigned a, unsigned b)
+{
+    return socketOf(a) == socketOf(b);
+}
+
+/**
+ * Latency of a remote cache access from @p src to data homed at
+ * @p dst. Same-socket accesses run at LLC speed; cross-socket
+ * accesses add a QPI point-to-point hop.
+ */
+constexpr Tick
+remoteAccessLatency(unsigned src, unsigned dst)
+{
+    return sameSocket(src, dst) ? lat::kLlc : lat::kLlc + lat::kQpiBase;
+}
+
+} // namespace altoc::cpu
+
+#endif // ALTOC_CPU_TOPOLOGY_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Hash index implementation.
+ */
+
+#include "mica/hash_table.hh"
+
+#include "common/logging.hh"
+
+namespace altoc::mica {
+
+std::uint64_t
+hashKey(std::string_view key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+namespace {
+
+std::size_t
+roundUpPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+HashTable::HashTable(std::size_t buckets)
+{
+    altoc_assert(buckets >= 1, "need at least one bucket");
+    buckets_.resize(roundUpPow2(buckets));
+    mask_ = buckets_.size() - 1;
+}
+
+std::optional<std::uint64_t>
+HashTable::find(std::uint64_t hash, unsigned *probes) const
+{
+    const Bucket &bucket = buckets_[bucketIndex(hash)];
+    const std::uint16_t tag = tagOf(hash);
+    unsigned probed = 0;
+    for (const Slot &slot : bucket.slots) {
+        ++probed;
+        if (slot.used && slot.tag == tag) {
+            if (probes)
+                *probes = probed;
+            return slot.offset;
+        }
+    }
+    if (probes)
+        *probes = probed;
+    return std::nullopt;
+}
+
+bool
+HashTable::insert(std::uint64_t hash, std::uint64_t offset)
+{
+    Bucket &bucket = buckets_[bucketIndex(hash)];
+    const std::uint16_t tag = tagOf(hash);
+
+    // Update in place when the tag already exists.
+    for (Slot &slot : bucket.slots) {
+        if (slot.used && slot.tag == tag) {
+            slot.offset = offset;
+            return true;
+        }
+    }
+    // Otherwise take a free slot.
+    for (Slot &slot : bucket.slots) {
+        if (!slot.used) {
+            slot = Slot{tag, true, offset};
+            return false;
+        }
+    }
+    // Bucket full: evict the slot with the oldest log offset (it is
+    // the most likely to have fallen out of the circular log).
+    Slot *victim = &bucket.slots[0];
+    for (Slot &slot : bucket.slots) {
+        if (slot.offset < victim->offset)
+            victim = &slot;
+    }
+    ++evictions_;
+    *victim = Slot{tag, true, offset};
+    return false;
+}
+
+bool
+HashTable::erase(std::uint64_t hash)
+{
+    Bucket &bucket = buckets_[bucketIndex(hash)];
+    const std::uint16_t tag = tagOf(hash);
+    for (Slot &slot : bucket.slots) {
+        if (slot.used && slot.tag == tag) {
+            slot.used = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace altoc::mica

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * MICA key-value store: per-partition store combining the lossy hash
+ * index and the circular log, with a memory-operation-derived
+ * service-time model.
+ *
+ * The ALTOCUMULUS evaluation (Sec. IX) runs MICA in EREW mode: each
+ * key partition is owned by one manager thread; any worker in that
+ * manager's group can serve it (the paper assumes a full replica per
+ * group), and a migrated request serving a foreign partition pays an
+ * extra remote cache access. GETs fetch the value from the
+ * DRAM-resident log; SETs load the value from the LLC and append it
+ * to the log (Sec. IX-B).
+ */
+
+#ifndef ALTOC_MICA_KVS_HH
+#define ALTOC_MICA_KVS_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "mica/hash_table.hh"
+#include "mica/log.hh"
+
+namespace altoc::mica {
+
+/** Timing constants of the service model (see DESIGN.md). */
+namespace cost {
+
+/** Key hashing + header handling on the core. */
+constexpr Tick kHashNs = 5;
+
+/** One hash-index bucket access (index is LLC-resident). */
+constexpr Tick kIndexNs = lat::kLlc;
+
+/** First log line touch (DRAM-resident log). */
+constexpr Tick kLogTouchNs = 15;
+
+/** Streaming transfer per 64 B cache line after the first. */
+constexpr Tick kPerLineNs = 1;
+
+/** Log append bookkeeping (write-combined). */
+constexpr Tick kAppendNs = 20;
+
+} // namespace cost
+
+/** Outcome of one KVS operation. */
+struct OpResult
+{
+    bool hit = false;
+    /** Modeled on-core service time of the operation. */
+    Tick serviceNs = 0;
+    /** Memory accesses performed (index + log). */
+    unsigned memAccesses = 0;
+};
+
+/**
+ * One EREW partition: hash index + circular log.
+ */
+class Partition
+{
+  public:
+    Partition(std::size_t buckets, std::size_t log_bytes);
+
+    /** Write @p value under @p key. */
+    OpResult set(std::string_view key, std::string_view value);
+
+    /** Read @p key; the value is copied into @p out when non-null. */
+    OpResult get(std::string_view key, std::string *out = nullptr) const;
+
+    /**
+     * Sequential scan over @p entries recent log entries starting
+     * from the tail (the long-running SCAN class of Sec. IX-D).
+     */
+    OpResult scan(unsigned entries) const;
+
+    std::uint64_t size() const { return liveKeys_; }
+    const HashTable &index() const { return index_; }
+    const CircularLog &log() const { return log_; }
+
+  private:
+    HashTable index_;
+    CircularLog log_;
+    std::uint64_t liveKeys_ = 0;
+};
+
+/**
+ * The full store: one partition per manager group (EREW keyed by
+ * partition id).
+ */
+class MicaStore
+{
+  public:
+    struct Config
+    {
+        unsigned partitions = 4;
+        /** Buckets per partition (paper default 2 M; scaled down for
+         *  test/bench defaults). */
+        std::size_t buckets = 1 << 16;
+        /** Circular log bytes per partition (paper: 4 GB). */
+        std::size_t logBytes = 16u << 20;
+        unsigned keyLen = 16;
+        unsigned valueLen = 512;
+        /** Keys pre-populated per partition. */
+        std::uint64_t keysPerPartition = 10000;
+        /** Entries walked by one SCAN (~50 us at the cost model). */
+        unsigned scanEntries = 1600;
+    };
+
+    explicit MicaStore(const Config &cfg);
+
+    /** Pre-load the dataset: keysPerPartition keys per partition. */
+    void populate(Rng &rng);
+
+    unsigned partitions() const
+    {
+        return static_cast<unsigned>(parts_.size());
+    }
+
+    Partition &partition(unsigned p) { return *parts_[p]; }
+    const Partition &partition(unsigned p) const { return *parts_[p]; }
+
+    /** EREW owner of a key id. */
+    unsigned partitionOf(std::uint64_t key_id) const
+    {
+        return static_cast<unsigned>(key_id % parts_.size());
+    }
+
+    /** Materialize the canonical key string for a key id. */
+    std::string keyString(std::uint64_t key_id) const;
+
+    /** Execute a GET for key id @p key_id on its partition. */
+    OpResult executeGet(std::uint64_t key_id, std::string *out = nullptr);
+
+    /** Execute a SET for key id @p key_id. */
+    OpResult executeSet(std::uint64_t key_id, std::string_view value);
+
+    /** Execute a SCAN on @p key_id's partition. */
+    OpResult executeScan(std::uint64_t key_id);
+
+    const Config &config() const { return cfg_; }
+
+  private:
+    Config cfg_;
+    std::vector<std::unique_ptr<Partition>> parts_;
+    std::string valueTemplate_;
+};
+
+} // namespace altoc::mica
+
+#endif // ALTOC_MICA_KVS_HH

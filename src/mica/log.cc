@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Circular log implementation. Entries never wrap the ring edge: an
+ * append that would straddle it first pads the remainder of the ring,
+ * so read() can return contiguous views.
+ */
+
+#include "mica/log.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace altoc::mica {
+
+namespace {
+
+constexpr std::size_t
+roundUpPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+CircularLog::CircularLog(std::size_t capacity)
+{
+    altoc_assert(capacity >= 1024, "log capacity too small: %zu",
+                 capacity);
+    buf_.assign(roundUpPow2(capacity), 0);
+    mask_ = buf_.size() - 1;
+}
+
+void
+CircularLog::writeBytes(std::uint64_t offset, const void *src,
+                        std::size_t n)
+{
+    std::memcpy(buf_.data() + pos(offset), src, n);
+}
+
+void
+CircularLog::readBytes(std::uint64_t offset, void *dst,
+                       std::size_t n) const
+{
+    std::memcpy(dst, buf_.data() + pos(offset), n);
+}
+
+std::optional<std::uint64_t>
+CircularLog::append(std::uint64_t key_hash, std::string_view key,
+                    std::string_view value)
+{
+    const std::size_t total =
+        sizeof(LogEntryHeader) + key.size() + value.size();
+    if (total > buf_.size())
+        return std::nullopt;
+
+    // Keep entries contiguous: pad to the ring edge when needed.
+    const std::size_t ring_pos = pos(tail_);
+    if (ring_pos + total > buf_.size())
+        tail_ += buf_.size() - ring_pos;
+
+    const std::uint64_t offset = tail_;
+    LogEntryHeader hdr;
+    hdr.keyHash = key_hash;
+    hdr.keyLen = static_cast<std::uint32_t>(key.size());
+    hdr.valueLen = static_cast<std::uint32_t>(value.size());
+    writeBytes(offset, &hdr, sizeof(hdr));
+    writeBytes(offset + sizeof(hdr), key.data(), key.size());
+    writeBytes(offset + sizeof(hdr) + key.size(), value.data(),
+               value.size());
+    tail_ = offset + total;
+    ++appends_;
+    return offset;
+}
+
+bool
+CircularLog::live(std::uint64_t offset) const
+{
+    // Bytes in [tail - capacity, tail) are current; an entry starting
+    // at or after that horizon is intact because appends are
+    // monotone and contiguous.
+    return offset + buf_.size() >= tail_ && offset < tail_;
+}
+
+std::optional<LogEntry>
+CircularLog::read(std::uint64_t offset) const
+{
+    if (!live(offset)) {
+        ++staleReads_;
+        return std::nullopt;
+    }
+    LogEntryHeader hdr;
+    readBytes(offset, &hdr, sizeof(hdr));
+    if (hdr.keyLen + hdr.valueLen + sizeof(hdr) >
+        buf_.size() - (pos(offset))) {
+        // Corrupt / padded region.
+        ++staleReads_;
+        return std::nullopt;
+    }
+    LogEntry entry;
+    entry.keyHash = hdr.keyHash;
+    entry.key = std::string_view(
+        buf_.data() + pos(offset + sizeof(hdr)), hdr.keyLen);
+    entry.value = std::string_view(
+        buf_.data() + pos(offset + sizeof(hdr)) + hdr.keyLen,
+        hdr.valueLen);
+    return entry;
+}
+
+} // namespace altoc::mica

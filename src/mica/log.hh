@@ -1,0 +1,94 @@
+/**
+ * @file
+ * MICA-style circular log (Lim et al., NSDI'14; Sec. IX-B of the
+ * ALTOCUMULUS paper: "circular log size (4GB)").
+ *
+ * Values are appended to a per-partition byte ring; the hash index
+ * stores (offset, tag) pairs pointing into it. The log never blocks:
+ * when full, appends overwrite the oldest entries, and stale index
+ * pointers are detected by offset distance (an offset is live iff it
+ * lies within `capacity` bytes of the running tail).
+ */
+
+#ifndef ALTOC_MICA_LOG_HH
+#define ALTOC_MICA_LOG_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace altoc::mica {
+
+/** Header preceding each log entry's payload. */
+struct LogEntryHeader
+{
+    std::uint64_t keyHash = 0;
+    std::uint32_t keyLen = 0;
+    std::uint32_t valueLen = 0;
+};
+
+/** A decoded entry (views into the log's storage). */
+struct LogEntry
+{
+    std::uint64_t keyHash = 0;
+    std::string_view key;
+    std::string_view value;
+};
+
+/**
+ * Append-only circular byte log.
+ */
+class CircularLog
+{
+  public:
+    /** @param capacity ring size in bytes (power of two enforced). */
+    explicit CircularLog(std::size_t capacity);
+
+    /**
+     * Append an entry; returns its log offset (monotone virtual
+     * offset, not a ring position). Entries larger than the capacity
+     * are rejected with std::nullopt.
+     */
+    std::optional<std::uint64_t> append(std::uint64_t key_hash,
+                                        std::string_view key,
+                                        std::string_view value);
+
+    /**
+     * Read the entry at @p offset. Returns std::nullopt when the
+     * offset has been overwritten (fell out of the ring) or never
+     * existed.
+     */
+    std::optional<LogEntry> read(std::uint64_t offset) const;
+
+    /** True if @p offset still lies inside the ring. */
+    bool live(std::uint64_t offset) const;
+
+    /** Total bytes ever appended (the virtual tail). */
+    std::uint64_t tail() const { return tail_; }
+
+    std::size_t capacity() const { return buf_.size(); }
+
+    std::uint64_t appends() const { return appends_; }
+    std::uint64_t overwrittenReads() const { return staleReads_; }
+
+  private:
+    std::size_t pos(std::uint64_t offset) const
+    {
+        return static_cast<std::size_t>(offset) & mask_;
+    }
+
+    void writeBytes(std::uint64_t offset, const void *src,
+                    std::size_t n);
+    void readBytes(std::uint64_t offset, void *dst, std::size_t n) const;
+
+    std::vector<char> buf_;
+    std::size_t mask_;
+    std::uint64_t tail_ = 0;
+    std::uint64_t appends_ = 0;
+    mutable std::uint64_t staleReads_ = 0;
+};
+
+} // namespace altoc::mica
+
+#endif // ALTOC_MICA_LOG_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * NetRX: a manager core's network receive queue.
+ *
+ * Each manager core owns one NetRX queue for its worker group
+ * (Sec. VI). Dispatch consumes from the head; proactive migration
+ * dequeues from the *tail* (the requests queued deepest are exactly
+ * the predicted SLO violators, Sec. V-A MIGRATE semantics).
+ */
+
+#ifndef ALTOC_NET_NETRX_HH
+#define ALTOC_NET_NETRX_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "net/rpc.hh"
+
+namespace altoc::net {
+
+/**
+ * FIFO request queue with tail dequeue support and occupancy stats.
+ */
+class NetRxQueue
+{
+  public:
+    NetRxQueue() = default;
+
+    /** Enqueue at the tail (normal arrival or migrated-in request). */
+    void
+    enqueue(Rpc *r, Tick now)
+    {
+        r->enqueued = now;
+        q_.push_back(r);
+        peak_ = std::max(peak_, q_.size());
+        ++totalEnqueued_;
+    }
+
+    /** Dequeue from the head for dispatch; nullptr when empty. */
+    Rpc *
+    dequeueHead()
+    {
+        if (q_.empty())
+            return nullptr;
+        Rpc *r = q_.front();
+        q_.pop_front();
+        return r;
+    }
+
+    /** Dequeue from the tail for migration; nullptr when empty. */
+    Rpc *
+    dequeueTail()
+    {
+        if (q_.empty())
+            return nullptr;
+        Rpc *r = q_.back();
+        q_.pop_back();
+        return r;
+    }
+
+    /** Re-insert at the head (failed migration hand-back). */
+    void
+    pushFront(Rpc *r)
+    {
+        q_.push_front(r);
+        peak_ = std::max(peak_, q_.size());
+    }
+
+    std::size_t length() const { return q_.size(); }
+    bool empty() const { return q_.empty(); }
+
+    /** Peek without removing. */
+    Rpc *front() const { return q_.empty() ? nullptr : q_.front(); }
+    Rpc *back() const { return q_.empty() ? nullptr : q_.back(); }
+
+    std::size_t peakLength() const { return peak_; }
+    std::uint64_t totalEnqueued() const { return totalEnqueued_; }
+
+  private:
+    std::deque<Rpc *> q_;
+    std::size_t peak_ = 0;
+    std::uint64_t totalEnqueued_ = 0;
+};
+
+} // namespace altoc::net
+
+#endif // ALTOC_NET_NETRX_HH

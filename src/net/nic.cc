@@ -1,0 +1,122 @@
+/**
+ * @file
+ * NIC model implementation.
+ */
+
+#include "net/nic.hh"
+
+#include "common/logging.hh"
+
+namespace altoc::net {
+
+const char *
+steeringName(Steering s)
+{
+    switch (s) {
+      case Steering::Rss:
+        return "Connection";
+      case Steering::Random:
+        return "Random";
+      case Steering::RoundRobin:
+        return "RR";
+      case Steering::Central:
+        return "Central";
+    }
+    return "?";
+}
+
+Nic::Nic(sim::Simulator &sim, const Config &cfg, Rng rng)
+    : sim_(sim), cfg_(cfg), rng_(rng)
+{
+    altoc_assert(cfg.numQueues > 0, "NIC needs at least one RX queue");
+    altoc_assert(cfg.lineRateGbps > 0.0, "line rate must be positive");
+}
+
+Tick
+Nic::serializationTime(std::uint32_t bytes) const
+{
+    // bits / (Gbit/s) == ns; round up, minimum 1 ns per packet.
+    const double ns = static_cast<double>(bytes) * 8.0 / cfg_.lineRateGbps;
+    Tick t = static_cast<Tick>(ns + 0.999);
+    return t == 0 ? 1 : t;
+}
+
+Tick
+Nic::deliveryLatency(std::uint32_t bytes) const
+{
+    switch (cfg_.attach) {
+      case NicAttach::Pcie:
+        return lat::kNicMac + pcieLatency(bytes);
+      case NicAttach::Integrated:
+        // Hardware-terminated NICs write descriptors at LLC speed
+        // (Nebula) or directly into core registers (nanoPU); either
+        // way the hop is on the order of an LLC access.
+        return lat::kNicMac + lat::kLlc;
+    }
+    return lat::kNicMac;
+}
+
+Tick
+Nic::responseLatency(std::uint32_t bytes) const
+{
+    // The TX path mirrors RX: buffer hand-off plus MAC. Latency
+    // measurement ends when the response buffer is freed, i.e. after
+    // the CPU-side hand-off, so PCIe DMA completion is included for
+    // commodity NICs.
+    switch (cfg_.attach) {
+      case NicAttach::Pcie:
+        return lat::kNicMac + pcieLatency(bytes);
+      case NicAttach::Integrated:
+        return lat::kNicMac + lat::kLlc;
+    }
+    return lat::kNicMac;
+}
+
+unsigned
+Nic::steer(const Rpc *r)
+{
+    switch (cfg_.steering) {
+      case Steering::Rss:
+        {
+            // Toeplitz-like mixing of the connection id.
+            std::uint64_t h = r->conn;
+            h ^= h >> 33;
+            h *= 0xff51afd7ed558ccdull;
+            h ^= h >> 33;
+            h *= 0xc4ceb9fe1a85ec53ull;
+            h ^= h >> 33;
+            return static_cast<unsigned>(h % cfg_.numQueues);
+        }
+      case Steering::Random:
+        return static_cast<unsigned>(rng_.below(cfg_.numQueues));
+      case Steering::RoundRobin:
+        {
+            unsigned q = rrNext_;
+            rrNext_ = (rrNext_ + 1) % cfg_.numQueues;
+            return q;
+        }
+      case Steering::Central:
+        return 0;
+    }
+    return 0;
+}
+
+void
+Nic::receive(Rpc *r)
+{
+    altoc_assert(static_cast<bool>(deliver_),
+                 "NIC delivery callback not installed");
+    const Tick now = sim_.now();
+    r->nicArrival = now;
+    ++received_;
+
+    // Line-rate pacing: the RX pipeline serializes packets.
+    const Tick ser = serializationTime(r->sizeBytes);
+    rxFree_ = std::max(rxFree_, now) + ser;
+
+    const unsigned queue = steer(r);
+    const Tick deliver_at = rxFree_ + deliveryLatency(r->sizeBytes);
+    sim_.at(deliver_at, [this, r, queue] { deliver_(r, queue); });
+}
+
+} // namespace altoc::net

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * NIC models: commodity PCIe-attached RSS NIC and a
+ * hardware-terminated integrated NIC.
+ *
+ * The NIC (Fig. 2's lowest layers) parses arriving packets, applies a
+ * steering policy to pick a receive queue, and delivers the request
+ * descriptor to the CPU side. We model (Sec. VII-B):
+ *  - line-rate pacing: packets serialize onto the RX pipeline at the
+ *    configured Ethernet rate;
+ *  - ~30 ns of MAC + serdes + transport interpretation;
+ *  - the NIC-to-CPU hop: PCIe (200-800 ns, size-dependent) for
+ *    commodity NICs, or LLC-speed delivery for integrated NICs
+ *    (RPCValet/Nebula/nanoPU-style).
+ *
+ * Steering policies cover Fig. 9's comparison: connection hashing
+ * (RSS proper), uniform random, round-robin, plus a Central mode in
+ * which all requests land in queue 0 (NIC-driven c-FCFS designs).
+ */
+
+#ifndef ALTOC_NET_NIC_HH
+#define ALTOC_NET_NIC_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "net/pcie.hh"
+#include "net/rpc.hh"
+#include "sim/simulator.hh"
+
+namespace altoc::net {
+
+/** How the NIC reaches the CPU cores. */
+enum class NicAttach : std::uint8_t
+{
+    Pcie,       //!< commodity NIC behind the PCIe bus
+    Integrated, //!< on-die NIC sharing the LLC with the cores
+};
+
+/** RX steering policy (which receive queue gets each request). */
+enum class Steering : std::uint8_t
+{
+    Rss,        //!< hash of the connection id
+    Random,     //!< uniform random queue
+    RoundRobin, //!< strict rotation
+    Central,    //!< single shared queue (index 0)
+};
+
+const char *steeringName(Steering s);
+
+/**
+ * NIC model. Owns RX pacing and steering; delivery into the chosen
+ * queue is delegated to a callback installed by the scheduler/system.
+ */
+class Nic
+{
+  public:
+    struct Config
+    {
+        double lineRateGbps = 100.0;
+        NicAttach attach = NicAttach::Pcie;
+        Steering steering = Steering::Rss;
+        unsigned numQueues = 1;
+    };
+
+    /** Invoked when a request reaches its receive queue. */
+    using DeliverFn = std::function<void(Rpc *, unsigned queue)>;
+
+    Nic(sim::Simulator &sim, const Config &cfg, Rng rng);
+
+    /** Install the delivery callback (must be set before traffic). */
+    void setDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+    /**
+     * Accept a request at wire-arrival time (now). Stamps
+     * r->nicArrival, applies pacing + steering, and schedules
+     * delivery.
+     */
+    void receive(Rpc *r);
+
+    /** Wire serialization time of @p bytes at the line rate. */
+    Tick serializationTime(std::uint32_t bytes) const;
+
+    /** NIC-to-queue latency for @p bytes (excludes pacing). */
+    Tick deliveryLatency(std::uint32_t bytes) const;
+
+    /** TX-side cost of emitting a response of @p bytes. */
+    Tick responseLatency(std::uint32_t bytes) const;
+
+    const Config &config() const { return cfg_; }
+
+    std::uint64_t received() const { return received_; }
+
+  private:
+    unsigned steer(const Rpc *r);
+
+    sim::Simulator &sim_;
+    Config cfg_;
+    Rng rng_;
+    DeliverFn deliver_;
+    Tick rxFree_ = 0;
+    unsigned rrNext_ = 0;
+    std::uint64_t received_ = 0;
+};
+
+} // namespace altoc::net
+
+#endif // ALTOC_NET_NIC_HH

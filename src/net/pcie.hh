@@ -1,0 +1,40 @@
+/**
+ * @file
+ * PCIe transfer latency model.
+ *
+ * The paper (Sec. VII-B, citing Neugebauer et al. [46]) models PCIe
+ * latency as 200-800 ns depending on data size. We interpolate
+ * linearly between those bounds over the small-message size range
+ * RPCs occupy (<= 2 KB, Sec. V-B).
+ */
+
+#ifndef ALTOC_NET_PCIE_HH
+#define ALTOC_NET_PCIE_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace altoc::net {
+
+/** Message size at which PCIe latency saturates at its maximum. */
+constexpr std::uint32_t kPcieSaturationBytes = 2048;
+
+/**
+ * One-way PCIe transfer latency for a message of @p bytes.
+ */
+constexpr Tick
+pcieLatency(std::uint32_t bytes)
+{
+    const std::uint32_t capped =
+        std::min(bytes, kPcieSaturationBytes);
+    const double frac =
+        static_cast<double>(capped) / kPcieSaturationBytes;
+    return lat::kPcieMin +
+           static_cast<Tick>(frac * (lat::kPcieMax - lat::kPcieMin));
+}
+
+} // namespace altoc::net
+
+#endif // ALTOC_NET_PCIE_HH

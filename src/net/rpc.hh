@@ -1,0 +1,144 @@
+/**
+ * @file
+ * RPC request descriptors and their pool allocator.
+ *
+ * Mirroring the hardware design (Sec. V-B), schedulers move 14 B
+ * *descriptors* while payloads notionally stay in the LLC; the Rpc
+ * struct is that descriptor plus simulation bookkeeping. Descriptors
+ * are pool-allocated and recycled so steady-state simulation performs
+ * no heap traffic per request.
+ */
+
+#ifndef ALTOC_NET_RPC_HH
+#define ALTOC_NET_RPC_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/units.hh"
+#include "workload/distributions.hh"
+
+namespace altoc::net {
+
+using workload::RequestKind;
+
+/** Size of the hardware descriptor a MIGRATE message moves (Sec. V-B:
+ *  8 B pointer + 48-bit IP/port = 14 B). */
+constexpr unsigned kDescriptorBytes = 14;
+
+/**
+ * One in-flight RPC request.
+ */
+struct Rpc
+{
+    /** Monotonically increasing request id. */
+    std::uint64_t id = 0;
+
+    /** Time the request was received by the NIC (latency epoch,
+     *  Sec. VII-B: measurement is server-side from NIC receipt). */
+    Tick nicArrival = 0;
+
+    /** Time the request entered its current queue. */
+    Tick enqueued = 0;
+
+    /** Time the request first started executing on a core. */
+    Tick started = kTickInf;
+
+    /** Total on-core service demand (ns). */
+    Tick service = 0;
+
+    /** Remaining demand; differs from service under preemption. */
+    Tick remaining = 0;
+
+    /** Connection the request arrived on (RSS steering input). */
+    std::uint32_t conn = 0;
+
+    /** Wire size of the request message in bytes. */
+    std::uint32_t sizeBytes = 0;
+
+    /** MICA key (meaningful for Get/Set/Scan kinds). */
+    std::uint64_t key = 0;
+
+    /** EREW partition that owns this request's key. */
+    std::uint16_t homeGroup = 0;
+
+    /** Group whose NetRX queue currently holds the request. */
+    std::uint16_t curGroup = 0;
+
+    /** Request class. */
+    RequestKind kind = RequestKind::Generic;
+
+    /** Owning application/tenant (multi-tenant isolation support). */
+    std::uint8_t tenant = 0;
+
+    /** Set once the request has been migrated (migrate-at-most-once,
+     *  Sec. V-B optimization 4). */
+    bool migrated = false;
+
+    /** True if this request was predicted to violate the SLO. */
+    bool predictedViolation = false;
+
+    /** True if the scheduler rejected the request past its deadline
+     *  (reactive-drop baselines only; ALTOCUMULUS never drops). */
+    bool dropped = false;
+};
+
+/**
+ * Slab pool of Rpc descriptors with an embedded free list.
+ *
+ * Pointers remain stable for the lifetime of the pool (slabs are
+ * never moved), so components may hold raw Rpc* across events.
+ */
+class RpcPool
+{
+  public:
+    explicit RpcPool(std::size_t slab_size = 4096)
+        : slabSize_(slab_size)
+    {}
+
+    RpcPool(const RpcPool &) = delete;
+    RpcPool &operator=(const RpcPool &) = delete;
+
+    /** Obtain a zero-initialized descriptor. */
+    Rpc *
+    alloc()
+    {
+        if (free_.empty())
+            grow();
+        Rpc *r = free_.back();
+        free_.pop_back();
+        *r = Rpc{};
+        ++outstanding_;
+        return r;
+    }
+
+    /** Return a descriptor to the pool. */
+    void
+    release(Rpc *r)
+    {
+        free_.push_back(r);
+        --outstanding_;
+    }
+
+    /** Number of descriptors currently allocated. */
+    std::size_t outstanding() const { return outstanding_; }
+
+  private:
+    void
+    grow()
+    {
+        slabs_.emplace_back(slabSize_);
+        for (auto &r : slabs_.back())
+            free_.push_back(&r);
+    }
+
+    std::size_t slabSize_;
+    std::deque<std::vector<Rpc>> slabs_;
+    std::vector<Rpc *> free_;
+    std::size_t outstanding_ = 0;
+};
+
+} // namespace altoc::net
+
+#endif // ALTOC_NET_RPC_HH

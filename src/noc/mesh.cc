@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Mesh NoC implementation.
+ */
+
+#include "noc/mesh.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace altoc::noc {
+
+Mesh::Mesh(unsigned cols, unsigned rows, Tick per_hop)
+    : cols_(cols), rows_(rows), perHop_(per_hop)
+{
+    altoc_assert(cols > 0 && rows > 0, "degenerate mesh");
+    // Four directed links per tile upper-bounds the link count; the
+    // occupancy table is indexed by (tile, direction).
+    free_.assign(kNumVnets,
+                 std::vector<Tick>(static_cast<std::size_t>(tiles()) * 4,
+                                   0));
+}
+
+Mesh
+Mesh::forTiles(unsigned tiles, Tick per_hop)
+{
+    altoc_assert(tiles > 0, "mesh needs at least one tile");
+    unsigned cols =
+        static_cast<unsigned>(std::ceil(std::sqrt(static_cast<double>(tiles))));
+    unsigned rows = (tiles + cols - 1) / cols;
+    return Mesh(cols, rows, per_hop);
+}
+
+unsigned
+Mesh::hops(unsigned src, unsigned dst) const
+{
+    altoc_assert(src < tiles() && dst < tiles(),
+                 "tile out of range: %u/%u of %u", src, dst, tiles());
+    const int sx = static_cast<int>(src % cols_);
+    const int sy = static_cast<int>(src / cols_);
+    const int dx = static_cast<int>(dst % cols_);
+    const int dy = static_cast<int>(dst / cols_);
+    return static_cast<unsigned>(std::abs(sx - dx) + std::abs(sy - dy));
+}
+
+Tick
+Mesh::flightTime(unsigned src, unsigned dst) const
+{
+    return static_cast<Tick>(hops(src, dst)) * perHop_;
+}
+
+std::size_t
+Mesh::linkIndex(unsigned from, unsigned to) const
+{
+    // Direction encoding: 0 = +x, 1 = -x, 2 = +y, 3 = -y.
+    const int fx = static_cast<int>(from % cols_);
+    const int fy = static_cast<int>(from / cols_);
+    const int tx = static_cast<int>(to % cols_);
+    const int ty = static_cast<int>(to / cols_);
+    unsigned dir;
+    if (tx == fx + 1 && ty == fy) {
+        dir = 0;
+    } else if (tx == fx - 1 && ty == fy) {
+        dir = 1;
+    } else if (ty == fy + 1 && tx == fx) {
+        dir = 2;
+    } else if (ty == fy - 1 && tx == fx) {
+        dir = 3;
+    } else {
+        panic("non-adjacent link %u -> %u", from, to);
+    }
+    return static_cast<std::size_t>(from) * 4 + dir;
+}
+
+Tick
+Mesh::send(unsigned vnet, unsigned src, unsigned dst, std::uint32_t bytes,
+           Tick depart)
+{
+    altoc_assert(vnet < kNumVnets, "bad virtual network %u", vnet);
+    altoc_assert(src < tiles() && dst < tiles(), "tile out of range");
+    ++messages_;
+    if (src == dst)
+        return depart;
+
+    const unsigned flits = (bytes + kFlitBytes - 1) / kFlitBytes;
+    auto &occ = free_[vnet];
+
+    // Walk the XY path: first fix x, then y. The head flit pays the
+    // pipeline latency per hop and may wait for each link to drain;
+    // the body flits add serialization on the final hop.
+    int x = static_cast<int>(src % cols_);
+    int y = static_cast<int>(src / cols_);
+    const int dx = static_cast<int>(dst % cols_);
+    const int dy = static_cast<int>(dst / cols_);
+    Tick t = depart;
+    unsigned cur = src;
+    while (x != dx || y != dy) {
+        int nx = x, ny = y;
+        if (x != dx)
+            nx += (dx > x) ? 1 : -1;
+        else
+            ny += (dy > y) ? 1 : -1;
+        const unsigned next =
+            static_cast<unsigned>(ny) * cols_ + static_cast<unsigned>(nx);
+        const std::size_t link = linkIndex(cur, next);
+        // Wait for the link, then occupy it for the message's flits
+        // (wormhole-style cut-through: downstream hops overlap).
+        t = std::max(t, occ[link]);
+        occ[link] = t + static_cast<Tick>(flits) * kFlitNs;
+        t += perHop_;
+        flitHops_ += flits;
+        cur = next;
+        x = nx;
+        y = ny;
+    }
+    // Tail flit serialization on arrival.
+    return t + static_cast<Tick>(flits - 1) * kFlitNs;
+}
+
+} // namespace altoc::noc

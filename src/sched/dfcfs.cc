@@ -1,0 +1,73 @@
+/**
+ * @file
+ * d-FCFS implementation.
+ */
+
+#include "sched/dfcfs.hh"
+
+#include "common/logging.hh"
+
+namespace altoc::sched {
+
+DFcfsScheduler::DFcfsScheduler(const Config &cfg)
+    : cfg_(cfg)
+{
+}
+
+unsigned
+DFcfsScheduler::nicQueues() const
+{
+    altoc_assert(!ctx_.cores.empty(), "nicQueues() before attach()");
+    return static_cast<unsigned>(ctx_.cores.size());
+}
+
+void
+DFcfsScheduler::onAttach()
+{
+    // Queue i belongs to core i; the mapping relies on cores being
+    // registered in id order.
+    for (std::size_t i = 0; i < ctx_.cores.size(); ++i) {
+        altoc_assert(ctx_.cores[i]->id() == i,
+                     "cores must be attached in id order");
+    }
+    queues_.resize(ctx_.cores.size());
+}
+
+void
+DFcfsScheduler::deliver(net::Rpc *r, unsigned queue)
+{
+    altoc_assert(queue < queues_.size(), "queue %u out of range", queue);
+    queues_[queue].enqueue(r, ctx_.sim->now());
+    tryDispatch(queue);
+}
+
+void
+DFcfsScheduler::tryDispatch(unsigned queue)
+{
+    cpu::Core *core = ctx_.cores[queue];
+    if (core->busy())
+        return;
+    net::Rpc *r = queues_[queue].dequeueHead();
+    if (r == nullptr)
+        return;
+    core->run(r, cfg_.dispatchOverhead);
+}
+
+void
+DFcfsScheduler::onCompletion(cpu::Core &core, net::Rpc *r)
+{
+    sink_->onRpcDone(core, r);
+    tryDispatch(core.id());
+}
+
+std::vector<std::size_t>
+DFcfsScheduler::queueLengths() const
+{
+    std::vector<std::size_t> lens;
+    lens.reserve(queues_.size());
+    for (const auto &q : queues_)
+        lens.push_back(q.length());
+    return lens;
+}
+
+} // namespace altoc::sched

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Distributed FCFS scheduling (NIC RSS steering, per-core queues).
+ *
+ * Models the commodity-RSS configuration and IX [8] (Sec. II-D):
+ * every core owns a private queue the NIC steers into; cores poll
+ * their own queue without synchronization. Scales perfectly but is
+ * load-oblivious, so hash skew and service-time variance produce
+ * head-of-line blocking and unpredictable tails (Fig. 10's IX/RSS
+ * curves).
+ */
+
+#ifndef ALTOC_SCHED_DFCFS_HH
+#define ALTOC_SCHED_DFCFS_HH
+
+#include <string>
+#include <vector>
+
+#include "net/netrx.hh"
+#include "sched/scheduler.hh"
+
+namespace altoc::sched {
+
+/**
+ * d-FCFS: one FIFO per core, no cross-core balancing.
+ */
+class DFcfsScheduler : public Scheduler
+{
+  public:
+    struct Config
+    {
+        /** Label for reports ("RSS", "IX", ...). */
+        std::string label = "RSS";
+
+        /**
+         * Per-request software overhead charged before the handler
+         * runs: queue poll + RPC layer entry. IX pays its dataplane
+         * cost here; a bare hardware d-FCFS pays almost nothing.
+         */
+        Tick dispatchOverhead = lat::kL1;
+    };
+
+    explicit DFcfsScheduler(const Config &cfg);
+
+    std::string name() const override { return cfg_.label; }
+    unsigned nicQueues() const override;
+    void deliver(net::Rpc *r, unsigned queue) override;
+    std::vector<std::size_t> queueLengths() const override;
+
+  protected:
+    void onAttach() override;
+    void onCompletion(cpu::Core &core, net::Rpc *r) override;
+
+    /** Dispatch the head of @p queue if its core is idle. */
+    void tryDispatch(unsigned queue);
+
+    Config cfg_;
+    std::vector<net::NetRxQueue> queues_;
+};
+
+} // namespace altoc::sched
+
+#endif // ALTOC_SCHED_DFCFS_HH

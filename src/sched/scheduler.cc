@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Scheduler base implementation.
+ */
+
+#include "sched/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace altoc::sched {
+
+void
+Scheduler::attach(SchedContext ctx, CompletionSink *sink)
+{
+    altoc_assert(ctx.sim != nullptr, "scheduler context missing simulator");
+    altoc_assert(!ctx.cores.empty(), "scheduler context has no cores");
+    ctx_ = std::move(ctx);
+    sink_ = sink;
+    for (cpu::Core *core : ctx_.cores) {
+        core->setCompletion([this](cpu::Core &c, net::Rpc *r) {
+            onCompletion(c, r);
+        });
+        core->setPreempt([this](cpu::Core &c, net::Rpc *r) {
+            onPreempt(c, r);
+        });
+    }
+    onAttach();
+}
+
+std::size_t
+Scheduler::totalQueued() const
+{
+    std::size_t total = 0;
+    for (std::size_t len : queueLengths())
+        total += len;
+    return total;
+}
+
+} // namespace altoc::sched

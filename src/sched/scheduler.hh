@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Scheduler framework.
+ *
+ * A Scheduler receives requests from the NIC (deliver()), decides
+ * which core runs what and when, and reports finished requests to a
+ * CompletionSink (the Server, which records latency and recycles the
+ * descriptor). Concrete subclasses implement the designs of Table I:
+ *
+ *  - DFcfsScheduler        RSS / IX-style per-core queues
+ *  - WorkStealingScheduler ZygOS-style d-FCFS + stealing
+ *  - CentralizedScheduler  Shinjuku-style dispatcher + preemption
+ *  - JbsqScheduler         RPCValet / Nebula / nanoPU JBSQ(n)
+ *  - core/GroupScheduler   ALTOCUMULUS two-tier groups (src/core)
+ */
+
+#ifndef ALTOC_SCHED_SCHEDULER_HH
+#define ALTOC_SCHED_SCHEDULER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "cpu/core.hh"
+#include "net/rpc.hh"
+#include "noc/mesh.hh"
+#include "sim/simulator.hh"
+
+namespace altoc::sched {
+
+/** Receives fully processed RPCs for latency accounting / disposal. */
+class CompletionSink
+{
+  public:
+    virtual ~CompletionSink() = default;
+
+    /**
+     * Called when a request's handler has run to completion on
+     * @p core. The sink owns response-path modeling and descriptor
+     * recycling; the scheduler must not touch @p r afterwards.
+     */
+    virtual void onRpcDone(cpu::Core &core, net::Rpc *r) = 0;
+};
+
+/** Everything a scheduler needs from the surrounding system. */
+struct SchedContext
+{
+    sim::Simulator *sim = nullptr;
+    noc::Mesh *mesh = nullptr;
+    std::vector<cpu::Core *> cores;
+    Rng rng;
+};
+
+/**
+ * Abstract scheduler.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /**
+     * Bind to the system. Installs this scheduler as the completion
+     * and preemption handler of every core, then calls onAttach().
+     */
+    void attach(SchedContext ctx, CompletionSink *sink);
+
+    /** Display name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Number of NIC receive queues this design exposes. */
+    virtual unsigned nicQueues() const = 0;
+
+    /** NIC delivered @p r into receive queue @p queue. */
+    virtual void deliver(net::Rpc *r, unsigned queue) = 0;
+
+    /** Current queue depths (receive-queue granularity). */
+    virtual std::vector<std::size_t> queueLengths() const = 0;
+
+    /** Total requests waiting in scheduler queues (not executing). */
+    std::size_t totalQueued() const;
+
+    /** Begin periodic activity (e.g. the ALTOCUMULUS runtime). */
+    virtual void start() {}
+
+    /**
+     * True when core @p core_id executes request handlers. Designs
+     * with dedicated dispatcher/manager cores (Shinjuku,
+     * ALTOCUMULUS) exclude them here so utilization metrics count
+     * only request-serving cores.
+     */
+    virtual bool
+    isWorkerCore(unsigned core_id) const
+    {
+        (void)core_id;
+        return true;
+    }
+
+  protected:
+    /** Subclass hook invoked at the end of attach(). */
+    virtual void onAttach() {}
+
+    /** A core finished a request. */
+    virtual void onCompletion(cpu::Core &core, net::Rpc *r) = 0;
+
+    /** A core's quantum expired with work remaining. */
+    virtual void
+    onPreempt(cpu::Core &core, net::Rpc *r)
+    {
+        (void)core;
+        (void)r;
+        panic("scheduler %s does not support preemption", name().c_str());
+    }
+
+    SchedContext ctx_;
+    CompletionSink *sink_ = nullptr;
+};
+
+} // namespace altoc::sched
+
+#endif // ALTOC_SCHED_SCHEDULER_HH

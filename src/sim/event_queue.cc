@@ -1,0 +1,110 @@
+/**
+ * @file
+ * EventQueue implementation: a hand-rolled binary heap. We avoid
+ * std::priority_queue so cancelled records can be skipped in place
+ * and move-only callbacks popped without copies.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace altoc::sim {
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    const EventId id = nextId_++;
+    heap_.push_back(Record{when, nextSeq_++, id, std::move(cb)});
+    siftUp(heap_.size() - 1);
+    live_.insert(id);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    return live_.erase(id) > 0;
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!heap_.empty() && !live_.count(heap_.front().id)) {
+        heap_.front() = std::move(heap_.back());
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+    }
+}
+
+Tick
+EventQueue::nextTime() const
+{
+    Tick best = kTickInf;
+    if (!heap_.empty() && live_.count(heap_.front().id))
+        return heap_.front().when;
+    for (const auto &rec : heap_) {
+        if (rec.when < best && live_.count(rec.id))
+            best = rec.when;
+    }
+    return best;
+}
+
+Tick
+EventQueue::peekTime()
+{
+    skipDead();
+    return heap_.empty() ? kTickInf : heap_.front().when;
+}
+
+Tick
+EventQueue::runOne()
+{
+    skipDead();
+    altoc_assert(!heap_.empty(), "runOne() on an empty event queue");
+    Record rec = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+    live_.erase(rec.id);
+    ++executed_;
+    rec.cb();
+    return rec.when;
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!(heap_[parent] > heap_[i]))
+            break;
+        std::swap(heap_[parent], heap_[i]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t l = 2 * i + 1;
+        std::size_t r = l + 1;
+        std::size_t smallest = i;
+        if (l < n && heap_[smallest] > heap_[l])
+            smallest = l;
+        if (r < n && heap_[smallest] > heap_[r])
+            smallest = r;
+        if (smallest == i)
+            return;
+        std::swap(heap_[i], heap_[smallest]);
+        i = smallest;
+    }
+}
+
+} // namespace altoc::sim

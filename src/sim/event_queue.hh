@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events are ordered by (tick, sequence); the sequence counter breaks
+ * ties in insertion order so simulations replay identically across
+ * runs. The queue is a binary min-heap over small event records whose
+ * callbacks are type-erased std::function objects.
+ */
+
+#ifndef ALTOC_SIM_EVENT_QUEUE_HH
+#define ALTOC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace altoc::sim {
+
+/** Opaque handle to a scheduled event; used for cancellation. */
+using EventId = std::uint64_t;
+
+/** Sentinel for "no event". */
+constexpr EventId kNoEvent = 0;
+
+/**
+ * Binary-heap event queue with stable tie-breaking and O(1) amortized
+ * lazy cancellation.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    /** Schedule @p cb at absolute time @p when. Returns a handle. */
+    EventId schedule(Tick when, Callback cb);
+
+    /**
+     * Cancel a previously scheduled event. Cancellation is lazy: the
+     * record stays in the heap but its callback is dropped when it
+     * reaches the top. Cancelling an already-fired event is a no-op
+     * and returns false.
+     */
+    bool cancel(EventId id);
+
+    /** True if no live events remain. */
+    bool empty() const { return live_.empty(); }
+
+    /** Number of live (non-cancelled, unfired) events. */
+    std::size_t size() const { return live_.size(); }
+
+    /** Time of the earliest live event; kTickInf when empty. */
+    Tick nextTime() const;
+
+    /**
+     * Like nextTime() but compacts cancelled records first, keeping
+     * the subsequent runOne() O(log n). Preferred in run loops.
+     */
+    Tick peekTime();
+
+    /**
+     * Pop and run the earliest event. Returns its time. Must not be
+     * called on an empty queue.
+     */
+    Tick runOne();
+
+    /** Total events executed so far (for perf accounting). */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Record
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventId id;
+        Callback cb;
+
+        bool
+        operator>(const Record &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    void skipDead();
+
+    std::vector<Record> heap_;
+    std::unordered_set<EventId> live_;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace altoc::sim
+
+#endif // ALTOC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Simulator run loop.
+ */
+
+#include "sim/simulator.hh"
+
+namespace altoc::sim {
+
+Tick
+Simulator::run(Tick until)
+{
+    stopRequested_ = false;
+    while (!events_.empty() && !stopRequested_) {
+        const Tick next = events_.peekTime();
+        if (next > until) {
+            now_ = until;
+            return now_;
+        }
+        now_ = next;
+        events_.runOne();
+    }
+    if (events_.empty() && until != kTickInf && now_ < until)
+        now_ = until;
+    return now_;
+}
+
+bool
+Simulator::step()
+{
+    if (events_.empty())
+        return false;
+    now_ = events_.peekTime();
+    events_.runOne();
+    return true;
+}
+
+} // namespace altoc::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The Simulator drives the event queue and owns simulated time.
+ *
+ * Components hold a Simulator reference and use after()/at() to
+ * schedule work. run() executes until the queue drains or a limit is
+ * reached. Simulated time is monotone: scheduling in the past is a
+ * library bug and panics.
+ */
+
+#ifndef ALTOC_SIM_SIMULATOR_HH
+#define ALTOC_SIM_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "sim/event_queue.hh"
+
+namespace altoc::sim {
+
+/**
+ * Event-driven simulation engine with nanosecond resolution.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb to run @p delay ns from now. */
+    EventId
+    after(Tick delay, EventQueue::Callback cb)
+    {
+        return events_.schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Schedule @p cb at absolute time @p when (must be >= now). */
+    EventId
+    at(Tick when, EventQueue::Callback cb)
+    {
+        altoc_assert(when >= now_, "scheduling in the past: %llu < %llu",
+                     static_cast<unsigned long long>(when),
+                     static_cast<unsigned long long>(now_));
+        return events_.schedule(when, std::move(cb));
+    }
+
+    /** Cancel a pending event; returns false if it already ran. */
+    bool cancel(EventId id) { return events_.cancel(id); }
+
+    /**
+     * Run until the event queue drains or simulated time would pass
+     * @p until. Returns the final simulated time.
+     */
+    Tick run(Tick until = kTickInf);
+
+    /** Execute exactly one event if present; returns false if empty. */
+    bool step();
+
+    /** True when no events are pending. */
+    bool idle() const { return events_.empty(); }
+
+    /** Pending event count (live only). */
+    std::size_t pendingEvents() const { return events_.size(); }
+
+    /** Total events executed (host-side performance accounting). */
+    std::uint64_t eventsExecuted() const { return events_.executed(); }
+
+    /** Request that run() stop before dispatching the next event. */
+    void requestStop() { stopRequested_ = true; }
+
+  private:
+    EventQueue events_;
+    Tick now_ = 0;
+    bool stopRequested_ = false;
+};
+
+} // namespace altoc::sim
+
+#endif // ALTOC_SIM_SIMULATOR_HH

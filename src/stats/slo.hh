@@ -1,0 +1,87 @@
+/**
+ * @file
+ * SLO (Service Level Objective) accounting.
+ *
+ * The paper's key metric is throughput@SLO: the highest request rate
+ * a design sustains while the 99th-percentile latency stays within
+ * L x the mean service time (L = 10 unless stated otherwise,
+ * Sec. VII-B). SloTracker accumulates per-RPC outcomes against such a
+ * target; violation ratio and percentile checks drive the sweeps in
+ * src/system/sweep.*.
+ */
+
+#ifndef ALTOC_STATS_SLO_HH
+#define ALTOC_STATS_SLO_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "stats/histogram.hh"
+
+namespace altoc::stats {
+
+/** Compute an SLO latency target of @p l_factor x @p mean_service. */
+constexpr Tick
+sloTarget(Tick mean_service, double l_factor)
+{
+    return static_cast<Tick>(static_cast<double>(mean_service) * l_factor);
+}
+
+/**
+ * Tracks latency samples against a fixed SLO target.
+ */
+class SloTracker
+{
+  public:
+    explicit SloTracker(Tick target) : target_(target) {}
+
+    Tick target() const { return target_; }
+
+    /** Record one completed RPC's server-side latency. */
+    void
+    record(Tick latency)
+    {
+        hist_.record(latency);
+        if (latency > target_)
+            ++violations_;
+    }
+
+    std::uint64_t completed() const { return hist_.count(); }
+
+    std::uint64_t violations() const { return violations_; }
+
+    /** #SLO violations / #total requests (Sec. IV-A's ratio). */
+    double
+    violationRatio() const
+    {
+        const auto n = hist_.count();
+        return n ? static_cast<double>(violations_) / n : 0.0;
+    }
+
+    /** True when the 99th percentile is within the SLO target. */
+    bool
+    meetsSlo() const
+    {
+        return hist_.count() == 0 || hist_.percentile(0.99) <= target_;
+    }
+
+    Tick p99() const { return hist_.percentile(0.99); }
+
+    const SampleHistogram &histogram() const { return hist_; }
+
+    void
+    reset()
+    {
+        hist_.reset();
+        violations_ = 0;
+    }
+
+  private:
+    Tick target_;
+    SampleHistogram hist_;
+    std::uint64_t violations_ = 0;
+};
+
+} // namespace altoc::stats
+
+#endif // ALTOC_STATS_SLO_HH

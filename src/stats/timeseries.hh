@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Windowed time-series recording.
+ *
+ * Benches and examples that explain *dynamics* (queue build-up during
+ * an MMPP burst, migration draining a Hill pattern) need values over
+ * time, not just end-of-run percentiles. A TimeSeries buckets samples
+ * into fixed windows and keeps per-window min/mean/max; a
+ * MultiSeries tracks one series per entity (e.g. per NetRX queue).
+ */
+
+#ifndef ALTOC_STATS_TIMESERIES_HH
+#define ALTOC_STATS_TIMESERIES_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace altoc::stats {
+
+/** Aggregates of one time window. */
+struct WindowStats
+{
+    Tick start = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    double mean() const { return count ? sum / count : 0.0; }
+};
+
+/**
+ * One windowed series.
+ */
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(Tick window)
+        : window_(window)
+    {
+        altoc_assert(window > 0, "window must be positive");
+    }
+
+    /** Record @p value observed at time @p now. */
+    void
+    record(Tick now, double value)
+    {
+        const std::size_t idx = static_cast<std::size_t>(now / window_);
+        if (idx >= windows_.size()) {
+            const std::size_t old = windows_.size();
+            windows_.resize(idx + 1);
+            for (std::size_t i = old; i < windows_.size(); ++i)
+                windows_[i].start = static_cast<Tick>(i) * window_;
+        }
+        WindowStats &w = windows_[idx];
+        if (w.count == 0) {
+            w.min = value;
+            w.max = value;
+        } else {
+            w.min = std::min(w.min, value);
+            w.max = std::max(w.max, value);
+        }
+        ++w.count;
+        w.sum += value;
+    }
+
+    Tick window() const { return window_; }
+    const std::vector<WindowStats> &windows() const { return windows_; }
+
+    /** Highest per-window max across the run. */
+    double
+    peak() const
+    {
+        double best = 0.0;
+        for (const auto &w : windows_)
+            best = std::max(best, w.max);
+        return best;
+    }
+
+  private:
+    Tick window_;
+    std::vector<WindowStats> windows_;
+};
+
+/**
+ * A bundle of named series sharing one window size.
+ */
+class MultiSeries
+{
+  public:
+    explicit MultiSeries(Tick window) : window_(window) {}
+
+    /** Get-or-create the series for @p name. */
+    TimeSeries &
+    series(const std::string &name)
+    {
+        for (std::size_t i = 0; i < names_.size(); ++i) {
+            if (names_[i] == name)
+                return series_[i];
+        }
+        names_.push_back(name);
+        series_.emplace_back(window_);
+        return series_.back();
+    }
+
+    const std::vector<std::string> &names() const { return names_; }
+
+    const TimeSeries &
+    at(std::size_t i) const
+    {
+        altoc_assert(i < series_.size(), "series index out of range");
+        return series_[i];
+    }
+
+    std::size_t size() const { return series_.size(); }
+
+  private:
+    Tick window_;
+    std::vector<std::string> names_;
+    // deque: series() hands out references that must survive growth.
+    std::deque<TimeSeries> series_;
+};
+
+} // namespace altoc::stats
+
+#endif // ALTOC_STATS_TIMESERIES_HH

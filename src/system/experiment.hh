@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Experiment driver: named design configurations (Table I /
+ * Sec. VII-A) plus a one-call "run workload X on design Y" harness
+ * used by the benches, examples and integration tests.
+ */
+
+#ifndef ALTOC_SYSTEM_EXPERIMENT_HH
+#define ALTOC_SYSTEM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/group.hh"
+#include "core/params.hh"
+#include "net/nic.hh"
+#include "sched/scheduler.hh"
+#include "stats/histogram.hh"
+#include "system/server.hh"
+#include "workload/arrivals.hh"
+#include "workload/distributions.hh"
+#include "workload/trace.hh"
+
+namespace altoc::system {
+
+/** The evaluated scheduler designs (Sec. VII-A). */
+enum class Design : std::uint8_t
+{
+    Rss,      //!< commodity RSS NIC, d-FCFS
+    Ix,       //!< IX dataplane, d-FCFS
+    ZygOs,    //!< d-FCFS + work stealing
+    Shinjuku, //!< centralized dispatcher + preemption
+    RpcValet, //!< NI-driven c-FCFS (JBSQ(1), integrated NIC)
+    Nebula,   //!< hardware JBSQ(2), integrated NIC
+    NanoPu,   //!< JBSQ(2) + register delivery + preemption
+    AcInt,    //!< ALTOCUMULUS on an integrated NIC
+    AcRss,    //!< ALTOCUMULUS on a commodity PCIe RSS NIC
+    DeadlineDrop, //!< reactive drop-on-deadline c-FCFS (intro's [14,21])
+};
+
+const char *designName(Design d);
+
+/** System-side configuration of one run. */
+struct DesignConfig
+{
+    Design design = Design::Rss;
+    unsigned cores = 16;
+
+    /** Groups for the AC designs (workers = cores/groups - 1). */
+    unsigned groups = 2;
+
+    /** ALTOCUMULUS runtime parameters. */
+    core::AltocParams params;
+
+    /** Local dispatch bound within an AC group. */
+    unsigned localDepth = 1;
+
+    /** NUCA payload-read modeling for AC groups (see
+     *  GroupScheduler::Config::nucaPayload). */
+    bool nucaPayload = true;
+
+    /** Optional AC worker preemption quantum (extension; kTickInf =
+     *  the paper's run-to-completion workers). */
+    Tick workerQuantum = kTickInf;
+
+    /** Queueing budget for Design::DeadlineDrop. */
+    Tick dropBudget = 10 * kUs;
+
+    /** NIC line rate. */
+    double lineRateGbps = 400.0;
+
+    /** Steering override (defaults chosen per design). */
+    std::optional<net::Steering> steering;
+
+    /** Custom label (defaults to the scheduler's own name). */
+    std::string label;
+
+    /**
+     * Pretend the whole machine is one coherence domain even beyond
+     * 64 cores. Integrated-NIC hardware schedulers (RPCValet,
+     * Nebula, nanoPU) are otherwise sharded into 64-core domains
+     * with NIC steering across shards and no rebalancing (case
+     * study 1's "scale-out Nebula"); this flag enables the paper's
+     * optimistic single-domain assumption instead.
+     */
+    bool singleCoherenceDomain = false;
+};
+
+/** Workload-side configuration of one run. */
+struct WorkloadSpec
+{
+    /** Service-time distribution; required unless trace is set. */
+    std::shared_ptr<workload::ServiceDist> service;
+
+    /** Bursty MMPP arrivals instead of Poisson. */
+    bool realWorldArrivals = false;
+
+    /** Offered load in million requests per second. */
+    double rateMrps = 1.0;
+
+    std::uint64_t requests = 100000;
+
+    unsigned connections = 1024;
+
+    std::uint32_t requestBytes = 300;
+
+    /** SLO target: absolute wins over the L-factor when set. */
+    std::optional<Tick> sloAbsolute;
+    double sloFactor = 10.0;
+
+    /** Completions ignored before stats record (fraction). */
+    double warmupFraction = 0.1;
+
+    /** Replay this trace instead of sampling (rate/requests/service
+     *  are then taken from the trace). */
+    const workload::Trace *trace = nullptr;
+
+    /** Capture (id, latency, migrated) per completed request. */
+    bool capturePerRequest = false;
+
+    /** Print the gem5-style stats dump to stdout after the run. */
+    bool dumpStats = false;
+
+    std::uint64_t seed = 1;
+};
+
+/** Per-request outcome captured when capturePerRequest is set. */
+struct RequestOutcome
+{
+    std::uint64_t id = 0;
+    Tick latency = 0;
+    bool migrated = false;
+    bool predicted = false;
+};
+
+/** Headline metrics of one run. */
+struct RunResult
+{
+    std::string design;
+    double offeredMrps = 0.0;
+    double achievedMrps = 0.0;
+    stats::Summary latency;
+    Tick sloTarget = 0;
+    double violationRatio = 0.0;
+    std::uint64_t violations = 0;
+    std::uint64_t completed = 0;
+    double utilization = 0.0;
+    PredictionStats predictions;
+
+    /** Requests rejected by drop-based designs. */
+    std::uint64_t dropped = 0;
+
+    /** AC-only extras (zero elsewhere). */
+    std::uint64_t migrated = 0;
+    core::MessagingStats messaging;
+
+    std::vector<RequestOutcome> perRequest;
+
+    /** True when p99 <= SLO target. */
+    bool
+    meetsSlo() const
+    {
+        return latency.p99 <= sloTarget;
+    }
+};
+
+/**
+ * Build the scheduler for a design. @p mean_service and @p dist_name
+ * feed the ALTOCUMULUS model for the AC designs.
+ */
+std::unique_ptr<sched::Scheduler>
+makeScheduler(const DesignConfig &cfg, Tick mean_service,
+              const std::string &dist_name);
+
+/** NIC configuration a design implies (attach + default steering). */
+net::Nic::Config nicConfigFor(const DesignConfig &cfg);
+
+/**
+ * Build a ready-to-run server for a design (callers that need custom
+ * injection, e.g. the MICA benches, use this directly).
+ */
+std::unique_ptr<Server>
+makeServer(const DesignConfig &cfg, Tick mean_service,
+           const std::string &dist_name, Tick slo_target,
+           std::uint64_t warmup, std::uint64_t seed);
+
+/**
+ * Open-loop load generator: injects sampled or trace-replayed
+ * requests into a server.
+ */
+class LoadGenerator
+{
+  public:
+    /** Extra per-request setup (e.g. MICA key sampling). */
+    using Decorator = std::function<void(net::Rpc &, Rng &)>;
+
+    LoadGenerator(Server &server, const WorkloadSpec &spec);
+
+    void setDecorator(Decorator fn) { decorate_ = std::move(fn); }
+
+    /** Schedule all arrivals (trace) or the first arrival (sampled). */
+    void start();
+
+    std::uint64_t injected() const { return injected_; }
+
+  private:
+    void injectNext();
+
+    Server &server_;
+    const WorkloadSpec &spec_;
+    Rng rng_;
+    std::unique_ptr<workload::ArrivalProcess> arrivals_;
+    Decorator decorate_;
+    std::uint64_t injected_ = 0;
+    Tick nextArrival_ = 0;
+};
+
+/** Run one complete experiment and collect metrics. */
+RunResult runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec);
+
+} // namespace altoc::system
+
+#endif // ALTOC_SYSTEM_EXPERIMENT_HH

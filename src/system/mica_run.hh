@@ -1,0 +1,77 @@
+/**
+ * @file
+ * End-to-end MICA experiments (Sec. IX): wire a partitioned MICA
+ * store, its RPC handlers and a load generator into any scheduler
+ * design, and collect the same metrics as runExperiment().
+ */
+
+#ifndef ALTOC_SYSTEM_MICA_RUN_HH
+#define ALTOC_SYSTEM_MICA_RUN_HH
+
+#include <optional>
+
+#include "mica/handlers.hh"
+#include "mica/kvs.hh"
+#include "system/experiment.hh"
+
+namespace altoc::system {
+
+/** Configuration of one MICA end-to-end run. */
+struct MicaRunConfig
+{
+    DesignConfig design;
+
+    /** Offered load in MRPS. */
+    double rateMrps = 100.0;
+
+    std::uint64_t requests = 100000;
+
+    /** SCAN fraction in the query mix (Sec. IX-D: 0.5%). */
+    double scanFrac = 0.005;
+
+    /** Use bursty real-world (MMPP) arrivals. */
+    bool realWorldArrivals = false;
+
+    /** SLO: absolute target wins over the L factor. */
+    std::optional<Tick> sloAbsolute;
+    double sloFactor = 10.0;
+
+    double warmupFraction = 0.1;
+
+    /** Client connections (RSS steering granularity); few
+     *  connections -> lumpy per-group load. */
+    unsigned connections = 1024;
+
+    /** Zipf key-popularity skew; 0 keeps uniform sampling. Hot keys
+     *  concentrate load on their EREW owner groups. */
+    double keySkew = 0.0;
+
+    /** EREW (paper default) vs CREW write semantics. */
+    mica::ConcurrencyMode mode = mica::ConcurrencyMode::Erew;
+
+    /** Store geometry; partitions are overridden to match the
+     *  design's group count (EREW: one partition per manager). */
+    mica::MicaStore::Config store;
+
+    bool capturePerRequest = false;
+
+    std::uint64_t seed = 1;
+};
+
+/** Extra MICA-side counters reported next to the run metrics. */
+struct MicaRunResult
+{
+    RunResult run;
+    std::uint64_t gets = 0;
+    std::uint64_t sets = 0;
+    std::uint64_t scans = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t remoteExecutions = 0;
+};
+
+/** Execute one MICA experiment end to end. */
+MicaRunResult runMicaExperiment(const MicaRunConfig &cfg);
+
+} // namespace altoc::system
+
+#endif // ALTOC_SYSTEM_MICA_RUN_HH

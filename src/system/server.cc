@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Server implementation.
+ */
+
+#include "system/server.hh"
+
+#include "common/logging.hh"
+
+namespace altoc::system {
+
+Server::Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched)
+    : cfg_(cfg), rng_(cfg.seed), sched_(std::move(sched)),
+      tracker_(cfg.sloTarget)
+{
+    altoc_assert(cfg_.cores > 0, "server needs cores");
+    altoc_assert(sched_ != nullptr, "server needs a scheduler");
+
+    mesh_ = std::make_unique<noc::Mesh>(noc::Mesh::forTiles(cfg_.cores));
+
+    cores_.reserve(cfg_.cores);
+    for (unsigned i = 0; i < cfg_.cores; ++i)
+        cores_.push_back(std::make_unique<cpu::Core>(sim_, i, i));
+
+    sched::SchedContext ctx;
+    ctx.sim = &sim_;
+    ctx.mesh = mesh_.get();
+    for (auto &core : cores_)
+        ctx.cores.push_back(core.get());
+    ctx.rng = rng_.fork(0x5c4ed);
+    sched_->attach(std::move(ctx), this);
+
+    net::Nic::Config ncfg = cfg_.nic;
+    ncfg.numQueues = sched_->nicQueues();
+    nic_ = std::make_unique<net::Nic>(sim_, ncfg, rng_.fork(0x171c));
+    nic_->setDeliver([this](net::Rpc *r, unsigned queue) {
+        sched_->deliver(r, queue);
+    });
+
+    sched_->start();
+}
+
+Server::~Server() = default;
+
+net::Rpc *
+Server::makeRpc()
+{
+    return pool_.alloc();
+}
+
+void
+Server::inject(net::Rpc *r)
+{
+    altoc_assert(r->remaining > 0, "injecting a request with no demand");
+    nic_->receive(r);
+}
+
+void
+Server::setResolver(cpu::Core::ServiceResolver fn)
+{
+    for (auto &core : cores_)
+        core->setResolver(fn);
+}
+
+void
+Server::onRpcDone(cpu::Core &core, net::Rpc *r)
+{
+    (void)core;
+    // The response traverses the TX path; latency ends when the
+    // response buffer is freed (Sec. VII-B).
+    const Tick done =
+        sim_.now() + nic_->responseLatency(cfg_.responseBytes);
+    const Tick latency = done - r->nicArrival;
+
+    ++completed_;
+    if (completed_ > cfg_.warmup) {
+        if (r->dropped)
+            ++dropped_;
+        tracker_.record(latency);
+        const bool violated = latency > tracker_.target();
+        if (violated)
+            ++pred_.actualViolations;
+        if (r->predictedViolation) {
+            ++pred_.predicted;
+            if (violated)
+                ++pred_.truePositives;
+            else
+                ++pred_.falsePositives;
+        }
+    }
+    if (hook_)
+        hook_(*r, latency);
+    pool_.release(r);
+    if (completed_ >= stopAfter_)
+        sim_.requestStop();
+}
+
+Tick
+Server::run(Tick until)
+{
+    return sim_.run(until);
+}
+
+void
+Server::dumpStats(std::FILE *out) const
+{
+    if (out == nullptr)
+        out = stdout;
+    auto line = [out](const char *name, double value) {
+        std::fprintf(out, "%-40s %20.6g\n", name, value);
+    };
+    std::fprintf(out, "---------- Begin Simulation Statistics ----------\n");
+    line("sim.finalTick", static_cast<double>(sim_.now()));
+    line("sim.eventsExecuted",
+         static_cast<double>(sim_.eventsExecuted()));
+    line("nic.received", static_cast<double>(nic_->received()));
+    line("noc.messages", static_cast<double>(mesh_->messages()));
+    line("noc.flitHops", static_cast<double>(mesh_->flitHops()));
+    line("server.completed", static_cast<double>(completed_));
+    line("server.dropped", static_cast<double>(dropped_));
+    line("server.workerUtilization", workerUtilization());
+
+    const stats::Summary lat = tracker_.histogram().summary();
+    line("latency.samples", static_cast<double>(lat.count));
+    line("latency.meanNs", lat.mean);
+    line("latency.p50Ns", static_cast<double>(lat.p50));
+    line("latency.p99Ns", static_cast<double>(lat.p99));
+    line("latency.p999Ns", static_cast<double>(lat.p999));
+    line("latency.maxNs", static_cast<double>(lat.max));
+    line("slo.targetNs", static_cast<double>(tracker_.target()));
+    line("slo.violations", static_cast<double>(tracker_.violations()));
+    line("slo.violationRatio", tracker_.violationRatio());
+
+    Tick busy_total = 0;
+    for (const auto &core : cores_) {
+        char name[64];
+        std::snprintf(name, sizeof name, "core%02u.busyNs",
+                      core->id());
+        line(name, static_cast<double>(core->busyNs()));
+        busy_total += core->busyNs();
+    }
+    line("cores.busyNsTotal", static_cast<double>(busy_total));
+
+    const auto lens = sched_->queueLengths();
+    for (std::size_t i = 0; i < lens.size(); ++i) {
+        char name[64];
+        std::snprintf(name, sizeof name, "sched.queue%02zu.length", i);
+        line(name, static_cast<double>(lens[i]));
+    }
+    std::fprintf(out, "---------- End Simulation Statistics ----------\n");
+}
+
+double
+Server::workerUtilization() const
+{
+    const Tick elapsed = sim_.now();
+    if (elapsed == 0)
+        return 0.0;
+    Tick busy = 0;
+    unsigned workers = 0;
+    for (const auto &core : cores_) {
+        if (!sched_->isWorkerCore(core->id()))
+            continue;
+        busy += core->busyNs();
+        ++workers;
+    }
+    if (workers == 0)
+        return 0.0;
+    return static_cast<double>(busy) /
+           (static_cast<double>(elapsed) * workers);
+}
+
+} // namespace altoc::system

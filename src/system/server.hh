@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The simulated RPC server: simulator + NoC + cores + NIC + a
+ * scheduler, wired together with latency accounting.
+ *
+ * Request lifecycle (matching Sec. VII-B's server-side measurement):
+ *   load generator -> Nic::receive (latency epoch)
+ *     -> steering + delivery latency -> Scheduler::deliver
+ *     -> queueing/dispatch/execution on a Core
+ *     -> CompletionSink::onRpcDone: response TX modeled, latency
+ *        recorded when the response buffer is freed, descriptor
+ *        recycled.
+ */
+
+#ifndef ALTOC_SYSTEM_SERVER_HH
+#define ALTOC_SYSTEM_SERVER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "cpu/core.hh"
+#include "net/nic.hh"
+#include "net/rpc.hh"
+#include "noc/mesh.hh"
+#include "sched/scheduler.hh"
+#include "sim/simulator.hh"
+#include "stats/slo.hh"
+
+namespace altoc::system {
+
+/** Prediction bookkeeping for accuracy metrics (Sec. VIII / IX). */
+struct PredictionStats
+{
+    std::uint64_t predicted = 0;      //!< requests flagged as violators
+    std::uint64_t truePositives = 0;  //!< flagged and actually violated
+    std::uint64_t falsePositives = 0; //!< flagged but met the SLO
+    std::uint64_t actualViolations = 0;
+
+    /** Correctly predicted violations / total violations (Sec. IV-A). */
+    double
+    accuracy() const
+    {
+        return actualViolations
+                   ? static_cast<double>(truePositives) /
+                         static_cast<double>(actualViolations)
+                   : 1.0;
+    }
+};
+
+/**
+ * One simulated server machine.
+ */
+class Server : public sched::CompletionSink
+{
+  public:
+    struct Config
+    {
+        unsigned cores = 16;
+        net::Nic::Config nic;
+        /** Absolute SLO latency target (ns). */
+        Tick sloTarget = 10 * kUs;
+        /** Response wire size (Sec. II: >90% of responses < 64 B). */
+        std::uint32_t responseBytes = 64;
+        /** Completions ignored before stats start recording. */
+        std::uint64_t warmup = 0;
+        std::uint64_t seed = 1;
+    };
+
+    Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched);
+    ~Server() override;
+
+    sim::Simulator &sim() { return sim_; }
+    net::Nic &nic() { return *nic_; }
+    noc::Mesh &mesh() { return *mesh_; }
+    sched::Scheduler &scheduler() { return *sched_; }
+    const sched::Scheduler &scheduler() const { return *sched_; }
+
+    /** Allocate a request descriptor. */
+    net::Rpc *makeRpc();
+
+    /** Hand a request to the NIC at the current time. */
+    void inject(net::Rpc *r);
+
+    /** Install a per-core service resolver (MICA substrate hook). */
+    void setResolver(cpu::Core::ServiceResolver fn);
+
+    /** Per-completion callback (id, latency) for trace joins. */
+    using CompletionHook =
+        std::function<void(const net::Rpc &, Tick latency)>;
+    void setCompletionHook(CompletionHook fn) { hook_ = std::move(fn); }
+
+    // CompletionSink
+    void onRpcDone(cpu::Core &core, net::Rpc *r) override;
+
+    /** Run the simulation until all events drain or @p until. */
+    Tick run(Tick until = kTickInf);
+
+    /**
+     * Halt the run loop once @p n requests have completed. Designs
+     * with periodic activity (the ALTOCUMULUS runtime) never drain
+     * their event queue, so open-loop experiments must bound the run
+     * by completions.
+     */
+    void stopAfterCompletions(std::uint64_t n) { stopAfter_ = n; }
+
+    const stats::SloTracker &tracker() const { return tracker_; }
+    const PredictionStats &predictions() const { return pred_; }
+
+    std::uint64_t completed() const { return completed_; }
+
+    /** Requests rejected by a drop-based scheduler. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Fraction of worker-core time spent executing requests. */
+    double workerUtilization() const;
+
+    /** Cores vector (id order). */
+    const std::vector<std::unique_ptr<cpu::Core>> &cores() const
+    {
+        return cores_;
+    }
+
+    const Config &config() const { return cfg_; }
+
+    /** Fork a deterministic child RNG (for load generators). */
+    Rng forkRng(std::uint64_t salt) { return rng_.fork(salt); }
+
+    /**
+     * gem5-style end-of-run statistics dump: one line per counter
+     * across every component (simulator, NIC, NoC, cores, scheduler
+     * queues, latency summary). Writes to @p out (default stdout).
+     */
+    void dumpStats(std::FILE *out = nullptr) const;
+
+  private:
+    Config cfg_;
+    sim::Simulator sim_;
+    Rng rng_;
+    std::unique_ptr<noc::Mesh> mesh_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::unique_ptr<sched::Scheduler> sched_;
+    std::unique_ptr<net::Nic> nic_;
+    net::RpcPool pool_;
+    stats::SloTracker tracker_;
+    PredictionStats pred_;
+    CompletionHook hook_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t stopAfter_ = ~std::uint64_t{0};
+};
+
+} // namespace altoc::system
+
+#endif // ALTOC_SYSTEM_SERVER_HH

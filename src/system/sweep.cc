@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sweep implementations.
+ */
+
+#include "system/sweep.hh"
+
+#include "common/logging.hh"
+
+namespace altoc::system {
+
+std::vector<RunResult>
+latencyCurve(const DesignConfig &cfg, WorkloadSpec spec,
+             const std::vector<double> &rates_mrps)
+{
+    std::vector<RunResult> out;
+    out.reserve(rates_mrps.size());
+    for (double rate : rates_mrps) {
+        spec.rateMrps = rate;
+        out.push_back(runExperiment(cfg, spec));
+    }
+    return out;
+}
+
+SweepResult
+findThroughputAtSlo(const DesignConfig &cfg, WorkloadSpec spec,
+                    double lo_mrps, double hi_mrps,
+                    unsigned bracket_steps, unsigned bisect_steps)
+{
+    altoc_assert(lo_mrps > 0.0 && hi_mrps > lo_mrps,
+                 "bad sweep range [%f, %f]", lo_mrps, hi_mrps);
+    SweepResult result;
+
+    auto probe = [&](double rate) {
+        spec.rateMrps = rate;
+        RunResult run = runExperiment(cfg, spec);
+        const bool ok = run.meetsSlo();
+        result.points.push_back(std::move(run));
+        return ok;
+    };
+
+    // Coarse ascending bracket.
+    double best_ok = 0.0;
+    double first_fail = hi_mrps;
+    bool saw_fail = false;
+    for (unsigned i = 0; i <= bracket_steps; ++i) {
+        const double rate =
+            lo_mrps + (hi_mrps - lo_mrps) * i / bracket_steps;
+        if (probe(rate)) {
+            best_ok = rate;
+        } else {
+            first_fail = rate;
+            saw_fail = true;
+            break;
+        }
+    }
+    if (!saw_fail) {
+        result.throughputAtSloMrps = best_ok;
+        return result;
+    }
+    if (best_ok == 0.0) {
+        // Even the lowest probe failed; report zero conservatively.
+        result.throughputAtSloMrps = 0.0;
+        return result;
+    }
+
+    // Bisection between the last passing and first failing rates.
+    double lo = best_ok;
+    double hi = first_fail;
+    for (unsigned i = 0; i < bisect_steps; ++i) {
+        const double mid = (lo + hi) / 2.0;
+        if (probe(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    result.throughputAtSloMrps = lo;
+    return result;
+}
+
+} // namespace altoc::system

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Load sweeps and the throughput@SLO search.
+ *
+ * throughput@SLO (Sec. II-A) is the highest offered load a design
+ * sustains with p99 latency within the SLO target. The search runs a
+ * coarse ascending sweep to bracket the knee, then bisects.
+ */
+
+#ifndef ALTOC_SYSTEM_SWEEP_HH
+#define ALTOC_SYSTEM_SWEEP_HH
+
+#include <vector>
+
+#include "system/experiment.hh"
+
+namespace altoc::system {
+
+/** Outcome of a throughput@SLO search. */
+struct SweepResult
+{
+    /** Highest load (MRPS) observed meeting the SLO; 0 when even the
+     *  lowest probed load violates it. */
+    double throughputAtSloMrps = 0.0;
+
+    /** Every run executed during the search, in execution order. */
+    std::vector<RunResult> points;
+};
+
+/**
+ * Latency-vs-throughput curve: one run per rate in @p rates_mrps.
+ * The spec's rateMrps field is overwritten per point.
+ */
+std::vector<RunResult> latencyCurve(const DesignConfig &cfg,
+                                    WorkloadSpec spec,
+                                    const std::vector<double> &rates_mrps);
+
+/**
+ * Binary-search throughput@SLO over [lo, hi] MRPS.
+ *
+ * @param bracket_steps coarse ascending probes before bisection
+ * @param bisect_steps  refinement iterations
+ */
+SweepResult findThroughputAtSlo(const DesignConfig &cfg,
+                                WorkloadSpec spec, double lo_mrps,
+                                double hi_mrps,
+                                unsigned bracket_steps = 6,
+                                unsigned bisect_steps = 5);
+
+} // namespace altoc::system
+
+#endif // ALTOC_SYSTEM_SWEEP_HH

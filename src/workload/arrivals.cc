@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Arrival process implementations.
+ */
+
+#include "workload/arrivals.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace altoc::workload {
+
+namespace {
+
+/** Convert a positive double gap to a Tick, never returning 0. */
+Tick
+gapToTick(double gap)
+{
+    Tick t = static_cast<Tick>(gap + 0.5);
+    return t == 0 ? 1 : t;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// DeterministicArrivals
+// ---------------------------------------------------------------------
+
+DeterministicArrivals::DeterministicArrivals(Tick gap)
+    : gap_(gap)
+{
+    altoc_assert(gap > 0, "deterministic gap must be positive");
+}
+
+// ---------------------------------------------------------------------
+// PoissonArrivals
+// ---------------------------------------------------------------------
+
+PoissonArrivals::PoissonArrivals(double rate_per_ns)
+    : rate_(rate_per_ns)
+{
+    altoc_assert(rate_per_ns > 0.0, "arrival rate must be positive");
+}
+
+Tick
+PoissonArrivals::nextGap(Rng &rng)
+{
+    return gapToTick(rng.exponential(1.0 / rate_));
+}
+
+// ---------------------------------------------------------------------
+// MmppArrivals
+// ---------------------------------------------------------------------
+
+MmppArrivals::MmppArrivals(double rate_per_ns, double burst_factor,
+                           double burst_frac, Tick mean_dwell)
+    : rate_(rate_per_ns), burstFrac_(burst_frac), meanDwell_(mean_dwell)
+{
+    altoc_assert(rate_per_ns > 0.0, "arrival rate must be positive");
+    altoc_assert(burst_factor > 1.0, "burst factor must exceed 1");
+    altoc_assert(burst_frac > 0.0 && burst_frac < 1.0,
+                 "burst fraction must lie in (0, 1)");
+    // Solve for the calm rate so the time-weighted mean equals rate_:
+    //   burst_frac * burst + (1 - burst_frac) * calm = rate
+    burstRate_ = rate_per_ns * burst_factor;
+    calmRate_ =
+        (rate_per_ns - burstFrac_ * burstRate_) / (1.0 - burstFrac_);
+    altoc_assert(calmRate_ > 0.0,
+                 "burst_factor %.2f too large for burst_frac %.2f",
+                 burst_factor, burst_frac);
+}
+
+Tick
+MmppArrivals::nextGap(Rng &rng)
+{
+    Tick gap_total = 0;
+    for (;;) {
+        if (phaseLeft_ == 0) {
+            // Entering the phase recorded in inBurst_: draw its
+            // dwell. Burst dwells are scaled so the long-run
+            // burst-time fraction matches burstFrac_.
+            const double mean =
+                inBurst_ ? static_cast<double>(meanDwell_) * burstFrac_ /
+                               (1.0 - burstFrac_)
+                         : static_cast<double>(meanDwell_);
+            phaseLeft_ = gapToTick(rng.exponential(mean));
+        }
+        const double rate = inBurst_ ? burstRate_ : calmRate_;
+        const Tick gap = gapToTick(rng.exponential(1.0 / rate));
+        if (gap <= phaseLeft_) {
+            phaseLeft_ -= gap;
+            return gap_total + gap;
+        }
+        // The phase expires before the candidate arrival: advance to
+        // the phase boundary, flip phases and redraw (memorylessness
+        // makes this exact for exponential gaps).
+        gap_total += phaseLeft_;
+        phaseLeft_ = 0;
+        inBurst_ = !inBurst_;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------
+
+std::unique_ptr<ArrivalProcess>
+makePoisson(double rate_per_ns)
+{
+    return std::make_unique<PoissonArrivals>(rate_per_ns);
+}
+
+std::unique_ptr<ArrivalProcess>
+makeRealWorld(double rate_per_ns, Tick mean_service)
+{
+    // Dwell times scale with the service time so bursts are long
+    // enough (relative to request handling) to build real queues.
+    const Tick dwell = std::max<Tick>(20 * kUs, 50 * mean_service);
+    return std::make_unique<MmppArrivals>(rate_per_ns, 3.0, 0.25, dwell);
+}
+
+} // namespace altoc::workload

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Trace implementation. The on-disk format is a tiny header followed
+ * by the raw record array; traces are an internal exchange format,
+ * not a stable archive.
+ */
+
+#include "workload/trace.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace altoc::workload {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x414c544f43545243ull; // "ALTOCTRC"
+
+} // namespace
+
+Trace::Trace(std::vector<TraceRecord> records)
+    : records_(std::move(records))
+{
+}
+
+Trace
+Trace::generate(const ServiceDist &dist, ArrivalProcess &arrivals,
+                std::uint64_t n, unsigned connections,
+                std::uint32_t request_bytes, Rng rng)
+{
+    altoc_assert(connections > 0, "need at least one connection");
+    std::vector<TraceRecord> recs;
+    recs.reserve(n);
+    Tick now = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        now += arrivals.nextGap(rng);
+        const ServiceSample s = dist.sample(rng);
+        TraceRecord rec;
+        rec.arrival = now;
+        rec.service = s.service;
+        rec.kind = s.kind;
+        rec.conn = static_cast<std::uint32_t>(rng.below(connections));
+        rec.sizeBytes = request_bytes;
+        recs.push_back(rec);
+    }
+    return Trace(std::move(recs));
+}
+
+Tick
+Trace::duration() const
+{
+    return records_.empty() ? 0 : records_.back().arrival;
+}
+
+double
+Trace::meanService() const
+{
+    if (records_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &rec : records_)
+        sum += static_cast<double>(rec.service);
+    return sum / static_cast<double>(records_.size());
+}
+
+double
+Trace::offeredRate() const
+{
+    const Tick span = duration();
+    if (span == 0)
+        return 0.0;
+    return static_cast<double>(records_.size()) /
+           static_cast<double>(span);
+}
+
+bool
+Trace::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    const std::uint64_t n = records_.size();
+    bool ok = std::fwrite(&kMagic, sizeof(kMagic), 1, f) == 1 &&
+              std::fwrite(&n, sizeof(n), 1, f) == 1;
+    if (ok && n > 0) {
+        ok = std::fwrite(records_.data(), sizeof(TraceRecord), n, f) ==
+             n;
+    }
+    std::fclose(f);
+    return ok;
+}
+
+Trace
+Trace::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        fatal("cannot open trace file '%s'", path.c_str());
+    std::uint64_t magic = 0;
+    std::uint64_t n = 0;
+    if (std::fread(&magic, sizeof(magic), 1, f) != 1 ||
+        magic != kMagic || std::fread(&n, sizeof(n), 1, f) != 1) {
+        std::fclose(f);
+        fatal("'%s' is not a valid trace file", path.c_str());
+    }
+    std::vector<TraceRecord> recs(n);
+    if (n > 0 &&
+        std::fread(recs.data(), sizeof(TraceRecord), n, f) != n) {
+        std::fclose(f);
+        fatal("trace file '%s' is truncated", path.c_str());
+    }
+    std::fclose(f);
+    return Trace(std::move(recs));
+}
+
+} // namespace altoc::workload

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Request trace record / replay.
+ *
+ * Sec. VIII-D replays 400 K RPCs recorded from a baseline run and
+ * compares outcomes with and without migration to classify migration
+ * effectiveness. A Trace pre-samples (arrival time, service demand,
+ * kind, connection, key) tuples so two runs see byte-identical input;
+ * per-request ids are the trace indices, letting benches join
+ * outcomes across runs.
+ */
+
+#ifndef ALTOC_WORKLOAD_TRACE_HH
+#define ALTOC_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "workload/arrivals.hh"
+#include "workload/distributions.hh"
+
+namespace altoc::workload {
+
+/** One pre-sampled request. */
+struct TraceRecord
+{
+    Tick arrival = 0;
+    Tick service = 0;
+    RequestKind kind = RequestKind::Generic;
+    std::uint32_t conn = 0;
+    std::uint32_t sizeBytes = 0;
+    std::uint64_t key = 0;
+    std::uint16_t homeGroup = 0;
+};
+
+/**
+ * An immutable request trace.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::vector<TraceRecord> records);
+
+    /**
+     * Pre-sample @p n requests from a service distribution and an
+     * arrival process.
+     */
+    static Trace generate(const ServiceDist &dist,
+                          ArrivalProcess &arrivals, std::uint64_t n,
+                          unsigned connections,
+                          std::uint32_t request_bytes, Rng rng);
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    /** Total span of arrivals (ns). */
+    Tick duration() const;
+
+    /** Mean sampled service time (ns). */
+    double meanService() const;
+
+    /** Offered rate in requests/ns over the trace span. */
+    double offeredRate() const;
+
+    /** Binary save/load for cross-process replay. */
+    bool save(const std::string &path) const;
+    static Trace load(const std::string &path);
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace altoc::workload
+
+#endif // ALTOC_WORKLOAD_TRACE_HH

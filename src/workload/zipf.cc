@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Rejection-inversion Zipf sampler implementation.
+ */
+
+#include "workload/zipf.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace altoc::workload {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double s)
+    : n_(n), s_(s)
+{
+    altoc_assert(n > 0, "population must be positive");
+    altoc_assert(s >= 0.0, "skew must be non-negative");
+    hx0_ = h(1.5) - 1.0;
+    hn_ = h(static_cast<double>(n) + 0.5);
+    harmonic_ = 0.0;
+    // Exact generalized harmonic for small n; integral approximation
+    // beyond (only used by probabilityOf for tests).
+    const std::uint64_t exact = n_ < 100000 ? n_ : 100000;
+    for (std::uint64_t k = 1; k <= exact; ++k)
+        harmonic_ += std::pow(static_cast<double>(k), -s_);
+    if (exact < n_) {
+        // integral of x^-s from exact to n
+        if (std::abs(s_ - 1.0) < 1e-12) {
+            harmonic_ += std::log(static_cast<double>(n_) /
+                                  static_cast<double>(exact));
+        } else {
+            harmonic_ +=
+                (std::pow(static_cast<double>(n_), 1.0 - s_) -
+                 std::pow(static_cast<double>(exact), 1.0 - s_)) /
+                (1.0 - s_);
+        }
+    }
+}
+
+double
+ZipfGenerator::h(double x) const
+{
+    // H(x) = integral of t^-s dt: (x^{1-s} - 1)/(1-s), log x at s=1.
+    if (std::abs(s_ - 1.0) < 1e-12)
+        return std::log(x);
+    return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double
+ZipfGenerator::hInverse(double x) const
+{
+    if (std::abs(s_ - 1.0) < 1e-12)
+        return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::uint64_t
+ZipfGenerator::sample(Rng &rng) const
+{
+    if (s_ == 0.0)
+        return rng.below(n_);
+    for (;;) {
+        const double u = hx0_ + rng.uniform() * (hn_ - hx0_);
+        const double x = hInverse(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n_)
+            k = n_;
+        // Accept k with probability proportional to the true pmf
+        // against the dominating envelope.
+        const double kd = static_cast<double>(k);
+        if (u >= h(kd + 0.5) - std::pow(kd, -s_))
+            return k - 1;
+    }
+}
+
+double
+ZipfGenerator::probabilityOf(std::uint64_t k) const
+{
+    altoc_assert(k < n_, "key out of range");
+    if (s_ == 0.0)
+        return 1.0 / static_cast<double>(n_);
+    return std::pow(static_cast<double>(k + 1), -s_) / harmonic_;
+}
+
+} // namespace altoc::workload

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Zipfian key-popularity generator.
+ *
+ * Key-value workloads are rarely uniform: YCSB and the original MICA
+ * evaluation use Zipf-distributed key popularity (skew ~0.99). Under
+ * EREW partitioning skew concentrates load on the hot keys' owner
+ * groups, which is precisely the imbalance ALTOCUMULUS migrations
+ * must absorb -- the skew ablation bench quantifies it.
+ *
+ * Sampling uses the rejection-inversion method of Hormann & Derflinger
+ * (ACM TOMS 1996), the same algorithm behind YCSB's generator: O(1)
+ * per sample with no per-key tables, valid for any s > 0, s != 1
+ * (s == 1 is handled by the s -> 1 limit of the transform).
+ */
+
+#ifndef ALTOC_WORKLOAD_ZIPF_HH
+#define ALTOC_WORKLOAD_ZIPF_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace altoc::workload {
+
+/**
+ * Zipf(s) sampler over {0, 1, ..., n-1}: P(k) proportional to
+ * 1 / (k+1)^s.
+ */
+class ZipfGenerator
+{
+  public:
+    /**
+     * @param n    population size (number of keys)
+     * @param s    skew parameter (0 = uniform-ish, 0.99 = YCSB)
+     */
+    ZipfGenerator(std::uint64_t n, double s);
+
+    /** Draw one key id in [0, n). */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t population() const { return n_; }
+    double skew() const { return s_; }
+
+    /** Analytic probability of key @p k (for tests). */
+    double probabilityOf(std::uint64_t k) const;
+
+  private:
+    double h(double x) const;
+    double hInverse(double x) const;
+
+    std::uint64_t n_;
+    double s_;
+    double hx0_;       //!< H(1.5) - 1
+    double hn_;        //!< H(n + 0.5)
+    double harmonic_;  //!< generalized harmonic number (for pmf)
+};
+
+} // namespace altoc::workload
+
+#endif // ALTOC_WORKLOAD_ZIPF_HH

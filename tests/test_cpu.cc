@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Core execution model and topology tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "cpu/topology.hh"
+#include "net/rpc.hh"
+#include "sim/simulator.hh"
+
+using namespace altoc;
+using namespace altoc::cpu;
+
+namespace {
+
+struct CoreHarness
+{
+    sim::Simulator sim;
+    net::RpcPool pool;
+    Core core{sim, 0, 0};
+    std::vector<net::Rpc *> completions;
+    std::vector<net::Rpc *> preemptions;
+
+    CoreHarness()
+    {
+        core.setCompletion([this](Core &, net::Rpc *r) {
+            completions.push_back(r);
+        });
+        core.setPreempt([this](Core &, net::Rpc *r) {
+            preemptions.push_back(r);
+        });
+    }
+
+    net::Rpc *
+    makeRpc(Tick service)
+    {
+        net::Rpc *r = pool.alloc();
+        r->service = service;
+        r->remaining = service;
+        return r;
+    }
+};
+
+} // namespace
+
+TEST(Core, RunToCompletion)
+{
+    CoreHarness h;
+    net::Rpc *r = h.makeRpc(500);
+    h.core.run(r, 0);
+    EXPECT_TRUE(h.core.busy());
+    h.sim.run();
+    EXPECT_EQ(h.sim.now(), 500u);
+    ASSERT_EQ(h.completions.size(), 1u);
+    EXPECT_FALSE(h.core.busy());
+    EXPECT_EQ(r->remaining, 0u);
+    EXPECT_EQ(h.core.busyNs(), 500u);
+    EXPECT_EQ(h.core.completed(), 1u);
+}
+
+TEST(Core, DispatchDelayDefersStart)
+{
+    CoreHarness h;
+    net::Rpc *r = h.makeRpc(100);
+    h.core.run(r, 35);
+    h.sim.run();
+    EXPECT_EQ(h.sim.now(), 135u);
+    EXPECT_EQ(r->started, 35u);
+    // Dispatch latency is not execution time.
+    EXPECT_EQ(h.core.busyNs(), 100u);
+}
+
+TEST(Core, QuantumPreempts)
+{
+    CoreHarness h;
+    net::Rpc *r = h.makeRpc(1000);
+    h.core.run(r, 0, 300);
+    h.sim.run();
+    ASSERT_EQ(h.preemptions.size(), 1u);
+    EXPECT_EQ(r->remaining, 700u);
+    EXPECT_EQ(h.core.preemptions(), 1u);
+    EXPECT_TRUE(h.completions.empty());
+
+    // Resume to completion.
+    h.core.run(r, 0);
+    h.sim.run();
+    ASSERT_EQ(h.completions.size(), 1u);
+    EXPECT_EQ(h.core.busyNs(), 1000u);
+}
+
+TEST(Core, QuantumLargerThanDemandCompletes)
+{
+    CoreHarness h;
+    net::Rpc *r = h.makeRpc(50);
+    h.core.run(r, 0, 5000);
+    h.sim.run();
+    EXPECT_EQ(h.completions.size(), 1u);
+    EXPECT_TRUE(h.preemptions.empty());
+}
+
+TEST(Core, StartedOnlyStampedOnce)
+{
+    CoreHarness h;
+    net::Rpc *r = h.makeRpc(200);
+    h.core.run(r, 0, 100);
+    h.sim.run();
+    const Tick first_start = r->started;
+    h.core.run(r, 0);
+    h.sim.run();
+    EXPECT_EQ(r->started, first_start);
+}
+
+TEST(Core, ResolverRewritesDemandOnFirstRun)
+{
+    CoreHarness h;
+    h.core.setResolver([](net::Rpc &r, Core &) {
+        r.service = 80;
+        r.remaining = 80;
+    });
+    net::Rpc *r = h.makeRpc(9999);
+    h.core.run(r, 0);
+    h.sim.run();
+    EXPECT_EQ(h.sim.now(), 80u);
+    EXPECT_EQ(h.core.busyNs(), 80u);
+}
+
+TEST(Core, ResolverNotReinvokedOnResume)
+{
+    CoreHarness h;
+    int calls = 0;
+    h.core.setResolver([&calls](net::Rpc &r, Core &) {
+        ++calls;
+        r.remaining = 400;
+    });
+    net::Rpc *r = h.makeRpc(100);
+    h.core.run(r, 0, 150);
+    h.sim.run();
+    h.core.run(r, 0);
+    h.sim.run();
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(h.completions.size(), 1u);
+}
+
+TEST(Topology, SocketMapping)
+{
+    EXPECT_EQ(socketOf(0), 0u);
+    EXPECT_EQ(socketOf(63), 0u);
+    EXPECT_EQ(socketOf(64), 1u);
+    EXPECT_EQ(socketOf(255), 3u);
+    EXPECT_TRUE(sameSocket(0, 63));
+    EXPECT_FALSE(sameSocket(63, 64));
+}
+
+TEST(Topology, RemoteAccessPricesQpi)
+{
+    EXPECT_EQ(remoteAccessLatency(0, 5), lat::kLlc);
+    EXPECT_EQ(remoteAccessLatency(0, 100), lat::kLlc + lat::kQpiBase);
+}

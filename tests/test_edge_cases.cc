@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Edge cases and failure injection across the stack: degenerate
+ * configurations, overload drains, boundary quanta, saturated
+ * mailboxes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.hh"
+#include "core/hw_messaging.hh"
+#include "system/experiment.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+TEST(EdgeCases, SingleCoreRss)
+{
+    DesignConfig cfg;
+    cfg.design = Design::Rss;
+    cfg.cores = 1;
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(100);
+    spec.rateMrps = 1.0;
+    spec.requests = 1000;
+    const RunResult res = runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 1000u);
+}
+
+TEST(EdgeCases, MinimalAcGroup)
+{
+    // Smallest legal AC system: 1 group of 1 manager + 1 worker.
+    DesignConfig cfg;
+    cfg.design = Design::AcInt;
+    cfg.cores = 2;
+    cfg.groups = 1;
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(500);
+    spec.rateMrps = 0.5;
+    spec.requests = 2000;
+    const RunResult res = runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 2000u);
+    EXPECT_EQ(res.migrated, 0u); // nowhere to migrate to
+}
+
+TEST(EdgeCases, TwoGroupsOfTwo)
+{
+    DesignConfig cfg;
+    cfg.design = Design::AcRss;
+    cfg.cores = 4;
+    cfg.groups = 2;
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(500);
+    spec.rateMrps = 2.0;
+    spec.requests = 5000;
+    spec.connections = 2;
+    const RunResult res = runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 5000u);
+}
+
+TEST(EdgeCases, OverloadDrainsToCompletion)
+{
+    // Offered 3x capacity: every request must still complete once
+    // arrivals stop, and achieved throughput ~= capacity.
+    DesignConfig cfg;
+    cfg.design = Design::Nebula;
+    cfg.cores = 4;
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(1000);
+    spec.rateMrps = 12.0;
+    spec.requests = 30000;
+    const RunResult res = runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 30000u);
+    EXPECT_NEAR(res.achievedMrps, 4.0, 0.5);
+    EXPECT_GT(res.utilization, 0.9);
+}
+
+TEST(EdgeCases, AcUnderExtremeOverloadStaysLive)
+{
+    DesignConfig cfg;
+    cfg.design = Design::AcInt;
+    cfg.cores = 8;
+    cfg.groups = 2;
+    cfg.params.period = 50;
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(1000);
+    spec.rateMrps = 30.0; // ~5x capacity
+    spec.requests = 40000;
+    spec.connections = 2;
+    const RunResult res = runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 40000u);
+}
+
+TEST(EdgeCases, QuantumExactlyEqualToService)
+{
+    DesignConfig cfg;
+    cfg.design = Design::Shinjuku;
+    cfg.cores = 3;
+    WorkloadSpec spec;
+    // Service exactly equals Shinjuku's 5 us quantum: must complete
+    // without a preemption loop.
+    spec.service = workload::makeFixed(5 * kUs);
+    spec.rateMrps = 0.05;
+    spec.requests = 500;
+    const RunResult res = runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 500u);
+}
+
+TEST(EdgeCases, OneNanosecondServices)
+{
+    DesignConfig cfg;
+    cfg.design = Design::NanoPu;
+    cfg.cores = 4;
+    cfg.lineRateGbps = 1600.0;
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(1);
+    spec.rateMrps = 100.0;
+    spec.requests = 50000;
+    spec.requestBytes = 64;
+    const RunResult res = runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 50000u);
+}
+
+TEST(EdgeCases, SingleRequestRun)
+{
+    DesignConfig cfg;
+    cfg.design = Design::ZygOs;
+    cfg.cores = 4;
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(777);
+    spec.rateMrps = 0.001;
+    spec.requests = 1;
+    spec.warmupFraction = 0.0;
+    const RunResult res = runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 1u);
+    EXPECT_GE(res.latency.p50, 777u);
+}
+
+TEST(EdgeCases, MessagingSingleManagerBroadcastIsNoop)
+{
+    sim::Simulator sim;
+    noc::Mesh mesh(2, 2);
+    core::HwMessaging msg(sim, mesh, {0}, {});
+    msg.broadcastUpdate(0, 42);
+    sim.run();
+    EXPECT_EQ(msg.stats().updatesSent, 0u);
+}
+
+TEST(EdgeCases, CalibrationTinyRun)
+{
+    workload::FixedDist dist(100);
+    // 10 requests cannot crash even if no violation appears.
+    auto [q, found] =
+        core::firstViolationQueueLength(dist, 2, 0.5, 10.0, 10, 1);
+    EXPECT_FALSE(found);
+    (void)q;
+}
+
+TEST(EdgeCases, BurstArrivalsSameTick)
+{
+    // All requests arrive essentially simultaneously (deterministic
+    // trace with identical arrival times).
+    std::vector<workload::TraceRecord> recs;
+    for (int i = 0; i < 200; ++i) {
+        workload::TraceRecord rec;
+        rec.arrival = 100;
+        rec.service = 50;
+        rec.sizeBytes = 64;
+        rec.conn = static_cast<std::uint32_t>(i);
+        recs.push_back(rec);
+    }
+    const workload::Trace trace{std::move(recs)};
+    DesignConfig cfg;
+    cfg.design = Design::Nebula;
+    cfg.cores = 4;
+    WorkloadSpec spec;
+    spec.trace = &trace;
+    spec.warmupFraction = 0.0;
+    const RunResult res = runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 200u);
+    // FIFO drain: the last request waits ~200 x 50 / 4 cores.
+    EXPECT_GE(res.latency.max, 200u * 50u / 4u);
+}

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * GroupScheduler (ALTOCUMULUS) behavioral tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/group.hh"
+#include "system/experiment.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+DesignConfig
+acConfig(Design d, unsigned cores = 16, unsigned groups = 2)
+{
+    DesignConfig cfg;
+    cfg.design = d;
+    cfg.cores = cores;
+    cfg.groups = groups;
+    return cfg;
+}
+
+WorkloadSpec
+fixedSpec(double mrps, std::uint64_t requests = 20000)
+{
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(1 * kUs);
+    spec.rateMrps = mrps;
+    spec.requests = requests;
+    spec.seed = 5;
+    return spec;
+}
+
+const core::GroupScheduler &
+groupSched(const Server &server)
+{
+    auto *g = dynamic_cast<const core::GroupScheduler *>(
+        &server.scheduler());
+    EXPECT_NE(g, nullptr);
+    return *g;
+}
+
+} // namespace
+
+TEST(GroupScheduler, ManagerCoresNeverExecute)
+{
+    auto server = makeServer(acConfig(Design::AcRss), 1000, "Fixed",
+                             10 * kUs, 0, 1);
+    server->stopAfterCompletions(5000);
+    WorkloadSpec spec = fixedSpec(8.0, 5000);
+    LoadGenerator gen(*server, spec);
+    gen.start();
+    server->run();
+    EXPECT_EQ(server->completed(), 5000u);
+    // Cores 0 and 8 are managers in a 2x8 layout.
+    EXPECT_EQ(server->cores()[0]->completed(), 0u);
+    EXPECT_EQ(server->cores()[8]->completed(), 0u);
+    EXPECT_GT(server->cores()[1]->completed(), 0u);
+}
+
+TEST(GroupScheduler, WorkerCorePredicate)
+{
+    auto server = makeServer(acConfig(Design::AcInt), 1000, "Fixed",
+                             10 * kUs, 0, 1);
+    const auto &sched = server->scheduler();
+    EXPECT_FALSE(sched.isWorkerCore(0));
+    EXPECT_TRUE(sched.isWorkerCore(1));
+    EXPECT_TRUE(sched.isWorkerCore(7));
+    EXPECT_FALSE(sched.isWorkerCore(8));
+    EXPECT_TRUE(sched.isWorkerCore(15));
+}
+
+TEST(GroupScheduler, RuntimeTicksAtConfiguredPeriod)
+{
+    DesignConfig cfg = acConfig(Design::AcInt);
+    cfg.params.period = 100;
+    auto server =
+        makeServer(cfg, 1000, "Fixed", 10 * kUs, 0, 1);
+    server->stopAfterCompletions(2000);
+    WorkloadSpec spec = fixedSpec(4.0, 2000);
+    LoadGenerator gen(*server, spec);
+    gen.start();
+    server->run();
+    const auto &g = groupSched(*server);
+    // ~2000 requests at 4 MRPS span ~500 us -> ~5000 ticks per
+    // manager, 2 managers.
+    EXPECT_GT(g.runtimeTicks(), 2000u);
+}
+
+TEST(GroupScheduler, UpdatesSynchronizeQueueViews)
+{
+    DesignConfig cfg = acConfig(Design::AcRss);
+    auto server = makeServer(cfg, 1000, "Fixed", 10 * kUs, 0, 1);
+    server->stopAfterCompletions(10000);
+    WorkloadSpec spec = fixedSpec(10.0, 10000);
+    spec.connections = 8; // lumpy
+    LoadGenerator gen(*server, spec);
+    gen.start();
+    server->run();
+    const auto &g = groupSched(*server);
+    EXPECT_GT(g.messagingStats().updatesSent, 100u);
+}
+
+TEST(GroupScheduler, MigrationReducesTailUnderImbalance)
+{
+    // Two groups with skewed steering: migration must cut p99
+    // relative to the no-migration configuration.
+    WorkloadSpec spec = fixedSpec(11.0, 40000);
+    spec.connections = 3; // extreme hash lumpiness across 2 groups
+
+    DesignConfig with_mig = acConfig(Design::AcInt);
+    DesignConfig without_mig = acConfig(Design::AcInt);
+    without_mig.params.migrationEnabled = false;
+
+    const RunResult on = runExperiment(with_mig, spec);
+    const RunResult off = runExperiment(without_mig, spec);
+    EXPECT_GT(on.migrated, 0u);
+    EXPECT_LT(on.latency.p99, off.latency.p99)
+        << "migration should relieve the overloaded group";
+}
+
+TEST(GroupScheduler, MigrateAtMostOnce)
+{
+    DesignConfig cfg = acConfig(Design::AcInt, 24, 3);
+    WorkloadSpec spec = fixedSpec(10.0, 30000);
+    spec.connections = 4;
+    spec.capturePerRequest = true;
+    const RunResult res = runExperiment(cfg, spec);
+    // Descriptors sent equals requests migrated: a request never
+    // contributes to two MIGRATEs.
+    EXPECT_LE(res.messaging.descriptorsDelivered +
+                  res.messaging.descriptorsReturned,
+              res.messaging.descriptorsSent);
+    EXPECT_EQ(res.migrated, res.messaging.descriptorsSent);
+}
+
+TEST(GroupScheduler, RssVariantManagerBoundsThroughput)
+{
+    // One group of 1 manager + 3 workers, 35 ns per dispatch: the
+    // manager caps throughput near 28 MRPS regardless of workers.
+    DesignConfig cfg = acConfig(Design::AcRss, 4, 1);
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(50);
+    spec.rateMrps = 50.0; // beyond the manager bound
+    spec.requests = 50000;
+    spec.seed = 6;
+    const RunResult res = runExperiment(cfg, spec);
+    // Achieved throughput is manager-limited: clearly below offered,
+    // at most ~28.5 MRPS.
+    EXPECT_LT(res.achievedMrps, 30.0);
+    EXPECT_GT(res.achievedMrps, 15.0);
+}
+
+TEST(GroupScheduler, IntVariantNotManagerBound)
+{
+    DesignConfig cfg = acConfig(Design::AcInt, 4, 1);
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(50);
+    spec.rateMrps = 50.0;
+    spec.requests = 50000;
+    spec.seed = 6;
+    const RunResult res = runExperiment(cfg, spec);
+    // 3 workers at 50 ns saturate at 60 MRPS; hardware dispatch must
+    // get well past the software manager bound.
+    EXPECT_GT(res.achievedMrps, 35.0);
+}
+
+TEST(GroupScheduler, MsrInterfaceCostsThroughput)
+{
+    // Fig. 14: AC_rss-MSR reaches ~91% of AC_rss-ISA's max.
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(100);
+    spec.rateMrps = 35.0;
+    spec.requests = 60000;
+    spec.seed = 7;
+    spec.connections = 8;
+
+    DesignConfig isa = acConfig(Design::AcRss, 16, 2);
+    isa.params.iface = core::Interface::Isa;
+    isa.params.period = 200;
+    DesignConfig msr = isa;
+    msr.params.iface = core::Interface::Msr;
+
+    const RunResult r_isa = runExperiment(isa, spec);
+    const RunResult r_msr = runExperiment(msr, spec);
+    EXPECT_LE(r_msr.achievedMrps, r_isa.achievedMrps * 1.001);
+}
+
+TEST(GroupScheduler, PredictionsAreRecorded)
+{
+    DesignConfig cfg = acConfig(Design::AcInt);
+    cfg.params.loadOverride = 0.95;
+    WorkloadSpec spec = fixedSpec(13.0, 40000);
+    spec.connections = 3;
+    const RunResult res = runExperiment(cfg, spec);
+    if (res.violations > 0) {
+        // Some predictions should have been made under overload.
+        EXPECT_GT(res.predictions.predicted +
+                      res.predictions.falsePositives,
+                  0u);
+    }
+}
+
+TEST(GroupScheduler, PatternCountsPopulated)
+{
+    DesignConfig cfg = acConfig(Design::AcInt);
+    auto server = makeServer(cfg, 1000, "Fixed", 10 * kUs, 0, 1);
+    server->stopAfterCompletions(30000);
+    WorkloadSpec spec = fixedSpec(12.0, 30000);
+    spec.connections = 3;
+    LoadGenerator gen(*server, spec);
+    gen.start();
+    server->run();
+    const auto &g = groupSched(*server);
+    std::uint64_t total = 0;
+    for (std::uint64_t c : g.patternCounts())
+        total += c;
+    EXPECT_EQ(total, g.runtimeTicks());
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Cross-module integration tests: every design runs a small workload
+ * end to end; conservation and sanity invariants hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/experiment.hh"
+#include "system/sweep.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+WorkloadSpec
+smallFixedWorkload(double rate_mrps)
+{
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(1 * kUs);
+    spec.rateMrps = rate_mrps;
+    spec.requests = 20000;
+    spec.seed = 42;
+    return spec;
+}
+
+DesignConfig
+configFor(Design d)
+{
+    DesignConfig cfg;
+    cfg.design = d;
+    cfg.cores = 16;
+    cfg.groups = 2;
+    return cfg;
+}
+
+class AllDesigns : public ::testing::TestWithParam<Design>
+{
+};
+
+} // namespace
+
+TEST_P(AllDesigns, CompletesEveryRequestAtModerateLoad)
+{
+    const RunResult res =
+        runExperiment(configFor(GetParam()), smallFixedWorkload(5.0));
+    EXPECT_EQ(res.completed, 20000u) << res.design;
+    EXPECT_GT(res.latency.p50, 0u);
+    // Latency can never be below the service time plus NIC transit.
+    EXPECT_GE(res.latency.p50, 1 * kUs);
+}
+
+TEST_P(AllDesigns, LatencyGrowsWithLoad)
+{
+    const RunResult low =
+        runExperiment(configFor(GetParam()), smallFixedWorkload(2.0));
+    const RunResult high =
+        runExperiment(configFor(GetParam()), smallFixedWorkload(12.0));
+    EXPECT_GE(high.latency.p99, low.latency.p99) << low.design;
+}
+
+TEST_P(AllDesigns, UtilizationScalesWithLoad)
+{
+    const RunResult low =
+        runExperiment(configFor(GetParam()), smallFixedWorkload(2.0));
+    const RunResult high =
+        runExperiment(configFor(GetParam()), smallFixedWorkload(10.0));
+    EXPECT_GT(high.utilization, low.utilization) << low.design;
+    EXPECT_LE(high.utilization, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, AllDesigns,
+    ::testing::Values(Design::Rss, Design::Ix, Design::ZygOs,
+                      Design::Shinjuku, Design::RpcValet, Design::Nebula,
+                      Design::NanoPu, Design::AcInt, Design::AcRss),
+    [](const ::testing::TestParamInfo<Design> &info) {
+        std::string name = designName(info.param);
+        for (char &c : name) {
+            if (c == '_' || c == '-')
+                c = 'x';
+        }
+        return name;
+    });
+
+TEST(Integration, AcRssMigratesUnderImbalance)
+{
+    // Connection-skewed RSS steering across 2 groups builds
+    // imbalance the runtime corrects.
+    DesignConfig cfg = configFor(Design::AcRss);
+    WorkloadSpec spec = smallFixedWorkload(10.0);
+    spec.connections = 8; // few connections -> lumpy RSS hashing
+    const RunResult res = runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 20000u);
+    EXPECT_GT(res.migrated, 0u);
+    EXPECT_GT(res.messaging.migratesSent, 0u);
+    EXPECT_GT(res.messaging.updatesSent, 0u);
+}
+
+TEST(Integration, MigrationDisabledSendsNothing)
+{
+    DesignConfig cfg = configFor(Design::AcRss);
+    cfg.params.migrationEnabled = false;
+    WorkloadSpec spec = smallFixedWorkload(10.0);
+    spec.connections = 8;
+    const RunResult res = runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 20000u);
+    EXPECT_EQ(res.migrated, 0u);
+    EXPECT_EQ(res.messaging.migratesSent, 0u);
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    const DesignConfig cfg = configFor(Design::AcInt);
+    const WorkloadSpec spec = smallFixedWorkload(8.0);
+    const RunResult a = runExperiment(cfg, spec);
+    const RunResult b = runExperiment(cfg, spec);
+    EXPECT_EQ(a.latency.p99, b.latency.p99);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.migrated, b.migrated);
+    EXPECT_EQ(a.violations, b.violations);
+}
+
+TEST(Integration, ThroughputAtSloSearchBrackets)
+{
+    DesignConfig cfg = configFor(Design::Nebula);
+    WorkloadSpec spec = smallFixedWorkload(1.0);
+    spec.requests = 10000;
+    const SweepResult sweep =
+        findThroughputAtSlo(cfg, spec, 1.0, 20.0, 4, 3);
+    // 16 cores x 1 us fixed service saturate at 16 MRPS; the knee
+    // must be positive and below saturation.
+    EXPECT_GT(sweep.throughputAtSloMrps, 1.0);
+    EXPECT_LT(sweep.throughputAtSloMrps, 16.5);
+    EXPECT_FALSE(sweep.points.empty());
+}

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Hardware messaging mechanism tests: MIGRATE/ACK/NACK protocol,
+ * buffer bounds, UPDATE broadcast, software fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hw_messaging.hh"
+#include "sim/simulator.hh"
+
+using namespace altoc;
+using namespace altoc::core;
+
+namespace {
+
+struct MsgHarness
+{
+    sim::Simulator sim;
+    noc::Mesh mesh{4, 4};
+    net::RpcPool pool;
+    std::unique_ptr<HwMessaging> msg;
+
+    std::vector<std::pair<unsigned, std::size_t>> delivered; // (mgr, n)
+    std::vector<std::pair<unsigned, std::size_t>> returned;  // (mgr, n)
+    std::vector<std::tuple<unsigned, unsigned, std::size_t>> updates;
+
+    explicit MsgHarness(HwMessaging::Config cfg = {},
+                        std::vector<unsigned> tiles = {0, 3, 12, 15})
+    {
+        msg = std::make_unique<HwMessaging>(sim, mesh, tiles, cfg);
+        msg->setMigrateIn(
+            [this](unsigned mgr, const std::vector<net::Rpc *> &reqs) {
+                delivered.emplace_back(mgr, reqs.size());
+            });
+        msg->setReturn(
+            [this](unsigned mgr, const std::vector<net::Rpc *> &reqs) {
+                returned.emplace_back(mgr, reqs.size());
+            });
+        msg->setUpdate([this](unsigned mgr, unsigned src, std::size_t q) {
+            updates.emplace_back(mgr, src, q);
+        });
+    }
+
+    std::vector<net::Rpc *>
+    batch(unsigned n)
+    {
+        std::vector<net::Rpc *> v;
+        for (unsigned i = 0; i < n; ++i) {
+            net::Rpc *r = pool.alloc();
+            r->service = 100;
+            r->remaining = 100;
+            v.push_back(r);
+        }
+        return v;
+    }
+};
+
+} // namespace
+
+TEST(HwMessaging, MigrateDeliversAndAcks)
+{
+    MsgHarness h;
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(4)));
+    h.sim.run();
+    ASSERT_EQ(h.delivered.size(), 1u);
+    EXPECT_EQ(h.delivered[0].first, 1u);
+    EXPECT_EQ(h.delivered[0].second, 4u);
+    EXPECT_EQ(h.msg->stats().migratesSent, 1u);
+    EXPECT_EQ(h.msg->stats().migratesAcked, 1u);
+    EXPECT_EQ(h.msg->stats().descriptorsDelivered, 4u);
+    // ACK freed the staged MR entries.
+    EXPECT_EQ(h.msg->freeMrEntries(0), hw::kMrEntries);
+}
+
+TEST(HwMessaging, MigrationMarksDescriptors)
+{
+    MsgHarness h;
+    auto reqs = h.batch(2);
+    net::Rpc *first = reqs[0];
+    EXPECT_FALSE(first->migrated);
+    h.msg->sendMigrate(0, 2, std::move(reqs));
+    h.sim.run();
+    EXPECT_TRUE(first->migrated);
+    EXPECT_EQ(first->curGroup, 2u);
+}
+
+TEST(HwMessaging, MigrationTakesNocTime)
+{
+    MsgHarness h;
+    h.msg->sendMigrate(0, 3, h.batch(8)); // tiles 0 -> 15: 6 hops
+    Tick deliver_time = 0;
+    h.msg->setMigrateIn(
+        [&](unsigned, const std::vector<net::Rpc *> &) {
+            deliver_time = h.sim.now();
+        });
+    h.sim.run();
+    // At least the NoC flight time (18 ns) plus controller/migrator.
+    EXPECT_GE(deliver_time, 18u);
+    // Paper bound: migration latency < 50 ns even at 256 cores.
+    EXPECT_LT(deliver_time, 50u);
+}
+
+TEST(HwMessaging, StagingBoundRefusesOversizedSends)
+{
+    MsgHarness h;
+    // MR bank holds 11 entries; a 12-descriptor MIGRATE cannot stage.
+    EXPECT_EQ(h.msg->sendCapacity(0), hw::kMrEntries);
+    EXPECT_FALSE(h.msg->sendMigrate(0, 1, h.batch(12)));
+    EXPECT_EQ(h.msg->stats().sendsRefused, 1u);
+    // In-flight staging blocks a second full batch until the ACK.
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(8)));
+    EXPECT_EQ(h.msg->sendCapacity(0), hw::kMrEntries - 8);
+    EXPECT_FALSE(h.msg->sendMigrate(0, 1, h.batch(8)));
+    h.sim.run();
+    EXPECT_EQ(h.msg->sendCapacity(0), hw::kMrEntries);
+}
+
+TEST(HwMessaging, ReceiverOverflowNacksAndReturns)
+{
+    MsgHarness h;
+    // Two equidistant senders hit manager 1 in the same cycle:
+    // 8 + 8 > 11 MR entries, so the second MIGRATE must be dropped
+    // and returned (managers 0 and 3 are both 3 hops from tile 3).
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(8)));
+    EXPECT_TRUE(h.msg->sendMigrate(3, 1, h.batch(8)));
+    h.sim.run();
+    EXPECT_EQ(h.delivered.size() + h.returned.size(), 2u);
+    EXPECT_EQ(h.msg->stats().migratesNacked, 1u);
+    ASSERT_EQ(h.returned.size(), 1u);
+    EXPECT_EQ(h.returned[0].second, 8u);
+    // NACKed descriptors are not marked migrated.
+    EXPECT_EQ(h.msg->stats().descriptorsReturned, 8u);
+}
+
+TEST(HwMessaging, UpdateBroadcastReachesAllOthers)
+{
+    MsgHarness h;
+    h.msg->broadcastUpdate(1, 42);
+    h.sim.run();
+    ASSERT_EQ(h.updates.size(), 3u);
+    for (auto &[mgr, src, q] : h.updates) {
+        EXPECT_NE(mgr, 1u);
+        EXPECT_EQ(src, 1u);
+        EXPECT_EQ(q, 42u);
+    }
+    EXPECT_EQ(h.msg->stats().updatesSent, 3u);
+}
+
+TEST(HwMessaging, SoftwareFallbackIsSlower)
+{
+    HwMessaging::Config sw;
+    sw.hardware = false;
+    MsgHarness hw_h;
+    MsgHarness sw_h(sw);
+
+    Tick hw_time = 0, sw_time = 0;
+    hw_h.msg->setMigrateIn(
+        [&](unsigned, const std::vector<net::Rpc *> &) {
+            hw_time = hw_h.sim.now();
+        });
+    sw_h.msg->setMigrateIn(
+        [&](unsigned, const std::vector<net::Rpc *> &) {
+            sw_time = sw_h.sim.now();
+        });
+    hw_h.msg->sendMigrate(0, 1, hw_h.batch(4));
+    sw_h.msg->sendMigrate(0, 1, sw_h.batch(4));
+    hw_h.sim.run();
+    sw_h.sim.run();
+    EXPECT_GT(sw_time, hw_time * 3);
+    EXPECT_GE(sw_time, hw::kSwMessageNs);
+}
+
+TEST(HwMessaging, SoftwareFallbackIgnoresBufferBounds)
+{
+    HwMessaging::Config sw;
+    sw.hardware = false;
+    MsgHarness h(sw);
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(40)));
+    h.sim.run();
+    ASSERT_EQ(h.delivered.size(), 1u);
+    EXPECT_EQ(h.delivered[0].second, 40u);
+}
+
+TEST(HwMessaging, UpdateCoalescingBoundsTraffic)
+{
+    // Thousands of broadcasts while the wire is busy must collapse
+    // into at most one in-flight + one pending value per channel.
+    MsgHarness h;
+    for (std::size_t q = 0; q < 1000; ++q)
+        h.msg->broadcastUpdate(0, q);
+    h.sim.run();
+    // 3 destinations; first value flies immediately, later ones
+    // coalesce into (few) follow-ups.
+    EXPECT_LE(h.msg->stats().updatesSent, 3u * 4u);
+    // Every destination must end at the freshest value.
+    std::size_t last_seen[4] = {~0ull, ~0ull, ~0ull, ~0ull};
+    for (auto &[mgr, src, q] : h.updates) {
+        EXPECT_EQ(src, 0u);
+        last_seen[mgr] = q;
+    }
+    for (unsigned mgr = 1; mgr < 4; ++mgr)
+        EXPECT_EQ(last_seen[mgr], 999u);
+}
+
+TEST(HwMessaging, UpdateChannelRecoversAfterIdle)
+{
+    MsgHarness h;
+    h.msg->broadcastUpdate(0, 1);
+    h.sim.run();
+    const auto first_batch = h.msg->stats().updatesSent;
+    h.msg->broadcastUpdate(0, 2);
+    h.sim.run();
+    // Channel went idle, so the second broadcast sends fresh
+    // messages to all three peers again.
+    EXPECT_EQ(h.msg->stats().updatesSent, first_batch + 3);
+}
+
+TEST(HwMessaging, ConcurrentMigrationsBetweenDisjointPairs)
+{
+    MsgHarness h;
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(4)));
+    EXPECT_TRUE(h.msg->sendMigrate(2, 3, h.batch(4)));
+    h.sim.run();
+    EXPECT_EQ(h.msg->stats().migratesAcked, 2u);
+    EXPECT_EQ(h.delivered.size(), 2u);
+}
+
+TEST(HwMessaging, NocBytesAccounted)
+{
+    MsgHarness h;
+    h.msg->sendMigrate(0, 1, h.batch(4));
+    h.sim.run();
+    // MIGRATE (8 + 4*14 = 64 B) + ACK (8 B).
+    EXPECT_EQ(h.msg->stats().bytesOnNoc, 72u);
+}

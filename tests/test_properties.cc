@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Parameterized property sweeps across (design x distribution x
+ * load): conservation, latency lower bounds, work accounting and
+ * determinism must hold everywhere in the configuration space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "system/experiment.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+enum class DistKind
+{
+    Fixed,
+    Uniform,
+    Exponential,
+    Bimodal,
+};
+
+const char *
+distName(DistKind k)
+{
+    switch (k) {
+      case DistKind::Fixed:
+        return "Fixed";
+      case DistKind::Uniform:
+        return "Uniform";
+      case DistKind::Exponential:
+        return "Exponential";
+      case DistKind::Bimodal:
+        return "Bimodal";
+    }
+    return "?";
+}
+
+std::shared_ptr<workload::ServiceDist>
+makeDist(DistKind k)
+{
+    switch (k) {
+      case DistKind::Fixed:
+        return workload::makeFixed(1000);
+      case DistKind::Uniform:
+        return workload::makeUniformAround(1000);
+      case DistKind::Exponential:
+        return workload::makeExponential(1000);
+      case DistKind::Bimodal:
+        // Scaled-down dispersion so sweeps stay fast.
+        return std::make_shared<workload::BimodalDist>(0.01, 500,
+                                                       20000);
+    }
+    return nullptr;
+}
+
+using Param = std::tuple<Design, DistKind, double /*load*/>;
+
+class PropertySweep : public ::testing::TestWithParam<Param>
+{
+  protected:
+    RunResult
+    run(std::uint64_t seed = 11)
+    {
+        const auto [design, dist, load] = GetParam();
+        DesignConfig cfg;
+        cfg.design = design;
+        cfg.cores = 16;
+        cfg.groups = 2;
+        WorkloadSpec spec;
+        spec.service = makeDist(dist);
+        // 16 cores at ~1 us mean: capacity ~16 MRPS (less the
+        // dispersion overhead); load is a fraction of that.
+        const double mean_us = spec.service->mean() / 1000.0;
+        spec.rateMrps = load * 15.0 / mean_us;
+        spec.requests = 15000;
+        spec.seed = seed;
+        return runExperiment(cfg, spec);
+    }
+};
+
+} // namespace
+
+TEST_P(PropertySweep, AllRequestsComplete)
+{
+    const RunResult res = run();
+    EXPECT_EQ(res.completed, 15000u);
+}
+
+TEST_P(PropertySweep, LatencyNeverBelowServiceFloor)
+{
+    const RunResult res = run();
+    const auto [design, dist, load] = GetParam();
+    // The p50 must exceed the smallest possible service time.
+    Tick floor = 0;
+    switch (dist) {
+      case DistKind::Fixed:
+        floor = 1000;
+        break;
+      case DistKind::Uniform:
+        floor = 500;
+        break;
+      case DistKind::Exponential:
+        floor = 1;
+        break;
+      case DistKind::Bimodal:
+        floor = 500;
+        break;
+    }
+    EXPECT_GE(res.latency.p50, floor);
+    EXPECT_GE(res.latency.p99, res.latency.p50);
+    EXPECT_GE(res.latency.max, res.latency.p999);
+}
+
+TEST_P(PropertySweep, DeterministicReplay)
+{
+    const RunResult a = run(23);
+    const RunResult b = run(23);
+    EXPECT_EQ(a.latency.p99, b.latency.p99);
+    EXPECT_EQ(a.violations, b.violations);
+    EXPECT_EQ(a.migrated, b.migrated);
+}
+
+TEST_P(PropertySweep, ViolationRatioConsistentWithP99)
+{
+    const RunResult res = run();
+    if (res.latency.p99 <= res.sloTarget) {
+        // p99 within SLO implies at most ~1% violations.
+        EXPECT_LE(res.violationRatio, 0.011);
+    } else {
+        EXPECT_GE(res.violationRatio, 0.009);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PropertySweep,
+    ::testing::Combine(
+        ::testing::Values(Design::Rss, Design::ZygOs, Design::Shinjuku,
+                          Design::Nebula, Design::NanoPu, Design::AcInt,
+                          Design::AcRss),
+        ::testing::Values(DistKind::Fixed, DistKind::Uniform,
+                          DistKind::Exponential, DistKind::Bimodal),
+        ::testing::Values(0.3, 0.7)),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        std::string name = designName(std::get<0>(info.param));
+        name += "_";
+        name += distName(std::get<1>(info.param));
+        name += std::get<2>(info.param) < 0.5 ? "_lo" : "_hi";
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Baseline scheduler unit tests (d-FCFS, work stealing, centralized,
+ * JBSQ) against a minimal harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/rpc.hh"
+#include "noc/mesh.hh"
+#include "sched/centralized.hh"
+#include "sched/dfcfs.hh"
+#include "sched/jbsq.hh"
+#include "sched/work_stealing.hh"
+#include "sim/simulator.hh"
+
+using namespace altoc;
+using namespace altoc::sched;
+
+namespace {
+
+struct Harness : CompletionSink
+{
+    sim::Simulator sim;
+    noc::Mesh mesh{4, 4};
+    net::RpcPool pool;
+    std::vector<std::unique_ptr<cpu::Core>> cores;
+    std::unique_ptr<Scheduler> sched;
+    std::vector<std::pair<std::uint64_t, Tick>> done; // (id, finish)
+
+    Harness(std::unique_ptr<Scheduler> s, unsigned ncores)
+        : sched(std::move(s))
+    {
+        SchedContext ctx;
+        ctx.sim = &sim;
+        ctx.mesh = &mesh;
+        for (unsigned i = 0; i < ncores; ++i) {
+            cores.push_back(std::make_unique<cpu::Core>(sim, i, i));
+            ctx.cores.push_back(cores.back().get());
+        }
+        ctx.rng = Rng(99);
+        sched->attach(std::move(ctx), this);
+        sched->start();
+    }
+
+    void
+    onRpcDone(cpu::Core &, net::Rpc *r) override
+    {
+        done.emplace_back(r->id, sim.now());
+        pool.release(r);
+    }
+
+    net::Rpc *
+    makeRpc(std::uint64_t id, Tick service)
+    {
+        net::Rpc *r = pool.alloc();
+        r->id = id;
+        r->service = service;
+        r->remaining = service;
+        return r;
+    }
+
+    /** Deliver at an absolute time. */
+    void
+    at(Tick when, std::uint64_t id, Tick service, unsigned queue)
+    {
+        sim.at(when, [this, id, service, queue] {
+            sched->deliver(makeRpc(id, service), queue);
+        });
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// d-FCFS
+// ---------------------------------------------------------------------
+
+TEST(DFcfs, PerQueueFifoOrder)
+{
+    auto h = Harness(
+        std::make_unique<DFcfsScheduler>(DFcfsScheduler::Config{}), 2);
+    h.at(0, 1, 100, 0);
+    h.at(1, 2, 100, 0);
+    h.at(2, 3, 100, 0);
+    h.sim.run();
+    ASSERT_EQ(h.done.size(), 3u);
+    EXPECT_EQ(h.done[0].first, 1u);
+    EXPECT_EQ(h.done[1].first, 2u);
+    EXPECT_EQ(h.done[2].first, 3u);
+}
+
+TEST(DFcfs, NoCrossQueueHelp)
+{
+    // Queue 0 backed up, queue 1 idle: d-FCFS never moves work.
+    auto h = Harness(
+        std::make_unique<DFcfsScheduler>(DFcfsScheduler::Config{}), 2);
+    h.at(0, 1, 1000, 0);
+    h.at(0, 2, 1000, 0);
+    h.sim.run();
+    EXPECT_EQ(h.cores[1]->completed(), 0u);
+    EXPECT_EQ(h.cores[0]->completed(), 2u);
+    // Second request waited the full first service.
+    EXPECT_GE(h.done[1].second, 2000u);
+}
+
+TEST(DFcfs, DispatchOverheadDelaysCompletion)
+{
+    DFcfsScheduler::Config cfg;
+    cfg.dispatchOverhead = 70;
+    auto h = Harness(std::make_unique<DFcfsScheduler>(cfg), 1);
+    h.at(0, 1, 100, 0);
+    h.sim.run();
+    EXPECT_EQ(h.done[0].second, 170u);
+}
+
+TEST(DFcfs, QueueLengthsReflectBacklog)
+{
+    auto h = Harness(
+        std::make_unique<DFcfsScheduler>(DFcfsScheduler::Config{}), 2);
+    h.at(0, 1, 1000, 0);
+    h.at(0, 2, 1000, 0);
+    h.at(0, 3, 1000, 0);
+    h.sim.run(1); // after delivery, before first completion
+    const auto lens = h.sched->queueLengths();
+    ASSERT_EQ(lens.size(), 2u);
+    EXPECT_EQ(lens[0], 2u); // one running, two waiting
+    EXPECT_EQ(lens[1], 0u);
+}
+
+// ---------------------------------------------------------------------
+// Work stealing
+// ---------------------------------------------------------------------
+
+TEST(WorkStealing, IdleCoreStealsBacklog)
+{
+    WorkStealingScheduler::Config cfg;
+    auto h = Harness(std::make_unique<WorkStealingScheduler>(cfg), 2);
+    // Core 0 gets a long run of work; core 1 finishes one short
+    // request then steals.
+    for (int i = 0; i < 8; ++i)
+        h.at(0, 100 + i, 1000, 0);
+    h.at(0, 1, 10, 1);
+    h.sim.run();
+    auto *ws = dynamic_cast<WorkStealingScheduler *>(h.sched.get());
+    EXPECT_GT(ws->steals(), 0u);
+    EXPECT_GT(h.cores[1]->completed(), 1u);
+}
+
+TEST(WorkStealing, StealCostsLatency)
+{
+    WorkStealingScheduler::Config cfg;
+    cfg.stealMin = 300;
+    cfg.stealMax = 300;
+    auto h = Harness(std::make_unique<WorkStealingScheduler>(cfg), 2);
+    h.at(0, 1, 100, 1);  // core 1 completes at 100, then probes
+    h.at(0, 2, 5000, 0); // core 0 long request
+    h.at(0, 3, 100, 0);  // queued behind it; steal target
+    h.sim.run();
+    // Request 3 finishes via steal: 100 (core1 busy) + 300 steal
+    // + 100 service = 500, well before core 0's 5000+100.
+    ASSERT_EQ(h.done.size(), 3u);
+    bool found = false;
+    for (auto &[id, finish] : h.done) {
+        if (id == 3) {
+            found = true;
+            EXPECT_GE(finish, 500u);
+            EXPECT_LT(finish, 2000u);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(WorkStealing, ParkedCoreWakesOnNewWork)
+{
+    WorkStealingScheduler::Config cfg;
+    cfg.maxProbes = 1;
+    auto h = Harness(std::make_unique<WorkStealingScheduler>(cfg), 2);
+    h.at(0, 1, 10, 1); // core 1 finishes fast, probes, parks
+    // Later, work floods queue 0 while core 0 is busy.
+    h.at(5000, 2, 2000, 0);
+    h.at(5001, 3, 2000, 0);
+    h.at(5002, 4, 2000, 0);
+    h.sim.run();
+    EXPECT_EQ(h.done.size(), 4u);
+    // The parked core must have been woken to help.
+    EXPECT_GT(h.cores[1]->completed(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Centralized (Shinjuku)
+// ---------------------------------------------------------------------
+
+TEST(Centralized, DispatcherNeverExecutes)
+{
+    CentralizedScheduler::Config cfg;
+    auto h = Harness(std::make_unique<CentralizedScheduler>(cfg), 4);
+    for (int i = 0; i < 10; ++i)
+        h.at(0, i, 500, 0);
+    h.sim.run();
+    EXPECT_EQ(h.cores[0]->completed(), 0u);
+    EXPECT_EQ(h.done.size(), 10u);
+}
+
+TEST(Centralized, DispatchCostSerializes)
+{
+    CentralizedScheduler::Config cfg;
+    cfg.dispatchCost = 200;
+    cfg.handoffLatency = 0;
+    cfg.quantum = kTickInf;
+    auto h = Harness(std::make_unique<CentralizedScheduler>(cfg), 3);
+    // Two instant requests: second must wait a second dispatch slot.
+    h.at(0, 1, 1, 0);
+    h.at(0, 2, 1, 0);
+    h.sim.run();
+    ASSERT_EQ(h.done.size(), 2u);
+    EXPECT_EQ(h.done[0].second, 201u);
+    EXPECT_EQ(h.done[1].second, 401u);
+}
+
+TEST(Centralized, PreemptionBreaksHeadOfLine)
+{
+    CentralizedScheduler::Config cfg;
+    cfg.quantum = 1000;
+    cfg.preemptCost = 0;
+    cfg.dispatchCost = 10;
+    cfg.handoffLatency = 0;
+    auto h = Harness(std::make_unique<CentralizedScheduler>(cfg), 2);
+    h.at(0, 1, 50000, 0); // long hog on the single worker
+    h.at(100, 2, 100, 0); // short arrives behind it
+    h.sim.run();
+    ASSERT_EQ(h.done.size(), 2u);
+    // The short completes near the first quantum boundary, not after
+    // the long's 50 us.
+    for (auto &[id, finish] : h.done) {
+        if (id == 2) {
+            EXPECT_LT(finish, 5000u);
+        }
+    }
+    auto *c = dynamic_cast<CentralizedScheduler *>(h.sched.get());
+    EXPECT_GT(c->preemptions(), 0u);
+}
+
+TEST(Centralized, PreemptCostChargesCpu)
+{
+    CentralizedScheduler::Config cfg;
+    cfg.quantum = 100;
+    cfg.preemptCost = 50;
+    cfg.dispatchCost = 1;
+    cfg.handoffLatency = 0;
+    auto h = Harness(std::make_unique<CentralizedScheduler>(cfg), 2);
+    h.at(0, 1, 300, 0);
+    h.sim.run();
+    // 300 of demand at quantum 100 => at least 2 preemptions, each
+    // adding 50 of overhead.
+    EXPECT_GE(h.cores[1]->busyNs(), 400u);
+}
+
+// ---------------------------------------------------------------------
+// JBSQ
+// ---------------------------------------------------------------------
+
+TEST(Jbsq, BoundsPerCoreOccupancy)
+{
+    JbsqScheduler::Config cfg;
+    cfg.depth = 2;
+    cfg.dispatchLatency = 0;
+    auto h = Harness(std::make_unique<JbsqScheduler>(cfg), 2);
+    for (int i = 0; i < 10; ++i)
+        h.at(0, i, 1000, 0);
+    h.sim.run(1);
+    // 2 cores x depth 2 = 4 outstanding; 6 remain centrally queued.
+    const auto lens = h.sched->queueLengths();
+    EXPECT_EQ(lens[0], 6u);
+    h.sim.run();
+    EXPECT_EQ(h.done.size(), 10u);
+}
+
+TEST(Jbsq, PushesToLeastOccupied)
+{
+    JbsqScheduler::Config cfg;
+    cfg.depth = 2;
+    cfg.dispatchLatency = 0;
+    auto h = Harness(std::make_unique<JbsqScheduler>(cfg), 2);
+    h.at(0, 1, 10000, 0); // occupies core 0
+    h.at(1, 2, 100, 0);   // must go to core 1
+    h.sim.run();
+    EXPECT_EQ(h.cores[1]->completed(), 1u);
+}
+
+TEST(Jbsq, Depth2AllowsShortBehindLong)
+{
+    // The Nebula pathology (Sec. VIII-A): a short pushed into the
+    // local queue behind a long waits out the long's service.
+    JbsqScheduler::Config cfg = JbsqScheduler::nebula();
+    cfg.dispatchLatency = 0;
+    auto h = Harness(std::make_unique<JbsqScheduler>(cfg), 1);
+    h.at(0, 1, 50000, 0);
+    h.at(1, 2, 100, 0);
+    h.sim.run();
+    for (auto &[id, finish] : h.done) {
+        if (id == 2) {
+            EXPECT_GE(finish, 50000u);
+        }
+    }
+}
+
+TEST(Jbsq, NanoPuPreemptionRescuesShort)
+{
+    JbsqScheduler::Config cfg = JbsqScheduler::nanoPu();
+    cfg.dispatchLatency = 0;
+    auto h = Harness(std::make_unique<JbsqScheduler>(cfg), 1);
+    h.at(0, 1, 50000, 0);
+    h.at(1, 2, 100, 0);
+    h.sim.run();
+    ASSERT_EQ(h.done.size(), 2u);
+    for (auto &[id, finish] : h.done) {
+        if (id == 2) {
+            EXPECT_LT(finish, 3 * cfg.quantum);
+        }
+    }
+}
+
+TEST(Jbsq, RpcValetDepthOneNeverQueuesLocally)
+{
+    JbsqScheduler::Config cfg = JbsqScheduler::rpcValet();
+    cfg.dispatchLatency = 0;
+    auto h = Harness(std::make_unique<JbsqScheduler>(cfg), 2);
+    h.at(0, 1, 10000, 0);
+    h.at(0, 2, 10000, 0);
+    h.at(0, 3, 100, 0); // waits centrally, runs on first free core
+    h.sim.run();
+    for (auto &[id, finish] : h.done) {
+        if (id == 3) {
+            EXPECT_LT(finish, 10000u + 500u);
+        }
+    }
+}
+
+TEST(Jbsq, WorkConservedUnderChurn)
+{
+    JbsqScheduler::Config cfg = JbsqScheduler::nebula();
+    auto h = Harness(std::make_unique<JbsqScheduler>(cfg), 4);
+    for (int i = 0; i < 200; ++i)
+        h.at(static_cast<Tick>(i * 13), i, 97, 0);
+    h.sim.run();
+    EXPECT_EQ(h.done.size(), 200u);
+    Tick busy = 0;
+    for (auto &core : h.cores)
+        busy += core->busyNs();
+    EXPECT_EQ(busy, 200u * 97u);
+}

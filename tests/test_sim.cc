@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Event queue and simulator tests: ordering, tie-breaking,
+ * cancellation, run bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/simulator.hh"
+
+using namespace altoc;
+using namespace altoc::sim;
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.runOne();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    const EventId id = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails)
+{
+    EventQueue q;
+    const EventId id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterRunFails)
+{
+    EventQueue q;
+    const EventId id = q.schedule(10, [] {});
+    q.runOne();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    const EventId id = q.schedule(20, [&] { order.push_back(2); });
+    q.schedule(30, [&] { order.push_back(3); });
+    q.cancel(id);
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, PeekTimeSkipsCancelled)
+{
+    EventQueue q;
+    const EventId id = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.peekTime(), 20u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] {
+        ++fired;
+        q.schedule(20, [&] { ++fired; });
+    });
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NowAdvancesWithEvents)
+{
+    Simulator sim;
+    Tick seen = 0;
+    sim.after(100, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, 100u);
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, RunUntilStopsEarly)
+{
+    Simulator sim;
+    bool late_ran = false;
+    sim.after(50, [] {});
+    sim.after(500, [&] { late_ran = true; });
+    sim.run(100);
+    EXPECT_EQ(sim.now(), 100u);
+    EXPECT_FALSE(late_ran);
+    sim.run();
+    EXPECT_TRUE(late_ran);
+}
+
+TEST(Simulator, ChainedEventsKeepRelativeDelays)
+{
+    Simulator sim;
+    std::vector<Tick> times;
+    std::function<void()> tick = [&] {
+        times.push_back(sim.now());
+        if (times.size() < 5)
+            sim.after(7, tick);
+    };
+    sim.after(7, tick);
+    sim.run();
+    ASSERT_EQ(times.size(), 5u);
+    for (std::size_t i = 0; i < times.size(); ++i)
+        EXPECT_EQ(times[i], 7 * (i + 1));
+}
+
+TEST(Simulator, StepExecutesExactlyOne)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.after(1, [&] { ++fired; });
+    sim.after(2, [&] { ++fired; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RequestStopHaltsRun)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.after(10, [&] {
+        ++fired;
+        sim.requestStop();
+    });
+    sim.after(20, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ManyEventsStressOrdering)
+{
+    Simulator sim;
+    Tick last = 0;
+    bool monotone = true;
+    for (int i = 0; i < 20000; ++i) {
+        const Tick when = static_cast<Tick>((i * 7919) % 10000);
+        sim.at(when, [&, when] {
+            if (sim.now() < last)
+                monotone = false;
+            last = sim.now();
+            (void)when;
+        });
+    }
+    sim.run();
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(sim.eventsExecuted(), 20000u);
+}

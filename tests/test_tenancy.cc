@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Multi-tenant isolation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/tenancy.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+TenantConfig
+tenant(const char *name, Design design, unsigned cores, unsigned groups,
+       double rate_mrps, std::uint64_t requests)
+{
+    TenantConfig cfg;
+    cfg.name = name;
+    cfg.design.design = design;
+    cfg.design.cores = cores;
+    cfg.design.groups = groups;
+    cfg.workload.service = workload::makeFixed(1 * kUs);
+    cfg.workload.rateMrps = rate_mrps;
+    cfg.workload.requests = requests;
+    cfg.workload.seed = 5;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Tenancy, BothTenantsComplete)
+{
+    std::vector<TenantConfig> cfgs;
+    cfgs.push_back(tenant("alpha", Design::AcInt, 16, 2, 6.0, 20000));
+    cfgs.push_back(tenant("beta", Design::Nebula, 8, 1, 3.0, 10000));
+    TenantSystem sys(std::move(cfgs), 11);
+    const auto results = sys.run();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].completed, 20000u);
+    EXPECT_EQ(results[1].completed, 10000u);
+    EXPECT_EQ(results[0].name, "alpha");
+    EXPECT_EQ(results[1].design, "Nebula");
+}
+
+TEST(Tenancy, SingleTenantMatchesPlainServer)
+{
+    std::vector<TenantConfig> cfgs;
+    cfgs.push_back(tenant("solo", Design::AcInt, 16, 2, 8.0, 15000));
+    TenantSystem sys(std::move(cfgs), 11);
+    const auto results = sys.run();
+    EXPECT_EQ(results[0].completed, 15000u);
+    EXPECT_GT(results[0].latency.p50, 1 * kUs);
+}
+
+TEST(Tenancy, OverloadedTenantCannotHurtNeighbor)
+{
+    // Tenant "noisy" is offered 3x its slice's capacity; "quiet" runs
+    // at 40%. Static partitioning must keep quiet's tail clean.
+    std::vector<TenantConfig> cfgs;
+    cfgs.push_back(tenant("quiet", Design::AcInt, 16, 2, 5.0, 30000));
+    cfgs.push_back(
+        tenant("noisy", Design::AcInt, 16, 2, 40.0, 60000));
+    TenantSystem sys(std::move(cfgs), 13);
+    const auto results = sys.run();
+    EXPECT_EQ(results[0].completed, 30000u);
+    EXPECT_EQ(results[1].completed, 60000u);
+    // The quiet tenant's p99 stays within its SLO despite the
+    // neighbor's meltdown.
+    EXPECT_LE(results[0].latency.p99, results[0].sloTarget);
+    // The noisy tenant is (by construction) in violation.
+    EXPECT_GT(results[1].latency.p99, results[1].sloTarget);
+}
+
+TEST(Tenancy, MigrationsStayWithinTenant)
+{
+    std::vector<TenantConfig> cfgs;
+    auto a = tenant("a", Design::AcInt, 16, 2, 10.0, 30000);
+    a.workload.connections = 3; // lumpy -> migrations happen
+    cfgs.push_back(std::move(a));
+    cfgs.push_back(tenant("b", Design::AcInt, 16, 2, 1.0, 5000));
+    TenantSystem sys(std::move(cfgs), 17);
+    const auto results = sys.run();
+    EXPECT_GT(results[0].migrated, 0u);
+    // Tenant b's completion count is untouched by a's migrations.
+    EXPECT_EQ(results[1].completed, 5000u);
+}
+
+TEST(Tenancy, DeterministicAcrossRuns)
+{
+    auto build = [] {
+        std::vector<TenantConfig> cfgs;
+        cfgs.push_back(tenant("x", Design::AcInt, 16, 2, 9.0, 15000));
+        cfgs.push_back(tenant("y", Design::ZygOs, 8, 1, 4.0, 8000));
+        return cfgs;
+    };
+    TenantSystem s1(build(), 23);
+    TenantSystem s2(build(), 23);
+    const auto r1 = s1.run();
+    const auto r2 = s2.run();
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_EQ(r1[i].latency.p99, r2[i].latency.p99);
+        EXPECT_EQ(r1[i].violationRatio, r2[i].violationRatio);
+    }
+}

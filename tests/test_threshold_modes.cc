@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Threshold-mode policy tests (Sec. IV-A trade-off wiring).
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/experiment.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+RunResult
+runMode(core::ThresholdMode mode, unsigned lower)
+{
+    DesignConfig cfg;
+    cfg.design = Design::AcInt;
+    cfg.cores = 16;
+    cfg.groups = 2;
+    cfg.params.thresholdMode = mode;
+    cfg.params.lowerBoundThreshold = lower;
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(1 * kUs);
+    spec.rateMrps = 12.0;
+    spec.requests = 40000;
+    spec.connections = 3; // lumpy
+    spec.seed = 3;
+    return runExperiment(cfg, spec);
+}
+
+} // namespace
+
+TEST(ThresholdModes, LowerBoundMigratesMost)
+{
+    const RunResult lower = runMode(core::ThresholdMode::LowerBound, 1);
+    const RunResult model = runMode(core::ThresholdMode::Model, 0);
+    const RunResult upper = runMode(core::ThresholdMode::UpperBound, 0);
+    EXPECT_GT(lower.migrated, model.migrated);
+    EXPECT_GE(model.migrated, upper.migrated);
+}
+
+TEST(ThresholdModes, AllModesComplete)
+{
+    for (auto mode : {core::ThresholdMode::LowerBound,
+                      core::ThresholdMode::Model,
+                      core::ThresholdMode::UpperBound}) {
+        const RunResult res = runMode(mode, 2);
+        EXPECT_EQ(res.completed, 40000u);
+    }
+}
+
+TEST(ThresholdModes, LowerBoundZeroFallsBackToModel)
+{
+    const RunResult fallback =
+        runMode(core::ThresholdMode::LowerBound, 0);
+    const RunResult model = runMode(core::ThresholdMode::Model, 0);
+    EXPECT_EQ(fallback.migrated, model.migrated);
+    EXPECT_EQ(fallback.latency.p99, model.latency.p99);
+}
+
+TEST(ThresholdModes, UpperBoundRarelyPredictsViolators)
+{
+    // k*L + 1 = 71 for 7-worker groups at L=10: the queue must get
+    // very deep before anything is flagged, so predictions are few.
+    const RunResult upper = runMode(core::ThresholdMode::UpperBound, 0);
+    const RunResult lower = runMode(core::ThresholdMode::LowerBound, 1);
+    EXPECT_LE(upper.predictions.predicted, lower.predictions.predicted);
+}

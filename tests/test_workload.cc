@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Service distribution, arrival process and trace tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "workload/arrivals.hh"
+#include "workload/distributions.hh"
+#include "workload/trace.hh"
+
+using namespace altoc;
+using namespace altoc::workload;
+
+namespace {
+
+double
+empiricalMean(const ServiceDist &dist, int draws, std::uint64_t seed)
+{
+    Rng rng(seed);
+    double sum = 0.0;
+    for (int i = 0; i < draws; ++i)
+        sum += static_cast<double>(dist.sample(rng).service);
+    return sum / draws;
+}
+
+} // namespace
+
+TEST(Distributions, FixedIsConstant)
+{
+    FixedDist d(500);
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(d.sample(rng).service, 500u);
+    EXPECT_DOUBLE_EQ(d.mean(), 500.0);
+}
+
+TEST(Distributions, UniformBoundsAndMean)
+{
+    UniformDist d(100, 300);
+    Rng rng(2);
+    for (int i = 0; i < 10000; ++i) {
+        const Tick v = d.sample(rng).service;
+        ASSERT_GE(v, 100u);
+        ASSERT_LE(v, 300u);
+    }
+    EXPECT_NEAR(empiricalMean(d, 100000, 3), d.mean(), d.mean() * 0.01);
+}
+
+TEST(Distributions, ExponentialMean)
+{
+    ExponentialDist d(700);
+    EXPECT_NEAR(empiricalMean(d, 200000, 4), 700.0, 7.0);
+}
+
+TEST(Distributions, ExponentialNeverZero)
+{
+    ExponentialDist d(2);
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_GE(d.sample(rng).service, 1u);
+}
+
+TEST(Distributions, BimodalMixAndKinds)
+{
+    BimodalDist d(0.01, 100, 10000);
+    Rng rng(6);
+    int longs = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        const auto s = d.sample(rng);
+        if (s.kind == RequestKind::Long) {
+            ++longs;
+            EXPECT_EQ(s.service, 10000u);
+        } else {
+            EXPECT_EQ(s.kind, RequestKind::Short);
+            EXPECT_EQ(s.service, 100u);
+        }
+    }
+    EXPECT_NEAR(longs / static_cast<double>(kDraws), 0.01, 0.002);
+    EXPECT_NEAR(empiricalMean(d, kDraws, 7), d.mean(), d.mean() * 0.05);
+}
+
+TEST(Distributions, PaperBimodalMatchesSpec)
+{
+    auto d = makePaperBimodal();
+    // 99.5% x 0.5us + 0.5% x 500us = ~3.0 us mean.
+    EXPECT_NEAR(d->mean(), 0.995 * 500 + 0.005 * 500000, 1e-9);
+}
+
+TEST(Distributions, MicaMixKinds)
+{
+    MicaMixDist d(0.005, 50, 50000);
+    Rng rng(8);
+    int gets = 0, sets = 0, scans = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+        switch (d.sample(rng).kind) {
+          case RequestKind::Get:
+            ++gets;
+            break;
+          case RequestKind::Set:
+            ++sets;
+            break;
+          case RequestKind::Scan:
+            ++scans;
+            break;
+          default:
+            FAIL() << "unexpected kind";
+        }
+    }
+    EXPECT_NEAR(scans / static_cast<double>(kDraws), 0.005, 0.002);
+    // GET/SET split is 50/50 of the remainder.
+    EXPECT_NEAR(gets, sets, kDraws * 0.02);
+}
+
+TEST(Arrivals, DeterministicGap)
+{
+    DeterministicArrivals a(25);
+    Rng rng(9);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.nextGap(rng), 25u);
+}
+
+TEST(Arrivals, PoissonMeanRate)
+{
+    PoissonArrivals a(0.01); // 1 per 100 ns
+    Rng rng(10);
+    double sum = 0.0;
+    constexpr int kDraws = 200000;
+    for (int i = 0; i < kDraws; ++i)
+        sum += static_cast<double>(a.nextGap(rng));
+    EXPECT_NEAR(sum / kDraws, 100.0, 1.0);
+}
+
+TEST(Arrivals, MmppLongRunRateMatches)
+{
+    MmppArrivals a(0.01, 3.0, 0.25, 10000);
+    Rng rng(11);
+    double sum = 0.0;
+    constexpr int kDraws = 400000;
+    for (int i = 0; i < kDraws; ++i)
+        sum += static_cast<double>(a.nextGap(rng));
+    // Long-run mean gap must approach 100 ns despite burstiness.
+    EXPECT_NEAR(sum / kDraws, 100.0, 5.0);
+}
+
+TEST(Arrivals, MmppIsBurstier)
+{
+    // Compare squared-coefficient-of-variation: MMPP > Poisson.
+    Rng rng_a(12), rng_b(12);
+    PoissonArrivals poisson(0.01);
+    MmppArrivals mmpp(0.01, 4.0, 0.2, 20000);
+    auto scv = [](auto &proc, Rng &rng) {
+        double sum = 0.0, sq = 0.0;
+        constexpr int kDraws = 200000;
+        for (int i = 0; i < kDraws; ++i) {
+            const double g = static_cast<double>(proc.nextGap(rng));
+            sum += g;
+            sq += g * g;
+        }
+        const double mean = sum / kDraws;
+        return (sq / kDraws - mean * mean) / (mean * mean);
+    };
+    EXPECT_GT(scv(mmpp, rng_b), scv(poisson, rng_a) * 1.2);
+}
+
+TEST(Trace, GenerateShapes)
+{
+    auto dist = makeFixed(500);
+    PoissonArrivals arr(0.005);
+    Trace t = Trace::generate(*dist, arr, 1000, 64, 300, Rng(13));
+    ASSERT_EQ(t.size(), 1000u);
+    EXPECT_NEAR(t.meanService(), 500.0, 1e-9);
+    Tick prev = 0;
+    for (const auto &rec : t.records()) {
+        EXPECT_GE(rec.arrival, prev);
+        prev = rec.arrival;
+        EXPECT_LT(rec.conn, 64u);
+        EXPECT_EQ(rec.sizeBytes, 300u);
+    }
+    EXPECT_NEAR(t.offeredRate(), 0.005, 0.0005);
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    auto dist = makeUniformAround(800);
+    PoissonArrivals arr(0.002);
+    Trace t = Trace::generate(*dist, arr, 500, 16, 128, Rng(14));
+    const std::string path = "/tmp/altoc_trace_test.bin";
+    ASSERT_TRUE(t.save(path));
+    Trace loaded = Trace::load(path);
+    ASSERT_EQ(loaded.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(loaded.records()[i].arrival, t.records()[i].arrival);
+        EXPECT_EQ(loaded.records()[i].service, t.records()[i].service);
+        EXPECT_EQ(loaded.records()[i].conn, t.records()[i].conn);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Trace, DeterministicGeneration)
+{
+    auto dist = makePaperBimodal();
+    PoissonArrivals a1(0.001), a2(0.001);
+    Trace t1 = Trace::generate(*dist, a1, 200, 8, 64, Rng(15));
+    Trace t2 = Trace::generate(*dist, a2, 200, 8, 64, Rng(15));
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(t1.records()[i].arrival, t2.records()[i].arrival);
+        EXPECT_EQ(t1.records()[i].service, t2.records()[i].service);
+    }
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Zipf generator tests: pmf agreement, skew ordering, determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workload/zipf.hh"
+
+using namespace altoc;
+using namespace altoc::workload;
+
+TEST(Zipf, SamplesInRange)
+{
+    ZipfGenerator z(100, 0.99);
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(z.sample(rng), 100u);
+}
+
+TEST(Zipf, ZeroSkewIsUniform)
+{
+    ZipfGenerator z(10, 0.0);
+    Rng rng(2);
+    std::vector<unsigned> counts(10, 0);
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[z.sample(rng)];
+    for (unsigned c : counts)
+        EXPECT_NEAR(c, kDraws / 10.0, kDraws / 10.0 * 0.1);
+}
+
+TEST(Zipf, FrequenciesMatchPmf)
+{
+    ZipfGenerator z(1000, 0.99);
+    Rng rng(3);
+    std::vector<std::uint64_t> counts(1000, 0);
+    constexpr int kDraws = 500000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[z.sample(rng)];
+    // The head of the distribution must match the analytic pmf.
+    for (std::uint64_t k : {0ull, 1ull, 2ull, 5ull, 10ull, 50ull}) {
+        const double expected = z.probabilityOf(k) * kDraws;
+        EXPECT_NEAR(static_cast<double>(counts[k]), expected,
+                    std::max(expected * 0.1, 30.0))
+            << "k=" << k;
+    }
+}
+
+TEST(Zipf, HigherSkewConcentratesHead)
+{
+    Rng rng_a(4), rng_b(4);
+    ZipfGenerator mild(10000, 0.5);
+    ZipfGenerator hot(10000, 1.2);
+    auto head_mass = [](ZipfGenerator &z, Rng &rng) {
+        int head = 0;
+        constexpr int kDraws = 100000;
+        for (int i = 0; i < kDraws; ++i)
+            head += z.sample(rng) < 100 ? 1 : 0;
+        return static_cast<double>(head) / kDraws;
+    };
+    EXPECT_GT(head_mass(hot, rng_b), head_mass(mild, rng_a) * 1.5);
+}
+
+TEST(Zipf, SkewOneHandled)
+{
+    ZipfGenerator z(1000, 1.0);
+    Rng rng(5);
+    std::uint64_t head = 0;
+    for (int i = 0; i < 50000; ++i)
+        head += z.sample(rng) == 0 ? 1 : 0;
+    // P(0) = 1/H_1000 ~ 1/7.49 ~ 13.4%.
+    EXPECT_NEAR(head / 50000.0, 0.134, 0.02);
+}
+
+TEST(Zipf, DeterministicGivenSeed)
+{
+    ZipfGenerator z(5000, 0.99);
+    Rng a(6), b(6);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(z.sample(a), z.sample(b));
+}
+
+TEST(Zipf, PmfSumsToOne)
+{
+    ZipfGenerator z(2000, 0.8);
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k < 2000; ++k)
+        sum += z.probabilityOf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+}
