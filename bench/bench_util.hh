@@ -9,8 +9,11 @@
 
 #include <chrono>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+
+#include "system/server.hh"
 
 namespace bench {
 
@@ -31,6 +34,65 @@ section(const char *title)
 {
     std::printf("\n--- %s ---\n", title);
 }
+
+/**
+ * Order-sensitive FNV-1a digest of a run's completion stream.
+ *
+ * Attach to a Server and every completion mixes in the tuple
+ * (tick, event type, core id, request id); two runs of the same
+ * scenario with the same seed must produce identical digests, which
+ * is the repo's determinism contract (tests/test_determinism.cc).
+ * Benches print the digest so regressions in reproducibility are
+ * visible in their output too.
+ */
+class RunFingerprint
+{
+  public:
+    /** Mix one 64-bit word (byte-wise FNV-1a, order sensitive). */
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xffu;
+            h_ *= kPrime;
+        }
+    }
+
+    /** Observe every completion of @p server from now on. */
+    void
+    attach(altoc::system::Server &server)
+    {
+        server.setCompletionProbe([this](const altoc::cpu::Core &core,
+                                         const altoc::net::Rpc &r,
+                                         altoc::Tick now) {
+            mix(now);
+            mix(static_cast<std::uint64_t>(r.kind));
+            mix(core.id());
+            mix(r.id);
+            ++events_;
+        });
+    }
+
+    std::uint64_t digest() const { return h_; }
+
+    /** Completions hashed so far. */
+    std::uint64_t events() const { return events_; }
+
+    void
+    print(const char *label) const
+    {
+        std::printf("[fingerprint %s: %016llx over %llu completions]\n",
+                    label, static_cast<unsigned long long>(h_),
+                    static_cast<unsigned long long>(events_));
+    }
+
+  private:
+    static constexpr std::uint64_t kOffset = 14695981039346656037ull;
+    static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+    std::uint64_t h_ = kOffset;
+    std::uint64_t events_ = 0;
+};
 
 /** Wall-clock stopwatch for reporting bench runtime. */
 class Stopwatch

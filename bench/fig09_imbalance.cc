@@ -59,9 +59,16 @@ snapshotAtTenViolations(net::Steering steering, std::uint64_t seed)
         });
     server->stopAfterCompletions(spec.requests);
 
+    // Reproducibility fingerprint: the digest is printed so two
+    // invocations of this bench can be diffed for determinism drift
+    // (see tests/test_determinism.cc for the enforced contract).
+    bench::RunFingerprint fp;
+    fp.attach(*server);
+
     LoadGenerator gen(*server, spec);
     gen.start();
     server->run();
+    fp.print(net::steeringName(steering));
     return snapshot;
 }
 

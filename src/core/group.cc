@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "core/invariants.hh"
 
 namespace altoc::core {
 
@@ -45,6 +46,10 @@ GroupScheduler::onAttach()
                  "core count %zu does not match %u groups of %u",
                  ctx_.cores.size(), cfg_.numGroups, per_group);
     altoc_assert(ctx_.mesh != nullptr, "group scheduler needs a NoC");
+
+#if ALTOC_AUDIT_ENABLED
+    audit_ = dynamic_cast<InvariantAuditor *>(ctx_.auditor);
+#endif
 
     groups_.clear();
     groups_.resize(cfg_.numGroups);
@@ -244,6 +249,14 @@ GroupScheduler::onCompletion(cpu::Core &core, net::Rpc *r)
     const unsigned base = grp.managerCore;
     altoc_assert(core.id() > base, "manager core completed a request");
     const unsigned w = core.id() - base - 1;
+    if (grp.occupancy[w] == 0)
+        ALTOC_AUDIT_HOOK(audit_,
+                         violate("non-negative-queue",
+                                 detail::vformat("completion would "
+                                                 "underflow occupancy "
+                                                 "of worker %u in "
+                                                 "group %u",
+                                                 w, g)));
     altoc_assert(grp.occupancy[w] > 0, "occupancy underflow");
     --grp.occupancy[w];
     sink_->onRpcDone(core, r);
@@ -267,6 +280,14 @@ GroupScheduler::onPreempt(cpu::Core &core, net::Rpc *r)
         return;
     }
     ++preemptions_;
+    if (grp.occupancy[w] == 0)
+        ALTOC_AUDIT_HOOK(audit_,
+                         violate("non-negative-queue",
+                                 detail::vformat("preemption would "
+                                                 "underflow occupancy "
+                                                 "of worker %u in "
+                                                 "group %u",
+                                                 w, g)));
     altoc_assert(grp.occupancy[w] > 0, "occupancy underflow");
     --grp.occupancy[w];
     r->remaining += cfg_.preemptCost;
@@ -288,6 +309,7 @@ GroupScheduler::runtimeTick(unsigned g)
     // Line 2: refresh the local entry and broadcast it (UPDATE).
     grp.qView[g] = grp.rx.length();
     msg_->broadcastUpdate(g, grp.qView[g]);
+    ALTOC_AUDIT_HOOK(audit_, onQueueSample(g, grp.qView[g]));
 
     // Line 3: recompute the threshold from the current load.
     const double load =
@@ -318,6 +340,7 @@ GroupScheduler::runtimeTick(unsigned g)
     // Lines 4-13: decide and execute migrations.
     const RuntimeDecision dec =
         decideMigrations(grp.qView, g, threshold, cfg_.params);
+    ALTOC_AUDIT_HOOK(audit_, checkDecision(grp.qView, g, dec));
     patternCounts_[static_cast<std::size_t>(dec.pattern)] += 1;
 
     unsigned sent = 0;
@@ -398,8 +421,10 @@ void
 GroupScheduler::onMigrateIn(unsigned g, const std::vector<net::Rpc *> &reqs)
 {
     Group &grp = groups_[g];
-    for (net::Rpc *r : reqs)
+    for (net::Rpc *r : reqs) {
+        ALTOC_AUDIT_HOOK(audit_, onMigrateIn(*r, g));
         grp.rx.enqueue(r, ctx_.sim->now());
+    }
     pump(g);
 }
 

@@ -45,6 +45,8 @@
 
 namespace altoc::core {
 
+class InvariantAuditor;
+
 /**
  * ALTOCUMULUS scheduler.
  */
@@ -198,6 +200,9 @@ class GroupScheduler : public sched::Scheduler
     void onReturn(unsigned g, const std::vector<net::Rpc *> &reqs);
 
     Config cfg_;
+    /** Concrete view of ctx_.auditor for the scheduler-level checks
+     *  (set at attach in audit builds; null otherwise). */
+    InvariantAuditor *audit_ = nullptr;
     std::vector<Group> groups_;
     std::vector<unsigned> coreGroup_;
     std::unique_ptr<ThresholdModel> model_;

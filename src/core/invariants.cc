@@ -1,0 +1,145 @@
+/**
+ * @file
+ * InvariantAuditor checks.
+ */
+
+#include "core/invariants.hh"
+
+#include "common/logging.hh"
+
+namespace altoc::core {
+
+void
+InvariantAuditor::onInject(const net::Rpc &r)
+{
+    ++c_.injected;
+    const auto [it, inserted] = live_.emplace(&r, 0u);
+    (void)it;
+    if (!inserted) {
+        violate("descriptor-conservation",
+                detail::vformat("request %llu injected while already "
+                                "live (double injection or lost "
+                                "completion)",
+                                static_cast<unsigned long long>(r.id)));
+    }
+}
+
+void
+InvariantAuditor::onComplete(const net::Rpc &r)
+{
+    ++c_.completed;
+    if (r.dropped)
+        ++c_.droppedCompleted;
+    if (live_.erase(&r) == 0) {
+        violate("descriptor-conservation",
+                detail::vformat("request %llu completed but was never "
+                                "injected (or completed twice)",
+                                static_cast<unsigned long long>(r.id)));
+    }
+}
+
+void
+InvariantAuditor::onMigrateIn(const net::Rpc &r, unsigned dst)
+{
+    ++c_.migrations;
+    const auto it = live_.find(&r);
+    if (it == live_.end()) {
+        violate("migrate-at-most-once",
+                detail::vformat("request %llu migrated into group %u "
+                                "while not live",
+                                static_cast<unsigned long long>(r.id),
+                                dst));
+        return;
+    }
+    if (++it->second > 1) {
+        violate("migrate-at-most-once",
+                detail::vformat("request %llu landed its %u-th "
+                                "migration (into group %u)",
+                                static_cast<unsigned long long>(r.id),
+                                it->second, dst));
+    }
+}
+
+void
+InvariantAuditor::onQueueSample(unsigned queue, std::size_t len)
+{
+    if (len >= kQueueSane) {
+        violate("non-negative-queue",
+                detail::vformat("queue %u reports length %zu "
+                                "(unsigned underflow)",
+                                queue, len));
+    }
+}
+
+void
+InvariantAuditor::onDrain()
+{
+    if (c_.injected != c_.completed) {
+        violate("descriptor-conservation",
+                detail::vformat("drained with injected=%llu != "
+                                "completed=%llu (dropped-completions="
+                                "%llu)",
+                                static_cast<unsigned long long>(
+                                    c_.injected),
+                                static_cast<unsigned long long>(
+                                    c_.completed),
+                                static_cast<unsigned long long>(
+                                    c_.droppedCompleted)));
+    }
+    if (!live_.empty()) {
+        const net::Rpc *r = live_.begin()->first;
+        violate("descriptor-conservation",
+                detail::vformat("drained with %zu descriptor(s) still "
+                                "live (first: request %llu)",
+                                live_.size(),
+                                static_cast<unsigned long long>(r->id)));
+    }
+}
+
+void
+InvariantAuditor::checkDecision(const std::vector<std::size_t> &q,
+                                unsigned self, const RuntimeDecision &dec)
+{
+    ++c_.decisionsChecked;
+    if (self >= q.size()) {
+        violate("shorter-queue-guard",
+                detail::vformat("decision for manager %u outside queue "
+                                "view of size %zu",
+                                self, q.size()));
+        return;
+    }
+    // Replay the period's working copy exactly as Algorithm 1 does:
+    // each accepted MIGRATE updates the view the next one is judged
+    // against.
+    std::vector<std::size_t> w(q);
+    for (const MigrationDecision &md : dec.migrations) {
+        if (md.dst >= w.size() || md.dst == self) {
+            violate("shorter-queue-guard",
+                    detail::vformat("manager %u decided a MIGRATE to "
+                                    "invalid destination %u",
+                                    self, md.dst));
+            continue;
+        }
+        if (!migrationLeavesSourceAhead(w[self], w[md.dst], md.count)) {
+            violate("shorter-queue-guard",
+                    detail::vformat("manager %u would MIGRATE %u to "
+                                    "group %u with q[src]=%zu "
+                                    "q[dst]=%zu (line 8)",
+                                    self, md.count, md.dst, w[self],
+                                    w[md.dst]));
+            continue;
+        }
+        w[self] -= md.count;
+        w[md.dst] += md.count;
+    }
+}
+
+void
+InvariantAuditor::reset()
+{
+    sim::Auditor::reset();
+    live_.clear();
+    c_ = Counters{};
+}
+
+} // namespace altoc::core

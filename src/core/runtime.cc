@@ -9,6 +9,7 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "core/invariants.hh"
 
 namespace altoc::core {
 
@@ -61,14 +62,13 @@ decideMigrations(const std::vector<std::size_t> &q_in, unsigned self,
         1u, params.bulk / std::max(1u, params.concurrency));
 
     // Apply the line-8 guard against a local working copy of q that
-    // reflects the decisions already taken this period.
+    // reflects the decisions already taken this period. The predicate
+    // is shared with the invariant auditor (core/invariants.hh).
     std::vector<std::size_t> q(q_in);
     for (unsigned dst : dests) {
         if (q[self] < s)
             break;
-        // Skip when the move would not leave the source strictly
-        // ahead: q[self] - S < q[dst] + S.
-        if (q[self] - s < q[dst] + s)
+        if (!migrationLeavesSourceAhead(q[self], q[dst], s))
             continue;
         out.migrations.push_back({dst, s});
         q[self] -= s;

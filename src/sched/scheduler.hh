@@ -52,6 +52,10 @@ struct SchedContext
     noc::Mesh *mesh = nullptr;
     std::vector<cpu::Core *> cores;
     Rng rng;
+
+    /** Invariant auditor, when the owning Server enabled auditing
+     *  (audit builds only; otherwise null). Not owned. */
+    sim::Auditor *auditor = nullptr;
 };
 
 /**

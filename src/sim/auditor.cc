@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Auditor ledger and monotone-time check.
+ */
+
+#include "sim/auditor.hh"
+
+#include "common/logging.hh"
+
+namespace altoc::sim {
+
+void
+Auditor::beginEvent(EventId id, Tick when)
+{
+    if (sawEvent_ && when < curTick_) {
+        // Stamp with the *offending* event but keep the detail
+        // naming both times; curTick_ still holds the earlier event's
+        // time at this point.
+        const Tick prev = curTick_;
+        curEvent_ = id;
+        curTick_ = when;
+        violate("monotone-time",
+                detail::vformat("event %llu at tick %llu dispatched "
+                                "after tick %llu",
+                                static_cast<unsigned long long>(id),
+                                static_cast<unsigned long long>(when),
+                                static_cast<unsigned long long>(prev)));
+        return;
+    }
+    curEvent_ = id;
+    curTick_ = when;
+    sawEvent_ = true;
+}
+
+void
+Auditor::violate(const char *invariant, std::string detail)
+{
+    ++violationCount_;
+    if (violations_.size() < kMaxStored) {
+        violations_.push_back(
+            AuditViolation{invariant, curEvent_, curTick_,
+                           std::move(detail)});
+    }
+}
+
+void
+Auditor::report(std::FILE *out) const
+{
+    if (out == nullptr)
+        out = stderr;
+    if (ok()) {
+        std::fprintf(out, "audit: all invariants held\n");
+        return;
+    }
+    std::fprintf(out,
+                 "audit: %llu invariant violation(s) detected\n",
+                 static_cast<unsigned long long>(violationCount_));
+    for (const AuditViolation &v : violations_) {
+        std::fprintf(out,
+                     "audit: [%s] event %llu tick %llu: %s\n",
+                     v.invariant.c_str(),
+                     static_cast<unsigned long long>(v.event),
+                     static_cast<unsigned long long>(v.tick),
+                     v.detail.c_str());
+    }
+    if (violationCount_ > violations_.size()) {
+        std::fprintf(out, "audit: ... and %llu more (storage cap)\n",
+                     static_cast<unsigned long long>(
+                         violationCount_ - violations_.size()));
+    }
+}
+
+void
+Auditor::reset()
+{
+    violations_.clear();
+    violationCount_ = 0;
+    curEvent_ = kNoEvent;
+    curTick_ = 0;
+    sawEvent_ = false;
+}
+
+} // namespace altoc::sim

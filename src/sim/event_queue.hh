@@ -64,6 +64,17 @@ class EventQueue
     Tick peekTime();
 
     /**
+     * Id of the event a subsequent runOne() will dispatch; only
+     * meaningful right after peekTime() (which compacts cancelled
+     * records off the top). kNoEvent when empty.
+     */
+    EventId
+    peekId() const
+    {
+        return heap_.empty() ? kNoEvent : heap_.front().id;
+    }
+
+    /**
      * Pop and run the earliest event. Returns its time. Must not be
      * called on an empty queue.
      */

@@ -17,6 +17,7 @@ Simulator::run(Tick until)
             now_ = until;
             return now_;
         }
+        ALTOC_AUDIT_HOOK(auditor_, beginEvent(events_.peekId(), next));
         now_ = next;
         events_.runOne();
     }
@@ -30,7 +31,9 @@ Simulator::step()
 {
     if (events_.empty())
         return false;
-    now_ = events_.peekTime();
+    const Tick next = events_.peekTime();
+    ALTOC_AUDIT_HOOK(auditor_, beginEvent(events_.peekId(), next));
+    now_ = next;
     events_.runOne();
     return true;
 }

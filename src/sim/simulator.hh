@@ -15,6 +15,7 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "sim/auditor.hh"
 #include "sim/event_queue.hh"
 
 namespace altoc::sim {
@@ -74,8 +75,18 @@ class Simulator
     /** Request that run() stop before dispatching the next event. */
     void requestStop() { stopRequested_ = true; }
 
+    /**
+     * Attach an invariant auditor; it is notified before every event
+     * dispatch (audit builds only -- the hook compiles away without
+     * ALTOC_AUDIT). Pass nullptr to detach. Not owned.
+     */
+    void setAuditor(Auditor *auditor) { auditor_ = auditor; }
+
+    Auditor *auditor() const { return auditor_; }
+
   private:
     EventQueue events_;
+    Auditor *auditor_ = nullptr;
     Tick now_ = 0;
     bool stopRequested_ = false;
 };

@@ -18,12 +18,20 @@ Server::Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched)
 
     mesh_ = std::make_unique<noc::Mesh>(noc::Mesh::forTiles(cfg_.cores));
 
+#if ALTOC_AUDIT_ENABLED
+    if (cfg_.audit) {
+        auditor_ = std::make_unique<core::InvariantAuditor>();
+        sim_.setAuditor(auditor_.get());
+    }
+#endif
+
     cores_.reserve(cfg_.cores);
     for (unsigned i = 0; i < cfg_.cores; ++i)
         cores_.push_back(std::make_unique<cpu::Core>(sim_, i, i));
 
     sched::SchedContext ctx;
     ctx.sim = &sim_;
+    ctx.auditor = auditor_.get();
     ctx.mesh = mesh_.get();
     for (auto &core : cores_)
         ctx.cores.push_back(core.get());
@@ -52,6 +60,7 @@ void
 Server::inject(net::Rpc *r)
 {
     altoc_assert(r->remaining > 0, "injecting a request with no demand");
+    ALTOC_AUDIT_HOOK(auditor_.get(), onInject(*r));
     nic_->receive(r);
 }
 
@@ -65,7 +74,9 @@ Server::setResolver(cpu::Core::ServiceResolver fn)
 void
 Server::onRpcDone(cpu::Core &core, net::Rpc *r)
 {
-    (void)core;
+    if (probe_)
+        probe_(core, *r, sim_.now());
+    ALTOC_AUDIT_HOOK(auditor_.get(), onComplete(*r));
     // The response traverses the TX path; latency ends when the
     // response buffer is freed (Sec. VII-B).
     const Tick done =
@@ -98,7 +109,24 @@ Server::onRpcDone(cpu::Core &core, net::Rpc *r)
 Tick
 Server::run(Tick until)
 {
-    return sim_.run(until);
+    const Tick end = sim_.run(until);
+#if ALTOC_AUDIT_ENABLED
+    if (auditor_) {
+        // Conservation only holds once everything in flight has
+        // finished; a run stopped early (stopAfterCompletions, time
+        // bound) legitimately leaves live descriptors behind.
+        if (sim_.idle())
+            auditor_->onDrain();
+        if (!auditor_->ok()) {
+            auditor_->report(stderr);
+            panic("invariant audit failed with %llu violation(s); "
+                  "see report above",
+                  static_cast<unsigned long long>(
+                      auditor_->violationCount()));
+        }
+    }
+#endif
+    return end;
 }
 
 void

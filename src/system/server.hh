@@ -23,6 +23,7 @@
 
 #include "common/rng.hh"
 #include "common/units.hh"
+#include "core/invariants.hh"
 #include "cpu/core.hh"
 #include "net/nic.hh"
 #include "net/rpc.hh"
@@ -69,6 +70,16 @@ class Server : public sched::CompletionSink
         /** Completions ignored before stats start recording. */
         std::uint64_t warmup = 0;
         std::uint64_t seed = 1;
+
+        /**
+         * Attach an InvariantAuditor to this server (descriptor
+         * conservation, migrate-at-most-once, Alg. 1 line-8 guard,
+         * monotone time; see core/invariants.hh). Only effective in
+         * builds with ALTOC_AUDIT; on by default there so every
+         * Debug test run is audited. A violation report is printed
+         * and the run panics at drain.
+         */
+        bool audit = ALTOC_AUDIT_ENABLED != 0;
     };
 
     Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched);
@@ -93,6 +104,20 @@ class Server : public sched::CompletionSink
     using CompletionHook =
         std::function<void(const net::Rpc &, Tick latency)>;
     void setCompletionHook(CompletionHook fn) { hook_ = std::move(fn); }
+
+    /**
+     * Low-level completion probe: fires on every completion (warmup
+     * included) with the executing core, the descriptor and the
+     * current tick, before the descriptor is recycled. This is the
+     * determinism checker's observation point (bench_util.hh hashes
+     * the (tick, kind, core, id) stream through it).
+     */
+    using CompletionProbe = std::function<void(
+        const cpu::Core &, const net::Rpc &, Tick now)>;
+    void setCompletionProbe(CompletionProbe fn)
+    {
+        probe_ = std::move(fn);
+    }
 
     // CompletionSink
     void onRpcDone(cpu::Core &core, net::Rpc *r) override;
@@ -130,6 +155,12 @@ class Server : public sched::CompletionSink
     /** Fork a deterministic child RNG (for load generators). */
     Rng forkRng(std::uint64_t salt) { return rng_.fork(salt); }
 
+    /** The invariant auditor, or null when auditing is off. */
+    const core::InvariantAuditor *auditor() const
+    {
+        return auditor_.get();
+    }
+
     /**
      * gem5-style end-of-run statistics dump: one line per counter
      * across every component (simulator, NIC, NoC, cores, scheduler
@@ -146,9 +177,11 @@ class Server : public sched::CompletionSink
     std::unique_ptr<sched::Scheduler> sched_;
     std::unique_ptr<net::Nic> nic_;
     net::RpcPool pool_;
+    std::unique_ptr<core::InvariantAuditor> auditor_;
     stats::SloTracker tracker_;
     PredictionStats pred_;
     CompletionHook hook_;
+    CompletionProbe probe_;
     std::uint64_t completed_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t stopAfter_ = ~std::uint64_t{0};

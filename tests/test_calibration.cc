@@ -81,8 +81,9 @@ TEST(Calibration, HigherDispersionViolatesEarlier)
     ASSERT_TRUE(fb);
     // Bimodal violates even when fixed may not; when both violate the
     // bimodal knee is no deeper.
-    if (ff)
+    if (ff) {
         EXPECT_LE(qb, qf + 5);
+    }
 }
 
 TEST(Calibration, FitPredictsMeasuredThresholds)
