@@ -12,26 +12,31 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
-#include "system/experiment.hh"
+#include "system/parallel_run.hh"
 #include "workload/distributions.hh"
 
 using namespace altoc;
 using namespace altoc::system;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     bench::banner("Ablation",
                   "AC group-local dispatch depth: 1 (idle-only) vs 2 "
                   "(Fig. 8's 2-deep worker queues)");
     bench::Stopwatch watch;
+    bench::SweepDigest digest;
 
-    std::printf("\n%-8s %8s %12s %12s %12s\n", "depth", "MRPS",
-                "p50 (us)", "p99 (us)", "viol ratio");
-    for (unsigned depth : {1u, 2u, 4u}) {
-        for (double rate : {8.0, 14.0, 17.0}) {
+    // The depth x rate grid is one parallel batch.
+    const std::vector<unsigned> depths{1, 2, 4};
+    const std::vector<double> rates{8.0, 14.0, 17.0};
+    std::vector<RunJob> batch;
+    for (unsigned depth : depths) {
+        for (double rate : rates) {
             DesignConfig cfg;
             cfg.design = Design::AcInt;
             cfg.cores = 16;
@@ -42,10 +47,21 @@ main()
             spec.service = std::make_shared<workload::BimodalDist>(
                 0.005, 500, 50 * kUs);
             spec.rateMrps = rate;
-            spec.requests = 150000;
+            spec.requests = bench::scaled(150000, opt);
             spec.sloAbsolute = 300 * kUs;
             spec.seed = 13;
-            const RunResult res = runExperiment(cfg, spec);
+            batch.push_back(RunJob{cfg, spec});
+        }
+    }
+    const std::vector<RunResult> results = runMany(batch, opt.jobs);
+    digest.addAll(results);
+
+    std::printf("\n%-8s %8s %12s %12s %12s\n", "depth", "MRPS",
+                "p50 (us)", "p99 (us)", "viol ratio");
+    std::size_t idx = 0;
+    for (unsigned depth : depths) {
+        for (double rate : rates) {
+            const RunResult &res = results[idx++];
             std::printf("%-8u %8.1f %12.2f %12.2f %12.5f\n", depth,
                         rate, res.latency.p50 / 1e3,
                         res.latency.p99 / 1e3, res.violationRatio);
@@ -55,6 +71,7 @@ main()
     std::printf("\nExpectation: deeper local queues trade a little "
                 "dispatch overlap for short-behind-long blocking; "
                 "p99 grows with depth at high load.\n");
+    digest.print();
     watch.report();
     return 0;
 }

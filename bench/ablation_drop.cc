@@ -11,9 +11,10 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
-#include "system/experiment.hh"
+#include "system/parallel_run.hh"
 #include "workload/distributions.hh"
 
 using namespace altoc;
@@ -21,8 +22,8 @@ using namespace altoc::system;
 
 namespace {
 
-RunResult
-run(Design design, double rate)
+RunJob
+job(Design design, double rate, std::uint64_t requests)
 {
     DesignConfig cfg;
     cfg.design = design;
@@ -34,34 +35,50 @@ run(Design design, double rate)
     WorkloadSpec spec;
     spec.service = workload::makeFixed(850);
     spec.rateMrps = rate;
-    spec.requests = 200000;
+    spec.requests = requests;
     spec.requestBytes = 64;
     // Few connections: RSS hashing concentrates load on some queues
     // -- the imbalance regime where the comparison is meaningful.
     spec.connections = 48;
     spec.sloFactor = 10.0;
     spec.seed = 59;
-    return runExperiment(cfg, spec);
+    return RunJob{cfg, spec};
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     bench::banner("Ablation",
                   "Reactive deadline dropping vs proactive migration "
                   "(32 cores, bursty 850 ns traffic)");
     bench::Stopwatch watch;
+    bench::SweepDigest digest;
+    const std::uint64_t requests = bench::scaled(200000, opt);
+
+    // Both designs at every rate, as one parallel batch: row i uses
+    // results[2i] (DeadlineDrop) and results[2i+1] (AC_int).
+    const std::vector<double> rates{10.0, 15.0, 20.0,
+                                    25.0, 30.0, 34.0};
+    std::vector<RunJob> batch;
+    for (double rate : rates) {
+        batch.push_back(job(Design::DeadlineDrop, rate, requests));
+        batch.push_back(job(Design::AcInt, rate, requests));
+    }
+    const std::vector<RunResult> results = runMany(batch, opt.jobs);
+    digest.addAll(results);
 
     std::printf("\n%-8s | %-28s | %-28s\n", "", "DeadlineDrop",
                 "AC_int (no drops by design)");
     std::printf("%-8s | %9s %9s %8s | %9s %9s %8s\n", "MRPS",
                 "goodput%", "dropped", "p99(us)", "goodput%",
                 "dropped", "p99(us)");
-    for (double rate : {10.0, 15.0, 20.0, 25.0, 30.0, 34.0}) {
-        const RunResult drop = run(Design::DeadlineDrop, rate);
-        const RunResult ac = run(Design::AcInt, rate);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const double rate = rates[i];
+        const RunResult &drop = results[2 * i];
+        const RunResult &ac = results[2 * i + 1];
         const auto goodput = [](const RunResult &r) {
             // Survivors: completed, not dropped, within SLO.
             const std::uint64_t bad = r.dropped + r.violations;
@@ -87,6 +104,7 @@ main()
                 "idle groups and completes it -- higher goodput with "
                 "zero drops (the paper's 'without unnecessarily "
                 "dropping packets').\n");
+    digest.print();
     watch.report();
     return 0;
 }

@@ -28,7 +28,7 @@ using namespace altoc::system;
 namespace {
 
 constexpr double kQuietRate = 6.0;
-constexpr std::uint64_t kQuietRequests = 120000;
+std::uint64_t kQuietRequests = 120000; // scaled by --scale
 
 /** Quiet tenant's p99 when sharing one scheduler with the noisy
  *  traffic (tenants distinguished by captured request ids). */
@@ -99,28 +99,46 @@ isolatedQuietP99(double noisy_rate)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     bench::banner("Ablation",
                   "Multi-tenant isolation: quiet tenant's p99 vs "
                   "noisy-neighbor load (32 cores total)");
     bench::Stopwatch watch;
+    bench::SweepDigest digest;
+    kQuietRequests = bench::scaled(kQuietRequests, opt);
 
     std::printf("\nquiet tenant: fixed 1 us RPCs at %.0f MRPS; noisy "
                 "neighbor sweeps its offered load\n\n", kQuietRate);
     std::printf("%-14s %16s %16s\n", "noisy (MRPS)", "shared p99 (us)",
                 "isolated p99 (us)");
-    for (double noisy : {4.0, 8.0, 12.0, 16.0, 20.0}) {
-        const Tick shared = sharedQuietP99(noisy);
-        const Tick isolated = isolatedQuietP99(noisy);
-        std::printf("%-14.1f %16.2f %16.2f\n", noisy, shared / 1e3,
-                    isolated / 1e3);
-        std::fflush(stdout);
+    // Each noisy-rate point runs its shared and isolated scenarios;
+    // the ten simulations fan out as 5 two-run tasks.
+    const std::vector<double> noisyRates{4.0, 8.0, 12.0, 16.0, 20.0};
+    struct Point
+    {
+        Tick shared;
+        Tick isolated;
+    };
+    const std::vector<Point> points = altoc::mapOrdered(
+        noisyRates,
+        [](const double &noisy) {
+            return Point{sharedQuietP99(noisy),
+                         isolatedQuietP99(noisy)};
+        },
+        opt.jobs);
+    for (std::size_t i = 0; i < noisyRates.size(); ++i) {
+        std::printf("%-14.1f %16.2f %16.2f\n", noisyRates[i],
+                    points[i].shared / 1e3, points[i].isolated / 1e3);
+        digest.addDigest(points[i].shared);
+        digest.addDigest(points[i].isolated);
     }
 
     std::printf("\nExpectation: the isolated quiet tenant's p99 is "
                 "flat in neighbor load; the shared machine's tail "
                 "inflates once combined bursts exceed capacity.\n");
+    digest.print();
     watch.report();
     return 0;
 }

@@ -18,10 +18,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/calibration.hh"
-#include "system/experiment.hh"
+#include "system/parallel_run.hh"
 #include "workload/distributions.hh"
 
 using namespace altoc;
@@ -29,8 +30,10 @@ using namespace altoc::system;
 
 namespace {
 
-RunResult
-runWith(core::ThresholdMode mode, unsigned lower_bound, bool migrate)
+std::uint64_t g_requests = 400000; // scaled by --scale
+
+RunJob
+jobWith(core::ThresholdMode mode, unsigned lower_bound, bool migrate)
 {
     DesignConfig cfg;
     cfg.design = Design::AcInt;
@@ -45,29 +48,32 @@ runWith(core::ThresholdMode mode, unsigned lower_bound, bool migrate)
     spec.service =
         std::make_shared<workload::BimodalDist>(0.005, 500, 26 * kUs);
     spec.rateMrps = 340.0;
-    spec.requests = 400000;
+    spec.requests = g_requests;
     spec.requestBytes = 64;
     spec.connections = 256;
     spec.sloFactor = 10.0;
     spec.seed = 47;
-    return runExperiment(cfg, spec);
+    return RunJob{cfg, spec};
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     bench::banner("Ablation",
                   "Threshold selection policy: Tlower vs Eq. 2 model "
                   "vs Tupper = k*L+1 (256 cores)");
     bench::Stopwatch watch;
+    bench::SweepDigest digest;
+    g_requests = bench::scaled(g_requests, opt);
 
     // Offline pass: measure the first-violation queue length for a
     // 15-worker group near saturation (the load bursts reach).
     workload::BimodalDist dist(0.005, 500, 26 * kUs);
     auto [t_lower, found] = core::firstViolationQueueLength(
-        dist, 15, 0.97, 10.0, 400000, 3);
+        dist, 15, 0.97, 10.0, g_requests, 3);
     // With rare 26 us longs the very first violator can be a long
     // request arriving at an empty queue (its own service exceeds
     // the SLO); clamp to 1 so LowerBound means "migrate any queued
@@ -77,16 +83,8 @@ main()
     std::printf("\ncalibrated Tlower (15 workers, load 0.97) = %u\n\n",
                 t_lower);
 
-    const RunResult base =
-        runWith(core::ThresholdMode::Model, 0, false);
-    std::printf("%-12s %12llu %12.2f %14s %14s %10s\n",
-                "no-migration",
-                static_cast<unsigned long long>(base.violations),
-                base.latency.p99 / 1e3, "-", "-", "-");
-
-    std::printf("%-12s %12s %12s %14s %14s %10s\n", "policy",
-                "violations", "p99 (us)", "migrated", "NoC bytes",
-                "saved");
+    // The no-migration baseline and the three policies are four
+    // independent runs; fan them out as one batch.
     const struct
     {
         const char *name;
@@ -96,8 +94,25 @@ main()
         {"Model", core::ThresholdMode::Model},
         {"UpperBound", core::ThresholdMode::UpperBound},
     };
-    for (const auto &row : rows) {
-        const RunResult res = runWith(row.mode, t_lower, true);
+    std::vector<RunJob> batch;
+    batch.push_back(jobWith(core::ThresholdMode::Model, 0, false));
+    for (const auto &row : rows)
+        batch.push_back(jobWith(row.mode, t_lower, true));
+    const std::vector<RunResult> results = runMany(batch, opt.jobs);
+    digest.addAll(results);
+
+    const RunResult &base = results[0];
+    std::printf("%-12s %12llu %12.2f %14s %14s %10s\n",
+                "no-migration",
+                static_cast<unsigned long long>(base.violations),
+                base.latency.p99 / 1e3, "-", "-", "-");
+
+    std::printf("%-12s %12s %12s %14s %14s %10s\n", "policy",
+                "violations", "p99 (us)", "migrated", "NoC bytes",
+                "saved");
+    for (std::size_t i = 0; i < 3; ++i) {
+        const auto &row = rows[i];
+        const RunResult &res = results[i + 1];
         const double saved =
             base.violations > 0
                 ? 1.0 - static_cast<double>(res.violations) /
@@ -119,6 +134,7 @@ main()
                 "least and misses violators; the Eq. 2 model sits "
                 "between, which is why the paper makes T a tunable "
                 "model rather than either bound.\n");
+    digest.print();
     watch.report();
     return 0;
 }

@@ -1,18 +1,27 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction benches: consistent
- * headers, row printing and wall-clock accounting.
+ * headers, row printing, wall-clock accounting, the determinism
+ * fingerprint, and the common command-line options of the parallel
+ * execution engine (--jobs, --scale).
  */
 
 #ifndef ALTOC_BENCH_BENCH_UTIL_HH
 #define ALTOC_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <chrono>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "common/fingerprint.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "system/experiment.hh"
 #include "system/server.hh"
 
 namespace bench {
@@ -36,6 +45,58 @@ section(const char *title)
 }
 
 /**
+ * Command-line options shared by every sweep bench.
+ *
+ *   --jobs N    worker threads for the parallel engine (default: the
+ *               ALTOC_JOBS env, else hardware concurrency; 1 = serial)
+ *   --scale X   multiply per-run request counts by X in (0, 1] --
+ *               the CI smoke job runs figures at --scale 0.05
+ */
+struct Options
+{
+    unsigned jobs = 0; //!< 0 = ThreadPool::defaultJobs()
+    double scale = 1.0;
+};
+
+inline Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s requires a value", flag);
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--jobs") == 0) {
+            const long v = std::atol(value("--jobs"));
+            if (v < 1)
+                fatal("--jobs must be >= 1");
+            opt.jobs = static_cast<unsigned>(v);
+        } else if (std::strcmp(arg, "--scale") == 0) {
+            opt.scale = std::atof(value("--scale"));
+            if (!(opt.scale > 0.0 && opt.scale <= 1.0))
+                fatal("--scale must lie in (0, 1]");
+        } else {
+            fatal("unknown argument '%s' (supported: --jobs N, "
+                  "--scale X)", arg);
+        }
+    }
+    return opt;
+}
+
+/** Apply the --scale factor to a request count (floor 1000 so the
+ *  percentile machinery keeps enough samples to be meaningful). */
+inline std::uint64_t
+scaled(std::uint64_t requests, const Options &opt)
+{
+    const auto n = static_cast<std::uint64_t>(
+        static_cast<double>(requests) * opt.scale);
+    return std::max<std::uint64_t>(n, 1000);
+}
+
+/**
  * Order-sensitive FNV-1a digest of a run's completion stream.
  *
  * Attach to a Server and every completion mixes in the tuple
@@ -43,20 +104,15 @@ section(const char *title)
  * scenario with the same seed must produce identical digests, which
  * is the repo's determinism contract (tests/test_determinism.cc).
  * Benches print the digest so regressions in reproducibility are
- * visible in their output too.
+ * visible in their output too. The mixing scheme is shared with
+ * RunResult::fingerprint via altoc::Fnv1a, so digests observed here
+ * and digests reported by runExperiment agree.
  */
 class RunFingerprint
 {
   public:
     /** Mix one 64-bit word (byte-wise FNV-1a, order sensitive). */
-    void
-    mix(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i) {
-            h_ ^= (v >> (8 * i)) & 0xffu;
-            h_ *= kPrime;
-        }
-    }
+    void mix(std::uint64_t v) { h_.mix(v); }
 
     /** Observe every completion of @p server from now on. */
     void
@@ -73,7 +129,7 @@ class RunFingerprint
         });
     }
 
-    std::uint64_t digest() const { return h_; }
+    std::uint64_t digest() const { return h_.digest(); }
 
     /** Completions hashed so far. */
     std::uint64_t events() const { return events_; }
@@ -82,16 +138,59 @@ class RunFingerprint
     print(const char *label) const
     {
         std::printf("[fingerprint %s: %016llx over %llu completions]\n",
-                    label, static_cast<unsigned long long>(h_),
+                    label, static_cast<unsigned long long>(digest()),
                     static_cast<unsigned long long>(events_));
     }
 
   private:
-    static constexpr std::uint64_t kOffset = 14695981039346656037ull;
-    static constexpr std::uint64_t kPrime = 1099511628211ull;
-
-    std::uint64_t h_ = kOffset;
+    altoc::Fnv1a h_;
     std::uint64_t events_ = 0;
+};
+
+/**
+ * Aggregate digest over a whole sweep: folds every run's
+ * RunResult::fingerprint (and completion count) in run order. The CI
+ * bench smoke job diffs this line between --jobs 1 and --jobs 2 runs
+ * to prove the parallel engine changes nothing.
+ */
+class SweepDigest
+{
+  public:
+    void
+    add(const altoc::system::RunResult &res)
+    {
+        h_.mix(res.fingerprint);
+        h_.mix(res.fingerprintEvents);
+        ++runs_;
+    }
+
+    template <typename Container>
+    void
+    addAll(const Container &results)
+    {
+        for (const auto &res : results)
+            add(res);
+    }
+
+    /** Fold a raw digest (for benches whose runs are not RunResults). */
+    void
+    addDigest(std::uint64_t digest)
+    {
+        h_.mix(digest);
+        ++runs_;
+    }
+
+    void
+    print() const
+    {
+        std::printf("\n[sweep fingerprint: %016llx over %llu runs]\n",
+                    static_cast<unsigned long long>(h_.digest()),
+                    static_cast<unsigned long long>(runs_));
+    }
+
+  private:
+    altoc::Fnv1a h_;
+    std::uint64_t runs_ = 0;
 };
 
 /** Wall-clock stopwatch for reporting bench runtime. */

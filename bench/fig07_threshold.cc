@@ -29,12 +29,24 @@ constexpr unsigned kCores = 64;
 constexpr double kSloFactor = 10.0;
 constexpr std::uint64_t kRequests = 2000000;
 
+/** Fold a profile into the sweep digest (the calibration substrate
+ *  produces no RunResult, so hash its bucketed counts directly). */
+std::uint64_t
+profileDigest(const ViolationProfile &prof)
+{
+    altoc::Fnv1a h;
+    for (const auto &[len, cell] : prof.byLength) {
+        h.mix(len);
+        h.mix(cell.first);
+        h.mix(cell.second);
+    }
+    return h.digest();
+}
+
 void
-printProfile(const char *name, const ServiceDist &dist, double load)
+printProfile(const char *name, const ViolationProfile &prof)
 {
     bench::section(name);
-    const ViolationProfile prof =
-        profileViolations(dist, kCores, load, kSloFactor, kRequests, 7);
     if (prof.byLength.empty()) {
         std::printf("(no arrivals recorded)\n");
         return;
@@ -67,28 +79,45 @@ printProfile(const char *name, const ServiceDist &dist, double load)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     bench::banner("Fig. 7",
                   "SLO violation prediction analysis (64-core c-FCFS, "
                   "L=10, load 0.99)");
     bench::Stopwatch watch;
+    bench::SweepDigest digest;
+    const std::uint64_t requests = bench::scaled(kRequests, opt);
 
     FixedDist fixed(1000);
     auto uniform = makeUniformAround(1000);
     BimodalDist bimodal(0.005, 500, 100 * kUs);
 
-    // (a,b,c) -- violation ratio vs queue length at load 0.99.
-    printProfile("(a) Fixed", fixed, 0.99);
-    printProfile("(b) Uniform", *uniform, 0.99);
-    printProfile("(c) Bi-modal", bimodal, 0.99);
+    // (a,b,c) -- violation ratio vs queue length at load 0.99. The
+    // three profiling passes are independent simulations; fan them
+    // out, then print in panel order.
+    const std::vector<const ServiceDist *> dists{&fixed, uniform.get(),
+                                                 &bimodal};
+    const std::vector<ViolationProfile> profiles = altoc::mapOrdered(
+        dists,
+        [&](const ServiceDist *const &dist) {
+            return profileViolations(*dist, kCores, 0.99, kSloFactor,
+                                     requests, 7);
+        },
+        opt.jobs);
+    printProfile("(a) Fixed", profiles[0]);
+    printProfile("(b) Uniform", profiles[1]);
+    printProfile("(c) Bi-modal", profiles[2]);
+    for (const ViolationProfile &prof : profiles)
+        digest.addDigest(profileDigest(prof));
 
     // (d) -- measured T vs E[Nq] across loads + the Eq. 2 fit.
     bench::section("(d) E[T-hat] vs E[N-hat_q] across loads (Fixed)");
     const std::vector<double> loads{0.95, 0.96, 0.97, 0.98,
                                     0.99, 0.995, 0.999};
-    const CalibrationResult cal =
-        calibrate(fixed, kCores, kSloFactor, loads, kRequests, 11);
+    const CalibrationResult cal = calibrate(fixed, kCores, kSloFactor,
+                                            loads, requests, 11,
+                                            opt.jobs);
     std::printf("%-8s %12s %14s %14s\n", "load", "E[Nq]",
                 "measured T", "viol ratio");
     for (const auto &pt : cal.points) {
@@ -105,7 +134,14 @@ main()
                 cal.fit.a, cal.fit.b, cal.fit.c, cal.fit.d);
     std::printf("naive upper bound k*L+1 = %u; all measured T sit "
                 "below it\n", kCores * 10 + 1);
+    for (const auto &pt : cal.points) {
+        altoc::Fnv1a h;
+        h.mix(pt.firstViolationQ);
+        h.mix(pt.sawViolation);
+        digest.addDigest(h.digest());
+    }
 
+    digest.print();
     watch.report();
     return 0;
 }

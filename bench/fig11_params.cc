@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "bench_util.hh"
-#include "system/experiment.hh"
+#include "system/parallel_run.hh"
 #include "workload/distributions.hh"
 
 using namespace altoc;
@@ -18,8 +18,26 @@ using namespace altoc::system;
 
 namespace {
 
-RunResult
-runWith(Tick period, unsigned bulk, std::uint64_t seed)
+WorkloadSpec
+makeWorkload(std::uint64_t seed, const bench::Options &opt)
+{
+    WorkloadSpec spec;
+    // Sec. VIII-C: mean service ~630 ns.
+    spec.service =
+        std::make_shared<workload::BimodalDist>(0.005, 500, 26 * kUs);
+    // 16 x 15 workers at 630 ns -> ~380 MRPS capacity; offer 92%.
+    spec.rateMrps = 350.0;
+    spec.requests = bench::scaled(400000, opt);
+    spec.requestBytes = 64;
+    spec.connections = 256; // lumpy RSS across 16 groups
+    spec.sloFactor = 10.0;
+    spec.seed = seed;
+    return spec;
+}
+
+RunJob
+jobWith(Tick period, unsigned bulk, std::uint64_t seed,
+        const bench::Options &opt)
 {
     DesignConfig cfg;
     cfg.design = Design::AcInt;
@@ -29,19 +47,7 @@ runWith(Tick period, unsigned bulk, std::uint64_t seed)
     cfg.params.period = period;
     cfg.params.bulk = bulk;
     cfg.params.concurrency = 8;
-
-    WorkloadSpec spec;
-    // Sec. VIII-C: mean service ~630 ns.
-    spec.service =
-        std::make_shared<workload::BimodalDist>(0.005, 500, 26 * kUs);
-    // 16 x 15 workers at 630 ns -> ~380 MRPS capacity; offer 92%.
-    spec.rateMrps = 350.0;
-    spec.requests = 400000;
-    spec.requestBytes = 64;
-    spec.connections = 256; // lumpy RSS across 16 groups
-    spec.sloFactor = 10.0;
-    spec.seed = seed;
-    return runExperiment(cfg, spec);
+    return RunJob{cfg, makeWorkload(seed, opt)};
 }
 
 void
@@ -58,25 +64,23 @@ printRow(const char *label, const RunResult &res)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     bench::banner("Fig. 11",
                   "SLO violations + p99 vs Bulk and vs migration "
                   "period (256 cores, 16 groups, 1.6 TbE)");
     bench::Stopwatch watch;
+    bench::SweepDigest digest;
 
-    bench::section("(a) Bulk sweep at period = 200 ns");
-    std::printf("%-12s %12s %12s %12s %11s\n", "bulk", "violations",
-                "p99 (us)", "migrated", "viol ratio");
-    for (unsigned bulk : {8u, 16u, 24u, 32u, 40u}) {
-        char label[16];
-        std::snprintf(label, sizeof label, "%u", bulk);
-        printRow(label, runWith(200, bulk, 31));
-    }
+    // Both panels' runs in one parallel batch: 5 bulk points, the
+    // no-migration reference, and 6 period points.
+    const std::vector<unsigned> bulks{8, 16, 24, 32, 40};
+    const std::vector<Tick> periods{10, 40, 100, 200, 400, 1000};
 
-    bench::section("(b) period sweep at Bulk = 16");
-    std::printf("%-12s %12s %12s %12s %11s\n", "period", "violations",
-                "p99 (us)", "migrated", "viol ratio");
+    std::vector<RunJob> batch;
+    for (unsigned bulk : bulks)
+        batch.push_back(jobWith(200, bulk, 31, opt));
     {
         // "No migration" reference bar.
         DesignConfig cfg;
@@ -85,27 +89,40 @@ main()
         cfg.groups = 16;
         cfg.lineRateGbps = 1600.0;
         cfg.params.migrationEnabled = false;
-        WorkloadSpec spec;
-        spec.service = std::make_shared<workload::BimodalDist>(
-            0.005, 500, 26 * kUs);
-        spec.rateMrps = 350.0;
-        spec.requests = 400000;
-        spec.requestBytes = 64;
-        spec.connections = 256;
-        spec.seed = 31;
-        printRow("No Migra.", runExperiment(cfg, spec));
+        batch.push_back(RunJob{cfg, makeWorkload(31, opt)});
     }
-    for (Tick period : {10u, 40u, 100u, 200u, 400u, 1000u}) {
+    for (Tick period : periods)
+        batch.push_back(jobWith(period, 16, 31, opt));
+
+    const std::vector<RunResult> results = runMany(batch, opt.jobs);
+    digest.addAll(results);
+
+    std::size_t idx = 0;
+    bench::section("(a) Bulk sweep at period = 200 ns");
+    std::printf("%-12s %12s %12s %12s %11s\n", "bulk", "violations",
+                "p99 (us)", "migrated", "viol ratio");
+    for (unsigned bulk : bulks) {
+        char label[16];
+        std::snprintf(label, sizeof label, "%u", bulk);
+        printRow(label, results[idx++]);
+    }
+
+    bench::section("(b) period sweep at Bulk = 16");
+    std::printf("%-12s %12s %12s %12s %11s\n", "period", "violations",
+                "p99 (us)", "migrated", "viol ratio");
+    printRow("No Migra.", results[idx++]);
+    for (Tick period : periods) {
         char label[16];
         std::snprintf(label, sizeof label, "%llu",
                       static_cast<unsigned long long>(period));
-        printRow(label, runWith(period, 16, 31));
+        printRow(label, results[idx++]);
     }
 
     std::printf("\nShape check (paper): Bulk=16 eliminates nearly all "
                 "violations; periods of 10-400 ns perform similarly "
                 "while 1000 ns misses ~1/3 of migration "
                 "opportunities.\n");
+    digest.print();
     watch.report();
     return 0;
 }

@@ -25,20 +25,33 @@ using namespace altoc::system;
 
 namespace {
 
-double
-tputAtSlo(const DesignConfig &cfg)
+struct Measured
+{
+    double tput = 0.0;
+    std::uint64_t digest = 0;
+};
+
+Measured
+tputAtSlo(const DesignConfig &cfg, std::uint64_t requests)
 {
     WorkloadSpec spec;
     spec.service = workload::makeFixed(850);
     spec.realWorldArrivals = true;
-    spec.requests = 120000;
+    spec.requests = requests;
     spec.requestBytes = 64;
     spec.connections = 2048;
     spec.sloFactor = 10.0;
     spec.seed = 71;
+    // jobs=1: the five configurations fan out at the outer level.
     const SweepResult sweep =
-        findThroughputAtSlo(cfg, spec, 20.0, 300.0, 6, 4);
-    return sweep.throughputAtSloMrps;
+        findThroughputAtSlo(cfg, spec, 20.0, 300.0, 6, 4, 1);
+    Measured m;
+    m.tput = sweep.throughputAtSloMrps;
+    altoc::Fnv1a h;
+    for (const RunResult &pt : sweep.points)
+        h.mix(pt.fingerprint);
+    m.digest = h.digest();
+    return m;
 }
 
 DesignConfig
@@ -55,34 +68,30 @@ base(Design d)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     bench::banner("Fig. 13b",
                   "Case studies 1 & 2: throughput@SLO on 256 cores, "
                   "real-world traffic");
     bench::Stopwatch watch;
+    bench::SweepDigest digest;
+    const std::uint64_t requests = bench::scaled(120000, opt);
 
-    std::printf("\n%-12s %14s   %s\n", "config", "tput@SLO", "notes");
-
-    const double rss = tputAtSlo(base(Design::Rss));
-    std::printf("%-12s %14.1f   commodity RSS NIC\n", "RSS", rss);
-    std::fflush(stdout);
+    // The five bars are independent throughput@SLO searches; run
+    // them as one parallel batch.
+    std::vector<DesignConfig> bars;
+    bars.push_back(base(Design::Rss));
 
     // Case study 1: integrated-NIC (Nebula-style) system + AC parts.
     DesignConfig rt_only = base(Design::AcInt);
     rt_only.params.hardwareMessaging = false;
     rt_only.label = "AC_int_1";
-    const double v_rt = tputAtSlo(rt_only);
-    std::printf("%-12s %14.1f   runtime only (shared-cache msgs)\n",
-                "AC_int_1", v_rt);
-    std::fflush(stdout);
+    bars.push_back(rt_only);
 
     DesignConfig rt_msg = base(Design::AcInt);
     rt_msg.label = "AC_int_2";
-    const double v_msg = tputAtSlo(rt_msg);
-    std::printf("%-12s %14.1f   runtime + hardware messaging\n",
-                "AC_int_2", v_msg);
-    std::fflush(stdout);
+    bars.push_back(rt_msg);
 
     // Case study 2: AC_rss parameter tuning.
     DesignConfig syn = base(Design::AcRss);
@@ -90,17 +99,37 @@ main()
     syn.params.bulk = 16;
     syn.params.concurrency = 8;
     syn.label = "AC_rss_1";
-    const double v_syn = tputAtSlo(syn);
-    std::printf("%-12s %14.1f   tuned for synthetic traces\n",
-                "AC_rss_1", v_syn);
-    std::fflush(stdout);
+    bars.push_back(syn);
 
     DesignConfig rw = base(Design::AcRss);
     rw.params.period = 100;
     rw.params.bulk = 24;
     rw.params.concurrency = 16;
     rw.label = "AC_rss_2";
-    const double v_rw = tputAtSlo(rw);
+    bars.push_back(rw);
+
+    const std::vector<Measured> measured = altoc::mapOrdered(
+        bars,
+        [&](const DesignConfig &cfg) {
+            return tputAtSlo(cfg, requests);
+        },
+        opt.jobs);
+    for (const Measured &m : measured)
+        digest.addDigest(m.digest);
+
+    std::printf("\n%-12s %14s   %s\n", "config", "tput@SLO", "notes");
+    const double rss = measured[0].tput;
+    std::printf("%-12s %14.1f   commodity RSS NIC\n", "RSS", rss);
+    const double v_rt = measured[1].tput;
+    std::printf("%-12s %14.1f   runtime only (shared-cache msgs)\n",
+                "AC_int_1", v_rt);
+    const double v_msg = measured[2].tput;
+    std::printf("%-12s %14.1f   runtime + hardware messaging\n",
+                "AC_int_2", v_msg);
+    const double v_syn = measured[3].tput;
+    std::printf("%-12s %14.1f   tuned for synthetic traces\n",
+                "AC_rss_1", v_syn);
+    const double v_rw = measured[4].tput;
     std::printf("%-12s %14.1f   tuned for real-world traffic\n",
                 "AC_rss_2", v_rw);
 
@@ -121,6 +150,7 @@ main()
                     "'performance only degrades by 7%%')\n",
                     v_rw / v_msg);
 
+    digest.print();
     watch.report();
     return 0;
 }

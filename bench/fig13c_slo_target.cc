@@ -10,9 +10,10 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
-#include "system/experiment.hh"
+#include "system/parallel_run.hh"
 #include "workload/distributions.hh"
 
 using namespace altoc;
@@ -20,8 +21,9 @@ using namespace altoc::system;
 
 namespace {
 
-RunResult
-runAt(Design design, double slo_factor, std::uint64_t seed)
+RunJob
+jobAt(Design design, double slo_factor, std::uint64_t seed,
+      std::uint64_t requests)
 {
     DesignConfig cfg;
     cfg.design = design;
@@ -45,35 +47,48 @@ runAt(Design design, double slo_factor, std::uint64_t seed)
     // 3x bursts) while the machine as a whole has headroom -- the
     // regime where prediction + migration pays.
     spec.rateMrps = 100.0;
-    spec.requests = 250000;
+    spec.requests = requests;
     spec.requestBytes = 64;
     spec.connections = 2048;
     spec.sloFactor = slo_factor;
     spec.seed = seed;
-    return runExperiment(cfg, spec);
+    return RunJob{cfg, spec};
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::Options opt = bench::parseArgs(argc, argv);
     bench::banner("Fig. 13c",
                   "Prediction accuracy vs SLO target (A = 850 ns, "
                   "100 MRPS, 256 cores, real-world traffic)");
     bench::Stopwatch watch;
+    bench::SweepDigest digest;
+    const std::uint64_t requests = bench::scaled(250000, opt);
+
+    // 3 SLO targets x {RSS, AC_rss, AC_int} = 9 independent runs.
+    const std::vector<double> slos{5.0, 10.0, 20.0};
+    std::vector<RunJob> batch;
+    for (double slo : slos)
+        for (Design d : {Design::Rss, Design::AcRss, Design::AcInt})
+            batch.push_back(jobAt(d, slo, 81, requests));
+    const std::vector<RunResult> results = runMany(batch, opt.jobs);
+    digest.addAll(results);
 
     std::printf("\n%-10s %-12s %14s %14s %16s\n", "SLO", "design",
                 "violations", "accuracy", "viol vs RSS");
 
-    for (double slo : {5.0, 10.0, 20.0}) {
-        const RunResult rss = runAt(Design::Rss, slo, 81);
+    std::size_t idx = 0;
+    for (double slo : slos) {
+        const RunResult &rss = results[idx++];
         std::printf("%3.0fA       %-12s %14llu %14s %16s\n", slo,
                     "RSS",
                     static_cast<unsigned long long>(rss.violations),
                     "-", "1.00x");
-        for (Design d : {Design::AcRss, Design::AcInt}) {
-            const RunResult res = runAt(d, slo, 81);
+        for (int i = 0; i < 2; ++i) {
+            const RunResult &res = results[idx++];
             const double saved =
                 rss.violations > 0
                     ? static_cast<double>(res.violations) /
@@ -91,6 +106,7 @@ main()
                 "strict targets (<= 10A); at 20A every approach "
                 "satisfies the relaxed SLO (>95%% accuracy / few "
                 "violations).\n");
+    digest.print();
     watch.report();
     return 0;
 }

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Order-sensitive FNV-1a stream digest.
+ *
+ * The repo's determinism contract reduces a run to a hash of its
+ * completion stream: every completion mixes the tuple (tick, event
+ * type, core id, request id). Two runs of the same scenario with the
+ * same seed must produce identical digests (tests/test_determinism.cc,
+ * tests/test_golden_results.cc), and a parallel sweep must reproduce
+ * the serial sweep's digests element-wise (tests/test_parallel_run.cc).
+ *
+ * This is the shared primitive behind bench::RunFingerprint and
+ * RunResult::fingerprint; keep the mixing scheme identical in both or
+ * the golden files and the bench output stop agreeing.
+ */
+
+#ifndef ALTOC_COMMON_FINGERPRINT_HH
+#define ALTOC_COMMON_FINGERPRINT_HH
+
+#include <cstdint>
+
+namespace altoc {
+
+/** Byte-wise FNV-1a over a stream of 64-bit words. */
+class Fnv1a
+{
+  public:
+    /** Mix one 64-bit word (order sensitive). */
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xffu;
+            h_ *= kPrime;
+        }
+    }
+
+    std::uint64_t digest() const { return h_; }
+
+  private:
+    // FNV-1a basis/prime, not durations. lint:allow raw-tick-literal
+    static constexpr std::uint64_t kOffset = 14695981039346656037ull; // lint:allow raw-tick-literal
+    static constexpr std::uint64_t kPrime = 1099511628211ull; // lint:allow raw-tick-literal
+
+    std::uint64_t h_ = kOffset;
+};
+
+} // namespace altoc
+
+#endif // ALTOC_COMMON_FINGERPRINT_HH

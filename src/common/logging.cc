@@ -7,9 +7,23 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 
 namespace altoc {
 namespace detail {
+
+namespace {
+
+/** Serializes the stderr sink: parallel experiment workers may warn
+ *  concurrently and their lines must not interleave. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
 
 std::string
 vformat(const char *fmt, ...)
@@ -34,9 +48,12 @@ void
 logAbort(const char *kind, const char *file, int line,
          const std::string &msg)
 {
-    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file,
-                 line);
-    std::fflush(stderr);
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(),
+                     file, line);
+        std::fflush(stderr);
+    }
     if (std::string(kind) == "fatal")
         std::exit(1);
     std::abort();
@@ -45,6 +62,7 @@ logAbort(const char *kind, const char *file, int line,
 void
 logPrint(const char *kind, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
 }
 

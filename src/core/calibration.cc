@@ -16,6 +16,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "core/erlang.hh"
 
 namespace altoc::core {
@@ -129,45 +130,56 @@ firstViolationQueueLength(const workload::ServiceDist &dist, unsigned k,
 CalibrationResult
 calibrate(const workload::ServiceDist &dist, unsigned k, double l_factor,
           const std::vector<double> &loads,
-          std::uint64_t requests_per_load, std::uint64_t seed)
+          std::uint64_t requests_per_load, std::uint64_t seed,
+          unsigned jobs)
 {
     CalibrationResult result;
 
+    // Each load's profiling pass is an independent simulation with
+    // its own derived seed; fan them across the pool and fold the
+    // fit in load order so the result matches the serial pass.
+    std::vector<std::size_t> indices(loads.size());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+    result.points = mapOrdered(
+        indices,
+        [&](const std::size_t &i) {
+            const double load = loads[i];
+            CalibrationPoint pt;
+            pt.load = load;
+            pt.expectedNq =
+                expectedQueueLength(k, load * static_cast<double>(k));
+
+            std::uint64_t violations = 0;
+            unsigned first_q = 0;
+            bool found = false;
+            simulateCFcfs(dist, k, load, l_factor, requests_per_load,
+                          seed + i,
+                          [&](const Outcome &o) {
+                              if (o.violated) {
+                                  ++violations;
+                                  if (!found) {
+                                      first_q = o.queueAtArrival;
+                                      found = true;
+                                  }
+                              }
+                          });
+            pt.firstViolationQ = first_q;
+            pt.sawViolation = found;
+            pt.violationRatio = static_cast<double>(violations) /
+                                static_cast<double>(requests_per_load);
+            return pt;
+        },
+        jobs);
+
     double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
     unsigned fit_points = 0;
-
-    for (std::size_t i = 0; i < loads.size(); ++i) {
-        const double load = loads[i];
-        CalibrationPoint pt;
-        pt.load = load;
-        pt.expectedNq =
-            expectedQueueLength(k, load * static_cast<double>(k));
-
-        std::uint64_t violations = 0;
-        unsigned first_q = 0;
-        bool found = false;
-        simulateCFcfs(dist, k, load, l_factor, requests_per_load,
-                      seed + i,
-                      [&](const Outcome &o) {
-                          if (o.violated) {
-                              ++violations;
-                              if (!found) {
-                                  first_q = o.queueAtArrival;
-                                  found = true;
-                              }
-                          }
-                      });
-        pt.firstViolationQ = first_q;
-        pt.sawViolation = found;
-        pt.violationRatio = static_cast<double>(violations) /
-                            static_cast<double>(requests_per_load);
-        result.points.push_back(pt);
-
-        if (found) {
+    for (const CalibrationPoint &pt : result.points) {
+        if (pt.sawViolation) {
             sum_x += pt.expectedNq;
-            sum_y += static_cast<double>(first_q);
+            sum_y += static_cast<double>(pt.firstViolationQ);
             sum_xx += pt.expectedNq * pt.expectedNq;
-            sum_xy += pt.expectedNq * static_cast<double>(first_q);
+            sum_xy += pt.expectedNq * static_cast<double>(pt.firstViolationQ);
             ++fit_points;
         }
     }

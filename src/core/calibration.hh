@@ -78,12 +78,17 @@ firstViolationQueueLength(const workload::ServiceDist &dist, unsigned k,
  * T ~ slope * E[Nq] + intercept by least squares and package the
  * result as Eq. 2 constants (c fixed at 0.998, d at 0, matching the
  * paper's parameterization).
+ *
+ * Per-load profiling runs are independent (each derives its own seed
+ * as @p seed + load index) and fan across @p jobs worker threads
+ * (0 = ALTOC_JOBS env / hardware concurrency, 1 = serial); results
+ * are folded in load order, so the fit is identical for any @p jobs.
  */
 CalibrationResult calibrate(const workload::ServiceDist &dist, unsigned k,
                             double l_factor,
                             const std::vector<double> &loads,
                             std::uint64_t requests_per_load,
-                            std::uint64_t seed);
+                            std::uint64_t seed, unsigned jobs = 0);
 
 } // namespace altoc::core
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "common/fingerprint.hh"
 #include "common/logging.hh"
 #include "sched/centralized.hh"
 #include "sched/dfcfs.hh"
@@ -304,6 +305,20 @@ runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
             });
     }
 
+    // Completion-stream digest; the mixing scheme must match
+    // bench::RunFingerprint (see common/fingerprint.hh).
+    Fnv1a fp;
+    std::uint64_t fp_events = 0;
+    server->setCompletionProbe([&fp, &fp_events](const cpu::Core &core,
+                                                 const net::Rpc &r,
+                                                 Tick now) {
+        fp.mix(now);
+        fp.mix(static_cast<std::uint64_t>(r.kind));
+        fp.mix(core.id());
+        fp.mix(r.id);
+        ++fp_events;
+    });
+
     LoadGenerator gen(*server, spec);
     gen.start();
     const Tick end = server->run();
@@ -323,6 +338,8 @@ runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
     result.utilization = server->workerUtilization();
     result.predictions = server->predictions();
     result.dropped = server->dropped();
+    result.fingerprint = fp.digest();
+    result.fingerprintEvents = fp_events;
     if (spec.dumpStats)
         server->dumpStats();
 

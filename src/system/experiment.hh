@@ -157,6 +157,19 @@ struct RunResult
     std::uint64_t migrated = 0;
     core::MessagingStats messaging;
 
+    /**
+     * Order-sensitive digest of the completion stream: every
+     * completion (warmup included) mixes (tick, event type, core id,
+     * request id) into an FNV-1a hash (common/fingerprint.hh). Two
+     * runs of the same (config, spec) must agree bit-for-bit; the
+     * parallel engine and the golden regression suite both key off
+     * this field.
+     */
+    std::uint64_t fingerprint = 0;
+
+    /** Completions mixed into the fingerprint. */
+    std::uint64_t fingerprintEvents = 0;
+
     std::vector<RequestOutcome> perRequest;
 
     /** True when p99 <= SLO target. */

@@ -6,26 +6,28 @@
 #include "system/sweep.hh"
 
 #include "common/logging.hh"
+#include "system/parallel_run.hh"
 
 namespace altoc::system {
 
 std::vector<RunResult>
 latencyCurve(const DesignConfig &cfg, WorkloadSpec spec,
-             const std::vector<double> &rates_mrps)
+             const std::vector<double> &rates_mrps, unsigned jobs)
 {
-    std::vector<RunResult> out;
-    out.reserve(rates_mrps.size());
+    std::vector<RunJob> batch;
+    batch.reserve(rates_mrps.size());
     for (double rate : rates_mrps) {
         spec.rateMrps = rate;
-        out.push_back(runExperiment(cfg, spec));
+        batch.push_back(RunJob{cfg, spec});
     }
-    return out;
+    return runMany(batch, jobs);
 }
 
 SweepResult
 findThroughputAtSlo(const DesignConfig &cfg, WorkloadSpec spec,
                     double lo_mrps, double hi_mrps,
-                    unsigned bracket_steps, unsigned bisect_steps)
+                    unsigned bracket_steps, unsigned bisect_steps,
+                    unsigned jobs)
 {
     altoc_assert(lo_mrps > 0.0 && hi_mrps > lo_mrps,
                  "bad sweep range [%f, %f]", lo_mrps, hi_mrps);
@@ -39,19 +41,47 @@ findThroughputAtSlo(const DesignConfig &cfg, WorkloadSpec spec,
         return ok;
     };
 
-    // Coarse ascending bracket.
+    // Coarse ascending bracket. The serial search stops at the first
+    // failing rate; the parallel path probes every candidate
+    // speculatively and truncates at the first failure, so the
+    // retained points (and therefore the whole SweepResult) are
+    // bit-identical to the serial search.
+    const auto bracket_rate = [&](unsigned i) {
+        return lo_mrps + (hi_mrps - lo_mrps) * i / bracket_steps;
+    };
     double best_ok = 0.0;
     double first_fail = hi_mrps;
     bool saw_fail = false;
-    for (unsigned i = 0; i <= bracket_steps; ++i) {
-        const double rate =
-            lo_mrps + (hi_mrps - lo_mrps) * i / bracket_steps;
-        if (probe(rate)) {
-            best_ok = rate;
-        } else {
-            first_fail = rate;
-            saw_fail = true;
-            break;
+    const unsigned n =
+        jobs ? jobs : ThreadPool::defaultJobs();
+    if (n > 1) {
+        std::vector<double> rates;
+        rates.reserve(bracket_steps + 1);
+        for (unsigned i = 0; i <= bracket_steps; ++i)
+            rates.push_back(bracket_rate(i));
+        std::vector<RunResult> probes =
+            latencyCurve(cfg, spec, rates, jobs);
+        for (unsigned i = 0; i <= bracket_steps; ++i) {
+            const bool ok = probes[i].meetsSlo();
+            result.points.push_back(std::move(probes[i]));
+            if (ok) {
+                best_ok = rates[i];
+            } else {
+                first_fail = rates[i];
+                saw_fail = true;
+                break;
+            }
+        }
+    } else {
+        for (unsigned i = 0; i <= bracket_steps; ++i) {
+            const double rate = bracket_rate(i);
+            if (probe(rate)) {
+                best_ok = rate;
+            } else {
+                first_fail = rate;
+                saw_fail = true;
+                break;
+            }
         }
     }
     if (!saw_fail) {
@@ -65,6 +95,8 @@ findThroughputAtSlo(const DesignConfig &cfg, WorkloadSpec spec,
     }
 
     // Bisection between the last passing and first failing rates.
+    // Each probe's rate depends on the previous outcome, so this
+    // phase is inherently serial.
     double lo = best_ok;
     double hi = first_fail;
     for (unsigned i = 0; i < bisect_steps; ++i) {

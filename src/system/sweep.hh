@@ -5,6 +5,12 @@
  * throughput@SLO (Sec. II-A) is the highest offered load a design
  * sustains with p99 latency within the SLO target. The search runs a
  * coarse ascending sweep to bracket the knee, then bisects.
+ *
+ * Both entry points take a @p jobs fan-out degree (0 = ALTOC_JOBS
+ * env, else hardware concurrency; 1 = strictly serial). Parallel
+ * execution is an implementation detail: results are merged in
+ * submission order and are bit-identical to a serial run for any job
+ * count (tests/test_parallel_run.cc).
  */
 
 #ifndef ALTOC_SYSTEM_SWEEP_HH
@@ -29,14 +35,21 @@ struct SweepResult
 
 /**
  * Latency-vs-throughput curve: one run per rate in @p rates_mrps.
- * The spec's rateMrps field is overwritten per point.
+ * The spec's rateMrps field is overwritten per point. Runs execute
+ * across @p jobs threads; the returned curve is in rate order.
  */
 std::vector<RunResult> latencyCurve(const DesignConfig &cfg,
                                     WorkloadSpec spec,
-                                    const std::vector<double> &rates_mrps);
+                                    const std::vector<double> &rates_mrps,
+                                    unsigned jobs = 0);
 
 /**
  * Binary-search throughput@SLO over [lo, hi] MRPS.
+ *
+ * With jobs > 1 the coarse bracket probes all candidate rates
+ * speculatively in parallel and then discards everything past the
+ * first SLO failure, so @p points matches the serial search exactly;
+ * the bisection phase is inherently sequential and stays serial.
  *
  * @param bracket_steps coarse ascending probes before bisection
  * @param bisect_steps  refinement iterations
@@ -45,7 +58,8 @@ SweepResult findThroughputAtSlo(const DesignConfig &cfg,
                                 WorkloadSpec spec, double lo_mrps,
                                 double hi_mrps,
                                 unsigned bracket_steps = 6,
-                                unsigned bisect_steps = 5);
+                                unsigned bisect_steps = 5,
+                                unsigned jobs = 0);
 
 } // namespace altoc::system
 

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Equivalence tests for the parallel experiment engine: the central
+ * claim is that fanning runs across worker threads is invisible in
+ * the output. Every suite compares a serial (jobs=1) execution
+ * against parallel ones (jobs=2, 8) element-wise on the
+ * order-sensitive completion-stream fingerprint plus headline stats,
+ * so any cross-thread state leak or merge reordering fails loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "system/parallel_run.hh"
+#include "system/sweep.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+DesignConfig
+smallConfig(Design design)
+{
+    DesignConfig cfg;
+    cfg.design = design;
+    cfg.cores = 8;
+    cfg.groups = 2;
+    return cfg;
+}
+
+WorkloadSpec
+smallWorkload(std::uint64_t seed = 7)
+{
+    WorkloadSpec spec;
+    spec.service = workload::makeExponential(1 * kUs);
+    spec.rateMrps = 4.0;
+    spec.requests = 3000;
+    spec.seed = seed;
+    return spec;
+}
+
+void
+expectSameResult(const RunResult &a, const RunResult &b,
+                 std::size_t idx)
+{
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << "point " << idx;
+    EXPECT_EQ(a.fingerprintEvents, b.fingerprintEvents)
+        << "point " << idx;
+    EXPECT_EQ(a.completed, b.completed) << "point " << idx;
+    EXPECT_EQ(a.violations, b.violations) << "point " << idx;
+    EXPECT_EQ(a.latency.p99, b.latency.p99) << "point " << idx;
+    // Doubles compared exactly on purpose: identical operations in
+    // identical order must give identical bits.
+    EXPECT_EQ(a.achievedMrps, b.achievedMrps) << "point " << idx;
+    EXPECT_EQ(a.offeredMrps, b.offeredMrps) << "point " << idx;
+}
+
+} // namespace
+
+TEST(ParallelRun, RunManyMatchesSerialForAnyJobCount)
+{
+    std::vector<RunJob> batch;
+    for (Design design : {Design::Rss, Design::ZygOs, Design::AcInt}) {
+        for (double rate : {2.0, 4.0, 6.0}) {
+            WorkloadSpec spec = smallWorkload();
+            spec.rateMrps = rate;
+            batch.push_back(RunJob{smallConfig(design), spec});
+        }
+    }
+
+    const std::vector<RunResult> serial = runMany(batch, 1);
+    ASSERT_EQ(serial.size(), batch.size());
+    for (const RunResult &res : serial)
+        ASSERT_GT(res.fingerprintEvents, 0u);
+
+    for (unsigned jobs : {2u, 8u}) {
+        const std::vector<RunResult> par = runMany(batch, jobs);
+        ASSERT_EQ(par.size(), serial.size()) << "jobs=" << jobs;
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            expectSameResult(serial[i], par[i], i);
+    }
+}
+
+TEST(ParallelRun, LatencyCurveMatchesSerial)
+{
+    const DesignConfig cfg = smallConfig(Design::AcRss);
+    const std::vector<double> rates{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+
+    const std::vector<RunResult> serial =
+        latencyCurve(cfg, smallWorkload(), rates, 1);
+    ASSERT_EQ(serial.size(), rates.size());
+
+    for (unsigned jobs : {2u, 8u}) {
+        const std::vector<RunResult> par =
+            latencyCurve(cfg, smallWorkload(), rates, jobs);
+        ASSERT_EQ(par.size(), serial.size()) << "jobs=" << jobs;
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            expectSameResult(serial[i], par[i], i);
+    }
+}
+
+TEST(ParallelRun, ThroughputSearchMatchesSerial)
+{
+    // The parallel bracket probes speculatively and truncates at the
+    // first SLO failure; the SweepResult must match the serial
+    // early-exit search point for point.
+    const DesignConfig cfg = smallConfig(Design::AcInt);
+    const WorkloadSpec spec = smallWorkload();
+
+    const SweepResult serial =
+        findThroughputAtSlo(cfg, spec, 1.0, 7.0, 5, 3, 1);
+    const SweepResult par =
+        findThroughputAtSlo(cfg, spec, 1.0, 7.0, 5, 3, 4);
+
+    EXPECT_EQ(par.throughputAtSloMrps, serial.throughputAtSloMrps);
+    ASSERT_EQ(par.points.size(), serial.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i)
+        expectSameResult(serial.points[i], par.points[i], i);
+}
+
+TEST(ParallelRun, RepeatedRunsAreDeterministic)
+{
+    // Same (config, spec) twice in one batch: the fingerprint proves
+    // no hidden state couples concurrently-running simulations.
+    std::vector<RunJob> batch;
+    batch.push_back(RunJob{smallConfig(Design::AcInt), smallWorkload()});
+    batch.push_back(RunJob{smallConfig(Design::AcInt), smallWorkload()});
+
+    const std::vector<RunResult> results = runMany(batch, 2);
+    ASSERT_EQ(results.size(), 2u);
+    expectSameResult(results[0], results[1], 0);
+}
+
+TEST(ParallelRun, ThrowingJobSurfacesException)
+{
+    // Exercise the engine's failure path the way runMany uses it:
+    // mapOrdered over a batch where the middle callable throws. The
+    // exception must reach the caller for serial and parallel runs
+    // alike, and already-submitted siblings must drain cleanly.
+    std::vector<RunJob> batch;
+    for (double rate : {2.0, 3.0, 4.0}) {
+        WorkloadSpec spec = smallWorkload();
+        spec.rateMrps = rate;
+        batch.push_back(RunJob{smallConfig(Design::Rss), spec});
+    }
+
+    for (unsigned jobs : {1u, 4u}) {
+        bool threw = false;
+        try {
+            (void)mapOrdered(
+                batch,
+                [](const RunJob &job) {
+                    if (job.spec.rateMrps == 3.0)
+                        throw std::runtime_error("mid-sweep failure");
+                    return runExperiment(job.cfg, job.spec);
+                },
+                jobs);
+        } catch (const std::runtime_error &e) {
+            threw = true;
+            EXPECT_STREQ(e.what(), "mid-sweep failure");
+        }
+        EXPECT_TRUE(threw) << "jobs=" << jobs;
+    }
+}

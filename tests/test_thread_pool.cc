@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit and stress tests for the worker pool behind the parallel
+ * experiment engine: result/exception delivery through futures,
+ * submission from many threads at once, teardown with work still
+ * queued, the single-thread inline fallback, nested submission, and
+ * ALTOC_JOBS parsing. Runs under the ALTOC_SANITIZE=thread CI config
+ * to prove the synchronization is race-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+using altoc::ThreadPool;
+using altoc::mapOrdered;
+
+TEST(ThreadPool, SubmitReturnsValuesThroughFutures)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    futures.reserve(100);
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, SubmissionFromMultipleThreads)
+{
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    std::vector<std::thread> producers;
+    producers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        producers.emplace_back([&pool, &sum] {
+            std::vector<std::future<void>> futures;
+            futures.reserve(50);
+            for (int i = 1; i <= 50; ++i) {
+                futures.push_back(pool.submit(
+                    [&sum, i] { sum.fetch_add(i); }));
+            }
+            for (auto &f : futures)
+                f.get();
+        });
+    }
+    for (std::thread &p : producers)
+        p.join();
+    EXPECT_EQ(sum.load(), 4 * (50 * 51) / 2);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 7; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, TeardownDrainsQueuedWork)
+{
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futures;
+    {
+        ThreadPool pool(2);
+        futures.reserve(64);
+        for (int i = 0; i < 64; ++i) {
+            futures.push_back(pool.submit([&done] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                done.fetch_add(1);
+            }));
+        }
+        // Destructor must complete everything that was queued.
+    }
+    EXPECT_EQ(done.load(), 64);
+    for (auto &f : futures)
+        EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, SingleThreadFallbackRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    const auto caller = std::this_thread::get_id();
+    auto fut = pool.submit([] { return std::this_thread::get_id(); });
+    EXPECT_EQ(fut.get(), caller);
+}
+
+TEST(ThreadPool, NestedSubmitDoesNotDeadlock)
+{
+    // A task that submits to its own pool must execute the nested
+    // work inline rather than wait on a queue slot that may never
+    // free up.
+    ThreadPool pool(2);
+    std::vector<std::future<int>> futures;
+    futures.reserve(8);
+    for (int i = 0; i < 8; ++i) {
+        futures.push_back(pool.submit([&pool, i] {
+            auto inner = pool.submit([i] { return i + 100; });
+            return inner.get();
+        }));
+    }
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(futures[i].get(), i + 100);
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvironment)
+{
+    ASSERT_EQ(setenv("ALTOC_JOBS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+    ASSERT_EQ(setenv("ALTOC_JOBS", "not-a-number", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 1u); // malformed -> serial
+    ASSERT_EQ(unsetenv("ALTOC_JOBS"), 0);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+TEST(ThreadPool, MapOrderedPreservesItemOrder)
+{
+    std::vector<int> items;
+    items.reserve(200);
+    for (int i = 0; i < 200; ++i)
+        items.push_back(i);
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        const std::vector<int> out = mapOrdered(
+            items, [](const int &v) { return v * 3; }, jobs);
+        ASSERT_EQ(out.size(), items.size());
+        for (int i = 0; i < 200; ++i)
+            EXPECT_EQ(out[i], i * 3) << "jobs=" << jobs;
+    }
+}
+
+TEST(ThreadPool, MapOrderedSurfacesExceptions)
+{
+    const std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7};
+    for (unsigned jobs : {1u, 4u}) {
+        EXPECT_THROW(
+            mapOrdered(
+                items,
+                [](const int &v) -> int {
+                    if (v == 3)
+                        throw std::runtime_error("job 3 failed");
+                    return v;
+                },
+                jobs),
+            std::runtime_error)
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(ThreadPool, StressManySmallTasks)
+{
+    ThreadPool pool(8);
+    std::atomic<std::uint64_t> sum{0};
+    std::vector<std::future<void>> futures;
+    constexpr int kTasks = 5000;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        futures.push_back(pool.submit(
+            [&sum, i] { sum.fetch_add(static_cast<std::uint64_t>(i)); }));
+    }
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(sum.load(),
+              static_cast<std::uint64_t>(kTasks) * (kTasks - 1) / 2);
+}
