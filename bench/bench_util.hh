@@ -47,15 +47,22 @@ section(const char *title)
 /**
  * Command-line options shared by every sweep bench.
  *
- *   --jobs N    worker threads for the parallel engine (default: the
- *               ALTOC_JOBS env, else hardware concurrency; 1 = serial)
- *   --scale X   multiply per-run request counts by X in (0, 1] --
- *               the CI smoke job runs figures at --scale 0.05
+ *   --jobs N       worker threads for the parallel engine (default:
+ *                  the ALTOC_JOBS env, else hardware concurrency;
+ *                  1 = serial)
+ *   --scale X      multiply per-run request counts by X in (0, 1] --
+ *                  the CI smoke job runs figures at --scale 0.05
+ *   --fault-spec S fault schedule in the sim/fault_spec.hh grammar
+ *                  (e.g. "drop=0.01,stall=1@50000+30000"); defaults
+ *                  to the ALTOC_FAULTS env. Most benches ignore it;
+ *                  ablation_faults runs it instead of its built-in
+ *                  intensity ladder.
  */
 struct Options
 {
     unsigned jobs = 0; //!< 0 = ThreadPool::defaultJobs()
     double scale = 1.0;
+    std::string faultSpec; //!< empty = no override
 };
 
 inline Options
@@ -78,10 +85,17 @@ parseArgs(int argc, char **argv)
             opt.scale = std::atof(value("--scale"));
             if (!(opt.scale > 0.0 && opt.scale <= 1.0))
                 fatal("--scale must lie in (0, 1]");
+        } else if (std::strcmp(arg, "--fault-spec") == 0) {
+            opt.faultSpec = value("--fault-spec");
         } else {
             fatal("unknown argument '%s' (supported: --jobs N, "
-                  "--scale X)", arg);
+                  "--scale X, --fault-spec S)", arg);
         }
+    }
+    if (opt.faultSpec.empty()) {
+        if (const char *env = std::getenv("ALTOC_FAULTS");
+            env != nullptr)
+            opt.faultSpec = env;
     }
     return opt;
 }

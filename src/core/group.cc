@@ -9,8 +9,18 @@
 
 #include "common/logging.hh"
 #include "core/invariants.hh"
+#include "sim/fault_injector.hh"
 
 namespace altoc::core {
+
+namespace {
+
+/** Masked queue-view value for quarantined peers: large enough that
+ *  the line-8 guard can never justify migrating toward them, small
+ *  enough that adding a batch size cannot overflow. */
+constexpr std::size_t kQuarantineMask = std::size_t{1} << 32;
+
+} // namespace
 
 GroupScheduler::GroupScheduler(const Config &cfg)
     : cfg_(cfg)
@@ -69,13 +79,16 @@ GroupScheduler::onAttach()
         grp.local.assign(cfg_.workersPerGroup, {});
         grp.qView.assign(cfg_.numGroups, 0);
         grp.estimator.emplace(cfg_.meanService);
+        grp.peers.assign(cfg_.numGroups, PeerHealth{});
         manager_tiles.push_back(ctx_.cores[base]->tile());
     }
 
     HwMessaging::Config mcfg;
     mcfg.hardware = cfg_.params.hardwareMessaging;
+    mcfg.ackTimeout = cfg_.params.hardening.ackTimeout;
     msg_ = std::make_unique<HwMessaging>(*ctx_.sim, *ctx_.mesh,
                                          manager_tiles, mcfg);
+    msg_->setFaults(ctx_.faults);
     msg_->setMigrateIn([this](unsigned g,
                               const std::vector<net::Rpc *> &reqs) {
         onMigrateIn(g, reqs);
@@ -83,9 +96,17 @@ GroupScheduler::onAttach()
     msg_->setUpdate([this](unsigned g, unsigned src, std::size_t q) {
         onUpdate(g, src, q);
     });
-    msg_->setReturn([this](unsigned g,
+    msg_->setReturn([this](unsigned g, unsigned dst,
                            const std::vector<net::Rpc *> &reqs) {
-        onReturn(g, reqs);
+        onReturn(g, dst, reqs);
+    });
+    msg_->setAck([this](unsigned g, unsigned dst, std::size_t) {
+        onMigrateAcked(g, dst);
+    });
+    msg_->setTimeout([this](unsigned g, unsigned dst,
+                            std::vector<net::Rpc *> reqs,
+                            unsigned attempt) {
+        onMigrateTimeout(g, dst, std::move(reqs), attempt);
     });
 }
 
@@ -304,6 +325,20 @@ void
 GroupScheduler::runtimeTick(unsigned g)
 {
     Group &grp = groups_[g];
+
+    // Injected manager stall: the runtime loop simply does not run
+    // until the stall lifts (peers see the silence as timeouts and
+    // NACKs and route around this group).
+    if (ctx_.faults) {
+        const Tick until =
+            ctx_.faults->managerStalledUntil(g, ctx_.sim->now());
+        if (until > ctx_.sim->now()) {
+            if (cfg_.variant == Variant::Rss)
+                grp.managerFree = std::max(grp.managerFree, until);
+            ctx_.sim->at(until, [this, g] { runtimeTick(g); });
+            return;
+        }
+    }
     ++runtimeTicks_;
 
     // Line 2: refresh the local entry and broadcast it (UPDATE).
@@ -337,14 +372,29 @@ GroupScheduler::runtimeTick(unsigned g)
     }
     lastThreshold_ = threshold;
 
-    // Lines 4-13: decide and execute migrations.
+    // Lines 4-13: decide and execute migrations. Under hardening,
+    // quarantined peers are masked to an effectively infinite queue
+    // so neither the decision loop nor the auditor's replay of it
+    // can route work toward them.
+    const std::vector<std::size_t> *view = &grp.qView;
+    std::vector<std::size_t> maskedView;
+    if (hardened()) {
+        maskedView = grp.qView;
+        for (unsigned d = 0; d < cfg_.numGroups; ++d) {
+            if (d != g && peerMasked(grp, d))
+                maskedView[d] = kQuarantineMask;
+        }
+        view = &maskedView;
+    }
     const RuntimeDecision dec =
-        decideMigrations(grp.qView, g, threshold, cfg_.params);
-    ALTOC_AUDIT_HOOK(audit_, checkDecision(grp.qView, g, dec));
+        decideMigrations(*view, g, threshold, cfg_.params);
+    ALTOC_AUDIT_HOOK(audit_, checkDecision(*view, g, dec));
     patternCounts_[static_cast<std::size_t>(dec.pattern)] += 1;
 
     unsigned sent = 0;
     for (const MigrationDecision &md : dec.migrations) {
+        if (hardened() && peerMasked(grp, md.dst))
+            continue;
         const unsigned cap = std::min(md.count, msg_->sendCapacity(g));
         if (cap == 0)
             continue;
@@ -435,13 +485,147 @@ GroupScheduler::onUpdate(unsigned g, unsigned src, std::size_t qlen)
 }
 
 void
-GroupScheduler::onReturn(unsigned g, const std::vector<net::Rpc *> &reqs)
+GroupScheduler::onReturn(unsigned g, unsigned dst,
+                         const std::vector<net::Rpc *> &reqs)
 {
-    // NACKed migration: the requests never left; hand them back.
+    // NACKed migration: the requests never left; hand them back and
+    // resync the local view entry the same tick, so any decision
+    // taken before the next period's refresh sees the true length.
     Group &grp = groups_[g];
     for (net::Rpc *r : reqs)
         grp.rx.enqueue(r, ctx_.sim->now());
+    grp.qView[g] = grp.rx.length();
+    ALTOC_AUDIT_HOOK(audit_, checkReturnAccounting(g, grp.qView[g],
+                                                   grp.rx.length()));
+    if (hardened())
+        peerFailure(g, dst);
     pump(g);
+}
+
+void
+GroupScheduler::onMigrateAcked(unsigned g, unsigned dst)
+{
+    if (hardened())
+        peerSuccess(g, dst);
+}
+
+void
+GroupScheduler::onMigrateTimeout(unsigned g, unsigned dst,
+                                 std::vector<net::Rpc *> reqs,
+                                 unsigned attempt)
+{
+    // Timeouts only ever fire under fault injection (the messaging
+    // layer arms no deadline on a lossless VN).
+    ++migratesTimedOut_;
+    peerFailure(g, dst);
+    if (reqs.empty()) {
+        // The batch was delivered and only the ACK was lost: the
+        // requests live at the destination, nothing to reclaim.
+        return;
+    }
+    if (attempt >= cfg_.params.hardening.maxRetries) {
+        reclaimLocal(g, std::move(reqs));
+        return;
+    }
+    // Exponential backoff, then try an alternate destination.
+    const Tick backoff = cfg_.params.hardening.retryBackoff << attempt;
+    ctx_.sim->after(backoff, [this, g, dst, attempt,
+                              reqs = std::move(reqs)]() mutable {
+        retryMigrate(g, dst, std::move(reqs), attempt + 1);
+    });
+}
+
+void
+GroupScheduler::retryMigrate(unsigned g, unsigned avoid,
+                             std::vector<net::Rpc *> reqs,
+                             unsigned attempt)
+{
+    Group &grp = groups_[g];
+    const unsigned n = static_cast<unsigned>(reqs.size());
+
+    // Shortest usable peer, excluding the one that just failed us.
+    int best = -1;
+    std::size_t best_q = 0;
+    for (unsigned d = 0; d < cfg_.numGroups; ++d) {
+        if (d == g || d == avoid || peerMasked(grp, d))
+            continue;
+        if (best < 0 || grp.qView[d] < best_q) {
+            best = static_cast<int>(d);
+            best_q = grp.qView[d];
+        }
+    }
+
+    // The batch sits outside the NetRX, so the line-8 guard is
+    // evaluated as if it were still queued here.
+    const std::size_t q_src = grp.rx.length() + n;
+    if (best < 0 ||
+        !migrationLeavesSourceAhead(q_src, best_q, n) ||
+        msg_->sendCapacity(g) < n) {
+        reclaimLocal(g, std::move(reqs));
+        return;
+    }
+    const bool ok = msg_->sendMigrate(g, static_cast<unsigned>(best),
+                                      std::move(reqs), attempt);
+    altoc_assert(ok, "retry MIGRATE refused despite capacity check");
+    ++migratesRetried_;
+}
+
+void
+GroupScheduler::reclaimLocal(unsigned g, std::vector<net::Rpc *> reqs)
+{
+    // Graceful degradation: fold the batch back into the local
+    // c-FCFS queue exactly once, and let the auditor hold us to it.
+    Group &grp = groups_[g];
+    for (net::Rpc *r : reqs) {
+        ALTOC_AUDIT_HOOK(audit_, onReclaim(*r, g));
+        grp.rx.enqueue(r, ctx_.sim->now());
+    }
+    grp.qView[g] = grp.rx.length();
+    pump(g);
+}
+
+bool
+GroupScheduler::peerMasked(const Group &grp, unsigned dst) const
+{
+    const PeerHealth &ph = grp.peers[dst];
+    return ph.quarantined && ctx_.sim->now() < ph.probeAt;
+}
+
+void
+GroupScheduler::peerFailure(unsigned g, unsigned dst)
+{
+    PeerHealth &ph = groups_[g].peers[dst];
+    ++ph.consecFailures;
+    if (!ph.quarantined &&
+        ph.consecFailures >= cfg_.params.hardening.quarantineAfter) {
+        ph.quarantined = true;
+        ph.probeAt = ctx_.sim->now() + cfg_.params.hardening.probation;
+        ++peersQuarantined_;
+    } else if (ph.quarantined) {
+        // A failed half-open probe re-arms the probation clock.
+        ph.probeAt = ctx_.sim->now() + cfg_.params.hardening.probation;
+    }
+}
+
+void
+GroupScheduler::peerSuccess(unsigned g, unsigned dst)
+{
+    PeerHealth &ph = groups_[g].peers[dst];
+    ph.consecFailures = 0;
+    ph.quarantined = false;
+}
+
+std::size_t
+GroupScheduler::quarantinedNow() const
+{
+    std::size_t n = 0;
+    for (const Group &grp : groups_) {
+        for (unsigned d = 0; d < cfg_.numGroups; ++d) {
+            if (peerMasked(grp, d))
+                ++n;
+        }
+    }
+    return n;
 }
 
 } // namespace altoc::core

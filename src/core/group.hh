@@ -149,12 +149,39 @@ class GroupScheduler : public sched::Scheduler
     /** Worker preemptions observed (workerQuantum extension). */
     std::uint64_t preemptions() const { return preemptions_; }
 
+    /** Timed-out MIGRATE batches re-sent to an alternate peer. */
+    std::uint64_t migratesRetried() const { return migratesRetried_; }
+
+    /** ACK-timeout events observed across all managers. */
+    std::uint64_t migratesTimedOut() const { return migratesTimedOut_; }
+
+    /** Quarantine entries opened (cumulative over the run). */
+    std::uint64_t peersQuarantined() const { return peersQuarantined_; }
+
+    /** (observer, peer) pairs currently masked out by quarantine. */
+    std::size_t quarantinedNow() const;
+
   protected:
     void onAttach() override;
     void onCompletion(cpu::Core &core, net::Rpc *r) override;
     void onPreempt(cpu::Core &core, net::Rpc *r) override;
 
   private:
+    /**
+     * One manager's view of a peer's health (hardened protocol;
+     * only consulted when a fault injector is attached). Consecutive
+     * timeouts/NACKs quarantine the peer: its queue view is masked so
+     * Algorithm 1 never picks it, until a probation period passes and
+     * a half-open probe migration is allowed to test recovery.
+     */
+    struct PeerHealth
+    {
+        unsigned consecFailures = 0;
+        bool quarantined = false;
+        /** Masked until this tick; past it the peer is half-open. */
+        Tick probeAt = 0;
+    };
+
     struct Group
     {
         unsigned managerCore = 0;
@@ -170,6 +197,8 @@ class GroupScheduler : public sched::Scheduler
         Tick managerFree = 0;
         bool dispatchPending = false;
         std::optional<LoadEstimator> estimator;
+        /** This manager's health view of every peer group. */
+        std::vector<PeerHealth> peers;
     };
 
     unsigned groupOfCore(unsigned core) const { return coreGroup_[core]; }
@@ -197,7 +226,29 @@ class GroupScheduler : public sched::Scheduler
     /** Hardware messaging callbacks. */
     void onMigrateIn(unsigned g, const std::vector<net::Rpc *> &reqs);
     void onUpdate(unsigned g, unsigned src, std::size_t qlen);
-    void onReturn(unsigned g, const std::vector<net::Rpc *> &reqs);
+    void onReturn(unsigned g, unsigned dst,
+                  const std::vector<net::Rpc *> &reqs);
+    void onMigrateAcked(unsigned g, unsigned dst);
+    void onMigrateTimeout(unsigned g, unsigned dst,
+                          std::vector<net::Rpc *> reqs, unsigned attempt);
+
+    /** Degraded operation is active (a fault injector is attached). */
+    bool hardened() const { return ctx_.faults != nullptr; }
+
+    /** Peer @p dst is currently masked out of @p grp's view. */
+    bool peerMasked(const Group &grp, unsigned dst) const;
+
+    /** Re-send a timed-out batch to the best peer other than
+     *  @p avoid, or reclaim it locally when no peer qualifies. */
+    void retryMigrate(unsigned g, unsigned avoid,
+                      std::vector<net::Rpc *> reqs, unsigned attempt);
+
+    /** Fold a reclaimed batch back into the local NetRX (graceful
+     *  degradation to group-local c-FCFS). */
+    void reclaimLocal(unsigned g, std::vector<net::Rpc *> reqs);
+
+    void peerFailure(unsigned g, unsigned dst);
+    void peerSuccess(unsigned g, unsigned dst);
 
     Config cfg_;
     /** Concrete view of ctx_.auditor for the scheduler-level checks
@@ -210,6 +261,9 @@ class GroupScheduler : public sched::Scheduler
     std::uint64_t reqsMigrated_ = 0;
     std::uint64_t runtimeTicks_ = 0;
     std::uint64_t preemptions_ = 0;
+    std::uint64_t migratesRetried_ = 0;
+    std::uint64_t migratesTimedOut_ = 0;
+    std::uint64_t peersQuarantined_ = 0;
     std::array<std::uint64_t, 4> patternCounts_{};
     unsigned lastThreshold_ = 0;
 };

@@ -12,6 +12,13 @@
  * In software mode (hardware=false) each leg instead costs the
  * shared-cache constants of core/params.hh and ignores MR/FIFO
  * bounds (memory is plentiful, latency is the price).
+ *
+ * The protocol is driven off the outstanding-MIGRATE table keyed by
+ * sequence number. Every in-flight leg (MIGRATE arrival, ACK, NACK,
+ * the ACK timeout) carries only its seq and re-resolves against the
+ * table when it fires, so a leg that was dropped, duplicated or
+ * overtaken by the timeout can never double-apply its effect: the
+ * first resolution wins and every later one is discarded as stale.
  */
 
 #include "core/hw_messaging.hh"
@@ -19,8 +26,25 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/fault_injector.hh"
 
 namespace altoc::core {
+
+namespace {
+
+/** messageFate() encoding (keeps sim/fault_injector.hh out of the
+ *  header). */
+enum : int
+{
+    kFateDeliver = 0,
+    kFateDrop = 1,
+    kFateDup = 2,
+};
+
+/** A duplicated protocol message trails the original by one tick. */
+constexpr Tick kDupLagNs = 1;
+
+} // namespace
 
 HwMessaging::HwMessaging(sim::Simulator &sim, noc::Mesh &mesh,
                          std::vector<unsigned> manager_tiles,
@@ -51,6 +75,22 @@ HwMessaging::transit(unsigned src, unsigned dst, std::uint32_t bytes)
     return arrive - depart;
 }
 
+int
+HwMessaging::messageFate(unsigned src, unsigned dst)
+{
+    if (!faults_)
+        return kFateDeliver;
+    switch (faults_->messageFate(sim_.now(), src, dst)) {
+    case sim::FaultInjector::MsgFate::Drop:
+        return kFateDrop;
+    case sim::FaultInjector::MsgFate::Duplicate:
+        return kFateDup;
+    case sim::FaultInjector::MsgFate::Deliver:
+        break;
+    }
+    return kFateDeliver;
+}
+
 unsigned
 HwMessaging::freeMrEntries(unsigned mgr) const
 {
@@ -73,7 +113,7 @@ HwMessaging::sendCapacity(unsigned mgr) const
 
 bool
 HwMessaging::sendMigrate(unsigned src, unsigned dst,
-                         std::vector<net::Rpc *> reqs)
+                         std::vector<net::Rpc *> reqs, unsigned attempt)
 {
     altoc_assert(src < boxes_.size() && dst < boxes_.size(),
                  "manager id out of range");
@@ -94,42 +134,116 @@ HwMessaging::sendMigrate(unsigned src, unsigned dst,
     ++stats_.migratesSent;
     stats_.descriptorsSent += n;
 
+    const std::uint64_t seq = nextSeq_++;
+    Pending &p = pending_[seq];
+    p.src = src;
+    p.dst = dst;
+    p.attempt = attempt;
+    p.count = n;
+    p.reqs = std::move(reqs);
+
     // Source-side controller + migrator time, then NoC transit.
     const Tick local = hw::kControllerNs +
                        (n + hw::kMigratorDescsPerNs - 1) /
                            hw::kMigratorDescsPerNs;
     const Tick flight = transit(src, dst, migrateBytes(n));
-    sim_.after(local + flight,
-               [this, src, dst, reqs = std::move(reqs)]() mutable {
-                   deliverMigrate(src, dst, std::move(reqs));
-               });
+
+    // A lossless VN cannot time out; the deadline exists only under
+    // fault injection, keeping the pristine event stream untouched.
+    if (faults_) {
+        p.timeout = sim_.after(cfg_.ackTimeout,
+                               [this, seq] { onAckTimeout(seq); });
+    }
+
+    switch (messageFate(src, dst)) {
+    case kFateDrop:
+        // Lost in the NoC: the send FIFO still drains when the
+        // message would have left the wire; the timeout reclaims.
+        sim_.after(local + flight, [this, seq] { drainSendFifo(seq); });
+        break;
+    case kFateDup:
+        sim_.after(local + flight + kDupLagNs,
+                   [this, seq] { deliverMigrate(seq); });
+        [[fallthrough]];
+    case kFateDeliver:
+    default:
+        sim_.after(local + flight, [this, seq] { deliverMigrate(seq); });
+        break;
+    }
     return true;
 }
 
 void
-HwMessaging::deliverMigrate(unsigned src, unsigned dst,
-                            std::vector<net::Rpc *> reqs)
+HwMessaging::drainSendFifo(std::uint64_t seq)
 {
-    const unsigned n = static_cast<unsigned>(reqs.size());
-    Mailbox &dbox = boxes_[dst];
-    // The send FIFO drains once the message is on the wire.
-    Mailbox &sbox = boxes_[src];
-    if (cfg_.hardware)
-        sbox.sendFifoUsed -= std::min(sbox.sendFifoUsed, n);
+    auto it = pending_.find(seq);
+    if (it == pending_.end() || it->second.fifoDrained)
+        return;
+    it->second.fifoDrained = true;
+    if (cfg_.hardware) {
+        Mailbox &box = boxes_[it->second.src];
+        box.sendFifoUsed -= std::min(box.sendFifoUsed, it->second.count);
+    }
+}
 
-    const bool room =
+void
+HwMessaging::releaseStaging(const Pending &p)
+{
+    if (cfg_.hardware) {
+        Mailbox &box = boxes_[p.src];
+        box.mrStaged -= std::min(box.mrStaged, p.count);
+    }
+}
+
+void
+HwMessaging::deliverMigrate(std::uint64_t seq)
+{
+    auto it = pending_.find(seq);
+    if (it == pending_.end() ||
+        it->second.state != PendingState::InFlight) {
+        // Duplicate copy, or the timeout already resolved this
+        // exchange: a single delivery must remain a single delivery.
+        ++stats_.staleMigratesDiscarded;
+        return;
+    }
+    Pending &p = it->second;
+    const unsigned src = p.src;
+    const unsigned dst = p.dst;
+    const unsigned n = p.count;
+
+    // The send FIFO drains once the message is on the wire.
+    drainSendFifo(seq);
+
+    Mailbox &dbox = boxes_[dst];
+    bool room =
         !cfg_.hardware ||
         (dbox.recvFifoUsed + n <= cfg_.fifoEntries &&
          dbox.mrInbound + n + dbox.mrStaged <= cfg_.mrEntries);
+    // An injected exhaustion storm (or a stalled manager) rejects
+    // even when the buffers nominally have room.
+    if (room && faults_ && faults_->recvExhausted(dst, sim_.now()))
+        room = false;
+
     if (!room) {
         // Drop + NACK; the source hands the requests back to its
         // local queue (no replay, Sec. V-A).
         ++stats_.migratesNacked;
+        p.state = PendingState::NackInFlight;
         const Tick flight = transit(dst, src, hw::kHeaderBytes);
-        sim_.after(hw::kControllerNs + flight,
-                   [this, src, reqs = std::move(reqs)]() mutable {
-                       deliverNack(src, std::move(reqs));
-                   });
+        switch (messageFate(dst, src)) {
+        case kFateDrop:
+            // NACK lost: the timeout reclaims the batch.
+            break;
+        case kFateDup:
+            sim_.after(hw::kControllerNs + flight + kDupLagNs,
+                       [this, seq] { deliverNack(seq); });
+            [[fallthrough]];
+        case kFateDeliver:
+        default:
+            sim_.after(hw::kControllerNs + flight,
+                       [this, seq] { deliverNack(seq); });
+            break;
+        }
         return;
     }
 
@@ -137,54 +251,111 @@ HwMessaging::deliverMigrate(unsigned src, unsigned dst,
         dbox.recvFifoUsed += n;
         dbox.mrInbound += n;
     }
+    // Ownership transfers NOW: the destination holds the batch, so a
+    // timeout racing the drain below can only release staging -- it
+    // must never hand these requests back to the source as well.
+    p.state = PendingState::Delivered;
+    std::vector<net::Rpc *> batch = std::move(p.reqs);
+    p.reqs.clear();
+
     // Controller validation + migrator drain into the MR bank, after
     // which the descriptors are scheduled (handed to the runtime) and
     // the ACK departs.
     const Tick drain = hw::kControllerNs +
                        (n + hw::kMigratorDescsPerNs - 1) /
                            hw::kMigratorDescsPerNs;
-    sim_.after(drain, [this, src, dst, n, reqs = std::move(reqs)] {
+    sim_.after(drain, [this, seq, src, dst, n,
+                       batch = std::move(batch)] {
         Mailbox &box = boxes_[dst];
         if (cfg_.hardware) {
             box.recvFifoUsed -= std::min(box.recvFifoUsed, n);
             box.mrInbound -= std::min(box.mrInbound, n);
         }
         stats_.descriptorsDelivered += n;
-        for (net::Rpc *r : reqs) {
+        for (net::Rpc *r : batch) {
             r->migrated = true;
             r->curGroup = static_cast<std::uint16_t>(dst);
         }
         if (migrateIn_)
-            migrateIn_(dst, reqs);
-        ++stats_.migratesAcked;
+            migrateIn_(dst, batch);
         const Tick flight = transit(dst, src, hw::kHeaderBytes);
-        sim_.after(hw::kControllerNs + flight,
-                   [this, src, n] { deliverAck(src, n); });
+        switch (messageFate(dst, src)) {
+        case kFateDrop:
+            // ACK lost: the timeout frees the staged MR entries but
+            // gets an empty batch -- the requests live here now.
+            break;
+        case kFateDup:
+            sim_.after(hw::kControllerNs + flight + kDupLagNs,
+                       [this, seq] { deliverAck(seq); });
+            [[fallthrough]];
+        case kFateDeliver:
+        default:
+            sim_.after(hw::kControllerNs + flight,
+                       [this, seq] { deliverAck(seq); });
+            break;
+        }
     });
 }
 
 void
-HwMessaging::deliverAck(unsigned src, std::size_t n)
+HwMessaging::deliverAck(std::uint64_t seq)
 {
-    // ACK invalidates the staged MR entries at the source.
-    Mailbox &box = boxes_[src];
-    if (cfg_.hardware) {
-        box.mrStaged -=
-            std::min<unsigned>(box.mrStaged, static_cast<unsigned>(n));
+    auto it = pending_.find(seq);
+    if (it == pending_.end() ||
+        it->second.state != PendingState::Delivered) {
+        ++stats_.staleMigratesDiscarded;
+        return;
     }
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    if (p.timeout != sim::kNoEvent)
+        sim_.cancel(p.timeout);
+    // ACK invalidates the staged MR entries at the source.
+    releaseStaging(p);
+    ++stats_.migratesAcked;
+    if (ackFn_)
+        ackFn_(p.src, p.dst, p.count);
 }
 
 void
-HwMessaging::deliverNack(unsigned src, std::vector<net::Rpc *> reqs)
+HwMessaging::deliverNack(std::uint64_t seq)
 {
-    Mailbox &box = boxes_[src];
-    if (cfg_.hardware) {
-        box.mrStaged -= std::min<unsigned>(
-            box.mrStaged, static_cast<unsigned>(reqs.size()));
+    auto it = pending_.find(seq);
+    if (it == pending_.end() ||
+        it->second.state != PendingState::NackInFlight) {
+        ++stats_.staleMigratesDiscarded;
+        return;
     }
-    stats_.descriptorsReturned += reqs.size();
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    if (p.timeout != sim::kNoEvent)
+        sim_.cancel(p.timeout);
+    releaseStaging(p);
+    stats_.descriptorsReturned += p.reqs.size();
     if (returnFn_)
-        returnFn_(src, reqs);
+        returnFn_(p.src, p.dst, p.reqs);
+}
+
+void
+HwMessaging::onAckTimeout(std::uint64_t seq)
+{
+    auto it = pending_.find(seq);
+    if (it == pending_.end())
+        return;
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    // A never-delivered message still occupies its send-FIFO slots;
+    // the timeout is what finally invalidates them.
+    if (!p.fifoDrained && cfg_.hardware) {
+        Mailbox &box = boxes_[p.src];
+        box.sendFifoUsed -= std::min(box.sendFifoUsed, p.count);
+    }
+    releaseStaging(p);
+    ++stats_.migratesTimedOut;
+    // p.reqs is empty when state reached Delivered: the batch lives
+    // at the destination and must not be reclaimed here.
+    if (timeoutFn_)
+        timeoutFn_(p.src, p.dst, std::move(p.reqs), p.attempt);
 }
 
 void

@@ -17,6 +17,19 @@
  * destination whose receive FIFO or MR bank is full drops the
  * MIGRATE and returns a NACK; the source does not replay -- it hands
  * the requests back to its local queue (Sec. V-A).
+ *
+ * Hardened protocol (beyond the paper's lossless-VN assumption):
+ * every outstanding MIGRATE exchange is tracked in a sequence-keyed
+ * table that is the single source of truth for who owns the batch.
+ * With a fault injector attached, MIGRATE/ACK/NACK messages can be
+ * dropped, duplicated or delayed; an armed ACK timeout then resolves
+ * the exchange exactly once: a batch whose delivery never happened is
+ * handed to the timeout callback for retry/reclaim, a batch that
+ * landed but lost its ACK only releases the staged MR entries (the
+ * requests live at the destination -- reclaiming them would duplicate
+ * work), and late or duplicate protocol messages are discarded as
+ * stale against the table. Without an injector no timeout is ever
+ * armed and the event stream is bit-identical to the original model.
  */
 
 #ifndef ALTOC_CORE_HW_MESSAGING_HH
@@ -24,6 +37,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.hh"
@@ -31,6 +45,10 @@
 #include "net/rpc.hh"
 #include "noc/mesh.hh"
 #include "sim/simulator.hh"
+
+namespace altoc::sim {
+class FaultInjector;
+} // namespace altoc::sim
 
 namespace altoc::core {
 
@@ -40,6 +58,8 @@ struct MessagingStats
     std::uint64_t migratesSent = 0;
     std::uint64_t migratesAcked = 0;
     std::uint64_t migratesNacked = 0;
+    std::uint64_t migratesTimedOut = 0;
+    std::uint64_t staleMigratesDiscarded = 0;
     std::uint64_t descriptorsSent = 0;
     std::uint64_t descriptorsDelivered = 0;
     std::uint64_t descriptorsReturned = 0;
@@ -60,6 +80,9 @@ class HwMessaging
         unsigned fifoEntries = hw::kFifoEntries;
         /** False models the software shared-cache fallback. */
         bool hardware = true;
+        /** ACK deadline per MIGRATE; armed only with fault injection
+         *  (a lossless VN cannot time out). */
+        Tick ackTimeout = 2 * kUs;
     };
 
     /** Migrated descriptors arrived at manager @p mgr. */
@@ -70,9 +93,26 @@ class HwMessaging
     using UpdateFn =
         std::function<void(unsigned mgr, unsigned src, std::size_t q)>;
 
-    /** A NACKed migration returned its descriptors to @p mgr. */
-    using ReturnFn =
-        std::function<void(unsigned mgr, const std::vector<net::Rpc *> &)>;
+    /** A MIGRATE from @p mgr to @p dst was NACKed and returned its
+     *  descriptors to the source. */
+    using ReturnFn = std::function<void(
+        unsigned mgr, unsigned dst, const std::vector<net::Rpc *> &)>;
+
+    /**
+     * An outstanding MIGRATE (attempt number @p attempt) from @p src
+     * to @p dst hit its ACK deadline. @p reqs is the reclaimed batch
+     * when the delivery provably never landed; it is EMPTY when the
+     * batch was delivered but the ACK was lost -- the requests then
+     * live at the destination and only the failure signal remains.
+     */
+    using TimeoutFn = std::function<void(unsigned src, unsigned dst,
+                                         std::vector<net::Rpc *> reqs,
+                                         unsigned attempt)>;
+
+    /** The ACK for a MIGRATE of @p n descriptors from @p src to
+     *  @p dst arrived back at the source. */
+    using AckFn =
+        std::function<void(unsigned src, unsigned dst, std::size_t n)>;
 
     /**
      * @param sim           simulation engine
@@ -85,15 +125,21 @@ class HwMessaging
     void setMigrateIn(MigrateInFn fn) { migrateIn_ = std::move(fn); }
     void setUpdate(UpdateFn fn) { update_ = std::move(fn); }
     void setReturn(ReturnFn fn) { returnFn_ = std::move(fn); }
+    void setTimeout(TimeoutFn fn) { timeoutFn_ = std::move(fn); }
+    void setAck(AckFn fn) { ackFn_ = std::move(fn); }
+
+    /** Attach the run's fault injector (null = pristine VN). */
+    void setFaults(sim::FaultInjector *faults) { faults_ = faults; }
 
     /**
      * Issue a MIGRATE carrying @p reqs from manager @p src to
      * manager @p dst. Returns false (and touches nothing) when the
      * source lacks free MR staging entries or send-FIFO slots; the
      * caller keeps ownership of the requests in that case.
+     * @p attempt tags retries of a timed-out batch (0 = original).
      */
     bool sendMigrate(unsigned src, unsigned dst,
-                     std::vector<net::Rpc *> reqs);
+                     std::vector<net::Rpc *> reqs, unsigned attempt = 0);
 
     /**
      * Broadcast manager @p src's queue length to all others.
@@ -113,6 +159,9 @@ class HwMessaging
 
     /** Largest batch sendMigrate() would currently accept. */
     unsigned sendCapacity(unsigned mgr) const;
+
+    /** MIGRATE exchanges currently outstanding (protocol in flight). */
+    std::size_t outstanding() const { return pending_.size(); }
 
     const MessagingStats &stats() const { return stats_; }
 
@@ -143,16 +192,58 @@ class HwMessaging
         std::size_t pending = 0;
     };
 
+    /** Lifecycle of one outstanding MIGRATE exchange. */
+    enum class PendingState : std::uint8_t
+    {
+        InFlight,     //!< MIGRATE launched, not yet arrived
+        Delivered,    //!< landed at the destination, ACK under way
+        NackInFlight, //!< rejected at the destination, NACK under way
+    };
+
+    /**
+     * Outstanding-MIGRATE table entry: the single source of truth
+     * for who owns the batch. Protocol events (arrival, ACK, NACK,
+     * timeout) resolve against it exactly once; anything that finds
+     * no entry -- or the wrong state -- is a stale or duplicated
+     * message and is discarded.
+     */
+    struct Pending
+    {
+        unsigned src = 0;
+        unsigned dst = 0;
+        unsigned attempt = 0;
+        unsigned count = 0;
+        PendingState state = PendingState::InFlight;
+        /** The source send-FIFO slots were reclaimed (exactly once:
+         *  by arrival, by a dropped message's drain, or by timeout,
+         *  whichever resolves first). */
+        bool fifoDrained = false;
+        /** The batch, until it is handed over: moved out on delivery
+         *  (the destination owns it) or by NACK/timeout resolution
+         *  (the source reclaims it). */
+        std::vector<net::Rpc *> reqs;
+        sim::EventId timeout = sim::kNoEvent;
+    };
+
     /** Wire size of a MIGRATE with @p n descriptors. */
     static std::uint32_t migrateBytes(std::size_t n);
 
     /** Launch the freshest value on an idle update channel. */
     void launchUpdate(unsigned src, unsigned dst, std::size_t qlen);
 
-    void deliverMigrate(unsigned src, unsigned dst,
-                        std::vector<net::Rpc *> reqs);
-    void deliverAck(unsigned src, std::size_t n);
-    void deliverNack(unsigned src, std::vector<net::Rpc *> reqs);
+    void deliverMigrate(std::uint64_t seq);
+    void deliverAck(std::uint64_t seq);
+    void deliverNack(std::uint64_t seq);
+    void onAckTimeout(std::uint64_t seq);
+
+    /** The send FIFO drains once the message has left the source. */
+    void drainSendFifo(std::uint64_t seq);
+
+    /** Release the MR entries staged for @p p at its source. */
+    void releaseStaging(const Pending &p);
+
+    /** Fate draw for a protocol message (Deliver without injector). */
+    int messageFate(unsigned src, unsigned dst);
 
     /** NoC transit time for @p bytes between two managers. */
     Tick transit(unsigned src, unsigned dst, std::uint32_t bytes);
@@ -164,9 +255,14 @@ class HwMessaging
     std::vector<Mailbox> boxes_;
     /** updates_[src * numManagers + dst] */
     std::vector<UpdateChannel> updates_;
+    std::unordered_map<std::uint64_t, Pending> pending_;
+    std::uint64_t nextSeq_ = 0;
+    sim::FaultInjector *faults_ = nullptr;
     MigrateInFn migrateIn_;
     UpdateFn update_;
     ReturnFn returnFn_;
+    TimeoutFn timeoutFn_;
+    AckFn ackFn_;
     MessagingStats stats_;
 };
 

@@ -135,6 +135,42 @@ InvariantAuditor::checkDecision(const std::vector<std::size_t> &q,
 }
 
 void
+InvariantAuditor::checkReturnAccounting(unsigned g, std::size_t view,
+                                        std::size_t actual)
+{
+    ++c_.returnsChecked;
+    if (view != actual) {
+        violate("return-accounting",
+                detail::vformat("manager %u self view %zu diverges "
+                                "from NetRX length %zu after a NACK "
+                                "return",
+                                g, view, actual));
+    }
+}
+
+void
+InvariantAuditor::onReclaim(const net::Rpc &r, unsigned g)
+{
+    ++c_.reclaims;
+    if (live_.find(&r) == live_.end()) {
+        violate("descriptor-conservation",
+                detail::vformat("request %llu reclaimed into group %u "
+                                "while not live",
+                                static_cast<unsigned long long>(r.id),
+                                g));
+        return;
+    }
+    if (r.migrated) {
+        violate("migrate-at-most-once",
+                detail::vformat("request %llu reclaimed into group %u "
+                                "but carries the migrated-once mark "
+                                "(it landed elsewhere too)",
+                                static_cast<unsigned long long>(r.id),
+                                g));
+    }
+}
+
+void
 InvariantAuditor::reset()
 {
     sim::Auditor::reset();

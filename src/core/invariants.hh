@@ -18,6 +18,12 @@
  *    decisions accumulate within one period.
  *  - non-negative-queue: queue lengths and occupancy counters never
  *    underflow (unsigned wrap-around shows up as an absurd length).
+ *  - return-accounting: a NACKed batch that is handed back leaves
+ *    the manager's self queue-view equal to the actual NetRX length
+ *    in the same tick.
+ *  - no-duplicate-reclaim: a timed-out batch reclaimed locally holds
+ *    only live, never-landed requests (fault-injection runs; a
+ *    reclaim racing a delivery would execute a request twice).
  *  - monotone-time: simulated time never moves backwards (checked by
  *    the sim::Auditor base).
  */
@@ -68,6 +74,8 @@ class InvariantAuditor : public sim::Auditor
         std::uint64_t droppedCompleted = 0;
         std::uint64_t migrations = 0;
         std::uint64_t decisionsChecked = 0;
+        std::uint64_t reclaims = 0;
+        std::uint64_t returnsChecked = 0;
     };
 
     // sim::Auditor hooks
@@ -84,6 +92,23 @@ class InvariantAuditor : public sim::Auditor
      */
     void checkDecision(const std::vector<std::size_t> &q, unsigned self,
                        const RuntimeDecision &dec);
+
+    /**
+     * After a NACK hands a batch back, manager @p g's self view must
+     * equal its actual NetRX length in the same tick -- a stale view
+     * would let the next decision double-count returned requests.
+     */
+    void checkReturnAccounting(unsigned g, std::size_t view,
+                               std::size_t actual);
+
+    /**
+     * A timed-out MIGRATE batch was reclaimed into group @p g's local
+     * queue. The request must still be live (reclaiming a descriptor
+     * the destination also received would execute it twice) and must
+     * not carry the migrated-once mark (marked requests landed
+     * somewhere; reclaiming them here duplicates them).
+     */
+    void onReclaim(const net::Rpc &r, unsigned g);
 
     const Counters &counters() const { return c_; }
 

@@ -30,6 +30,34 @@ enum class ThresholdMode : std::uint8_t
 };
 
 /**
+ * Degraded-operation parameters of the hardened migration protocol.
+ * Only consulted when a fault injector is attached to the run (see
+ * sim/fault_injector.hh); a pristine run never arms timeouts, so the
+ * no-fault path reproduces the paper's lossless-NoC behavior exactly.
+ */
+struct HardeningParams
+{
+    /** ACK deadline for an outstanding MIGRATE; past it the source
+     *  reclaims or retries the batch. */
+    Tick ackTimeout = 2 * kUs;
+
+    /** Bounded retries toward an alternate destination before the
+     *  batch is reclaimed into the local queue. */
+    unsigned maxRetries = 2;
+
+    /** Base retry backoff; doubles with every attempt. */
+    Tick retryBackoff = 500;
+
+    /** Consecutive timeouts/NACKs from a peer before the observer
+     *  quarantines it. */
+    unsigned quarantineAfter = 3;
+
+    /** Quarantine probation: time before the first half-open probe
+     *  (extended on every further failure). */
+    Tick probation = 20 * kUs;
+};
+
+/**
  * Tunable parameters of the ALTOCUMULUS runtime.
  */
 struct AltocParams
@@ -75,6 +103,9 @@ struct AltocParams
      *  back to shared-cache software messaging (case study 1's
      *  rt-only configuration). */
     bool hardwareMessaging = true;
+
+    /** Timeout/retry/quarantine knobs for runs with fault injection. */
+    HardeningParams hardening;
 };
 
 namespace hw {

@@ -70,8 +70,22 @@ class Core
      */
     void run(net::Rpc *r, Tick dispatch_delay, Tick quantum = kTickInf);
 
+    /**
+     * Execution-stretch hook: consulted once per slice with
+     * (core id, start tick, slice ns) and returns extra wall time the
+     * slice takes (straggler dips, freezes). The fault injector
+     * installs this; unset (the default) costs nothing. Stretch time
+     * counts as stalledNs, not busyNs.
+     */
+    using StretchFn = std::function<Tick(unsigned, Tick, Tick)>;
+
+    void setStretch(StretchFn fn) { stretch_ = std::move(fn); }
+
     /** Nanoseconds spent executing request work (utilization). */
     Tick busyNs() const { return busyNs_; }
+
+    /** Nanoseconds lost to injected straggle/freeze stretches. */
+    Tick stalledNs() const { return stalledNs_; }
 
     /** Requests fully completed on this core. */
     std::uint64_t completed() const { return completed_; }
@@ -90,7 +104,9 @@ class Core
     CompletionFn onComplete_;
     PreemptFn onPreempt_;
     ServiceResolver resolver_;
+    StretchFn stretch_;
     Tick busyNs_ = 0;
+    Tick stalledNs_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t preemptions_ = 0;
 };

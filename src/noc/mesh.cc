@@ -80,8 +80,10 @@ Mesh::send(unsigned vnet, unsigned src, unsigned dst, std::uint32_t bytes,
     altoc_assert(vnet < kNumVnets, "bad virtual network %u", vnet);
     altoc_assert(src < tiles() && dst < tiles(), "tile out of range");
     ++messages_;
-    if (src == dst)
-        return depart;
+    if (src == dst) {
+        return extraDelay_ ? depart + extraDelay_(vnet, src, dst, depart)
+                           : depart;
+    }
 
     const unsigned flits = (bytes + kFlitBytes - 1) / kFlitBytes;
     auto &occ = free_[vnet];
@@ -115,7 +117,10 @@ Mesh::send(unsigned vnet, unsigned src, unsigned dst, std::uint32_t bytes,
         y = ny;
     }
     // Tail flit serialization on arrival.
-    return t + static_cast<Tick>(flits - 1) * kFlitNs;
+    Tick arrive = t + static_cast<Tick>(flits - 1) * kFlitNs;
+    if (extraDelay_)
+        arrive += extraDelay_(vnet, src, dst, depart);
+    return arrive;
 }
 
 } // namespace altoc::noc

@@ -22,6 +22,7 @@
 #define ALTOC_NOC_MESH_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/units.hh"
@@ -73,6 +74,18 @@ class Mesh
     Tick send(unsigned vnet, unsigned src, unsigned dst,
               std::uint32_t bytes, Tick depart);
 
+    /**
+     * Extra delivery-delay hook: consulted once per send() with
+     * (vnet, src, dst, depart) and added to the returned arrival
+     * time. The fault injector uses it to delay scheduling-VN
+     * messages; unset (the default) costs nothing.
+     */
+    using ExtraDelayFn =
+        std::function<Tick(unsigned vnet, unsigned src, unsigned dst,
+                           Tick depart)>;
+
+    void setExtraDelay(ExtraDelayFn fn) { extraDelay_ = std::move(fn); }
+
     /** Total flit-hops transferred so far (traffic accounting). */
     std::uint64_t flitHops() const { return flitHops_; }
 
@@ -89,6 +102,7 @@ class Mesh
     Tick perHop_;
     /** free_[vnet][link] = earliest time the link is idle. */
     std::vector<std::vector<Tick>> free_;
+    ExtraDelayFn extraDelay_;
     std::uint64_t flitHops_ = 0;
     std::uint64_t messages_ = 0;
 };

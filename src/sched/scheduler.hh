@@ -29,6 +29,10 @@
 #include "noc/mesh.hh"
 #include "sim/simulator.hh"
 
+namespace altoc::sim {
+class FaultInjector;
+} // namespace altoc::sim
+
 namespace altoc::sched {
 
 /** Receives fully processed RPCs for latency accounting / disposal. */
@@ -56,6 +60,13 @@ struct SchedContext
     /** Invariant auditor, when the owning Server enabled auditing
      *  (audit builds only; otherwise null). Not owned. */
     sim::Auditor *auditor = nullptr;
+
+    /** Fault injector driving this run's fault schedule, or null for
+     *  a pristine run. The AC scheduler's hardened migration protocol
+     *  (ACK timeouts, retries, peer quarantine) activates only when
+     *  set, keeping the no-fault path bit-identical to the paper's
+     *  lossless model. Not owned. */
+    sim::FaultInjector *faults = nullptr;
 };
 
 /**

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * FaultSpec parsing and formatting.
+ */
+
+#include "sim/fault_spec.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace altoc::sim {
+
+bool
+FaultSpec::enabled() const
+{
+    return dropProb > 0.0 || dupProb > 0.0 || delayProb > 0.0 ||
+           exhaustProb > 0.0 || straggleProb > 0.0 || freezeProb > 0.0 ||
+           stallProb > 0.0 || stallSet;
+}
+
+namespace {
+
+double
+parseProb(std::string_view key, std::string_view text)
+{
+    char *end = nullptr;
+    const std::string s(text);
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size() || v < 0.0 || v > 1.0)
+        panic("fault spec: '%.*s' needs a probability in [0, 1], got "
+              "'%s'",
+              static_cast<int>(key.size()), key.data(), s.c_str());
+    return v;
+}
+
+std::uint64_t
+parseU64(std::string_view key, std::string_view text)
+{
+    char *end = nullptr;
+    const std::string s(text);
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || s.empty())
+        panic("fault spec: '%.*s' needs an unsigned integer, got '%s'",
+              static_cast<int>(key.size()), key.data(), s.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+parsePositive(std::string_view key, std::string_view text)
+{
+    char *end = nullptr;
+    const std::string s(text);
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size() || v <= 0.0)
+        panic("fault spec: '%.*s' needs a positive number, got '%s'",
+              static_cast<int>(key.size()), key.data(), s.c_str());
+    return v;
+}
+
+/** Split "P:X" at the colon; panics when the colon is missing. */
+std::pair<std::string_view, std::string_view>
+splitColon(std::string_view key, std::string_view text)
+{
+    const std::size_t colon = text.find(':');
+    if (colon == std::string_view::npos)
+        panic("fault spec: '%.*s' needs the form P:VALUE",
+              static_cast<int>(key.size()), key.data());
+    return {text.substr(0, colon), text.substr(colon + 1)};
+}
+
+} // namespace
+
+FaultSpec
+FaultSpec::parse(std::string_view text)
+{
+    FaultSpec spec;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = text.size();
+        const std::string_view item = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+
+        const std::size_t eq = item.find('=');
+        if (eq == std::string_view::npos)
+            panic("fault spec: item '%.*s' lacks '='",
+                  static_cast<int>(item.size()), item.data());
+        const std::string_view key = item.substr(0, eq);
+        const std::string_view val = item.substr(eq + 1);
+
+        if (key == "drop") {
+            spec.dropProb = parseProb(key, val);
+        } else if (key == "dup") {
+            spec.dupProb = parseProb(key, val);
+        } else if (key == "delay") {
+            const auto [p, ns] = splitColon(key, val);
+            spec.delayProb = parseProb(key, p);
+            spec.delayNs = static_cast<Tick>(parseU64(key, ns));
+        } else if (key == "exhaust") {
+            const auto [p, ns] = splitColon(key, val);
+            spec.exhaustProb = parseProb(key, p);
+            spec.exhaustNs = static_cast<Tick>(parseU64(key, ns));
+        } else if (key == "straggle") {
+            const auto [p, f] = splitColon(key, val);
+            spec.straggleProb = parseProb(key, p);
+            spec.straggleFactor = parsePositive(key, f);
+        } else if (key == "freeze") {
+            const auto [p, ns] = splitColon(key, val);
+            spec.freezeProb = parseProb(key, p);
+            spec.freezeNs = static_cast<Tick>(parseU64(key, ns));
+        } else if (key == "stall") {
+            // M@AT+DUR
+            const std::size_t at = val.find('@');
+            const std::size_t plus = val.find('+');
+            if (at == std::string_view::npos ||
+                plus == std::string_view::npos || plus < at)
+                panic("fault spec: 'stall' needs the form MGR@AT+DUR");
+            spec.stallSet = true;
+            spec.stallMgr = static_cast<unsigned>(
+                parseU64(key, val.substr(0, at)));
+            spec.stallAt = static_cast<Tick>(
+                parseU64(key, val.substr(at + 1, plus - at - 1)));
+            spec.stallFor = static_cast<Tick>(
+                parseU64(key, val.substr(plus + 1)));
+        } else if (key == "stallp") {
+            const auto [p, ns] = splitColon(key, val);
+            spec.stallProb = parseProb(key, p);
+            spec.stallNs = static_cast<Tick>(parseU64(key, ns));
+        } else if (key == "seed") {
+            spec.seed = parseU64(key, val);
+        } else {
+            panic("fault spec: unknown key '%.*s'",
+                  static_cast<int>(key.size()), key.data());
+        }
+    }
+    return spec;
+}
+
+std::optional<FaultSpec>
+FaultSpec::fromEnv()
+{
+    const char *env = std::getenv("ALTOC_FAULTS");
+    if (env == nullptr || env[0] == '\0')
+        return std::nullopt;
+    return parse(env);
+}
+
+std::string
+FaultSpec::describe() const
+{
+    std::string out;
+    char buf[96];
+    auto add = [&out](const char *s) {
+        if (!out.empty())
+            out += ',';
+        out += s;
+    };
+    if (dropProb > 0.0) {
+        std::snprintf(buf, sizeof buf, "drop=%g", dropProb);
+        add(buf);
+    }
+    if (dupProb > 0.0) {
+        std::snprintf(buf, sizeof buf, "dup=%g", dupProb);
+        add(buf);
+    }
+    if (delayProb > 0.0) {
+        std::snprintf(buf, sizeof buf, "delay=%g:%llu", delayProb,
+                      static_cast<unsigned long long>(delayNs));
+        add(buf);
+    }
+    if (exhaustProb > 0.0) {
+        std::snprintf(buf, sizeof buf, "exhaust=%g:%llu", exhaustProb,
+                      static_cast<unsigned long long>(exhaustNs));
+        add(buf);
+    }
+    if (straggleProb > 0.0) {
+        std::snprintf(buf, sizeof buf, "straggle=%g:%g", straggleProb,
+                      straggleFactor);
+        add(buf);
+    }
+    if (freezeProb > 0.0) {
+        std::snprintf(buf, sizeof buf, "freeze=%g:%llu", freezeProb,
+                      static_cast<unsigned long long>(freezeNs));
+        add(buf);
+    }
+    if (stallSet) {
+        std::snprintf(buf, sizeof buf, "stall=%u@%llu+%llu", stallMgr,
+                      static_cast<unsigned long long>(stallAt),
+                      static_cast<unsigned long long>(stallFor));
+        add(buf);
+    }
+    if (stallProb > 0.0) {
+        std::snprintf(buf, sizeof buf, "stallp=%g:%llu", stallProb,
+                      static_cast<unsigned long long>(stallNs));
+        add(buf);
+    }
+    std::snprintf(buf, sizeof buf, "seed=%llu",
+                  static_cast<unsigned long long>(seed));
+    add(buf);
+    return out;
+}
+
+} // namespace altoc::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Declarative fault schedule for a simulated run.
+ *
+ * The paper's messaging mechanism (Sec. V) assumes a lossless NoC
+ * virtual network and always-responsive manager tiles. A FaultSpec
+ * describes how far a run departs from that ideal: message drop /
+ * duplication / delay on the scheduling virtual network, receive-path
+ * exhaustion storms, straggling or frozen cores, and manager stalls.
+ * The spec is pure data -- sim::FaultInjector turns it into
+ * deterministic per-event decisions, so a (seed, spec) pair fully
+ * determines a fault schedule and runs stay fingerprintable.
+ *
+ * Specs parse from a compact "key=value,key=value" string, accepted
+ * both programmatically and via the ALTOC_FAULTS environment variable
+ * (the bench binaries forward --fault-spec):
+ *
+ *   drop=P            drop each sched-VN message with probability P
+ *   dup=P             duplicate each sched-VN message with prob. P
+ *   delay=P:NS        with probability P, delay a message by NS ns
+ *   exhaust=P:NS      per NS-long window, a manager's receive path is
+ *                     exhausted (all MIGRATEs NACK) with prob. P
+ *   straggle=P:F      per execution slice, a core runs F x slower
+ *                     with probability P (transient frequency dip)
+ *   freeze=P:NS       per execution slice, a core freezes for NS ns
+ *                     with probability P
+ *   stall=M@AT+DUR    manager M's runtime stalls during [AT, AT+DUR)
+ *   stallp=P:NS       per NS-long window, a manager's runtime stalls
+ *                     for the window with probability P
+ *   seed=N            fault-stream seed (independent of the workload)
+ *
+ * Example: "drop=0.01,dup=0.05,delay=0.2:300,stall=1@50000+30000"
+ */
+
+#ifndef ALTOC_SIM_FAULT_SPEC_HH
+#define ALTOC_SIM_FAULT_SPEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/units.hh"
+
+namespace altoc::sim {
+
+/**
+ * One run's fault schedule. Default-constructed == no faults; the
+ * Server only instantiates a FaultInjector when enabled() is true, so
+ * the no-fault path stays a zero-cost abstraction.
+ */
+struct FaultSpec
+{
+    /** Per-message drop probability on the scheduling VN. */
+    double dropProb = 0.0;
+
+    /** Per-message duplication probability on the scheduling VN. */
+    double dupProb = 0.0;
+
+    /** Per-message extra-delay probability and magnitude. */
+    double delayProb = 0.0;
+    Tick delayNs = 0;
+
+    /** Receive-path exhaustion storms: per window of exhaustNs ns a
+     *  manager NACKs every incoming MIGRATE with prob. exhaustProb. */
+    double exhaustProb = 0.0;
+    Tick exhaustNs = 0;
+
+    /** Straggler cores: per execution slice, with prob. straggleProb
+     *  the slice takes straggleFactor x its nominal time. */
+    double straggleProb = 0.0;
+    double straggleFactor = 1.0;
+
+    /** Frozen cores: per execution slice, with prob. freezeProb the
+     *  core pauses for freezeNs extra ns. */
+    double freezeProb = 0.0;
+    Tick freezeNs = 0;
+
+    /** One explicit manager stall window [stallAt, stallAt+stallFor)
+     *  for manager stallMgr (the chaos suite's transient-outage
+     *  scenario). */
+    bool stallSet = false;
+    unsigned stallMgr = 0;
+    Tick stallAt = 0;
+    Tick stallFor = 0;
+
+    /** Random manager stalls: per window of stallNs ns, a manager's
+     *  runtime stalls for the window with prob. stallProb. */
+    double stallProb = 0.0;
+    Tick stallNs = 0;
+
+    /** Seed of the fault decision streams (independent of workload). */
+    std::uint64_t seed = 1;
+
+    /** True when any fault can actually fire. */
+    bool enabled() const;
+
+    /** Parse the "key=value,..." grammar above; panics on errors. */
+    static FaultSpec parse(std::string_view text);
+
+    /** Read ALTOC_FAULTS; nullopt when unset or empty. */
+    static std::optional<FaultSpec> fromEnv();
+
+    /** Canonical spec string (parse(describe()) round-trips). */
+    std::string describe() const;
+};
+
+} // namespace altoc::sim
+
+#endif // ALTOC_SIM_FAULT_SPEC_HH

@@ -9,6 +9,7 @@
 
 #include "common/fingerprint.hh"
 #include "common/logging.hh"
+#include "sim/fault_injector.hh"
 #include "sched/centralized.hh"
 #include "sched/dfcfs.hh"
 #include "sched/deadline_drop.hh"
@@ -186,7 +187,8 @@ nicConfigFor(const DesignConfig &cfg)
 std::unique_ptr<Server>
 makeServer(const DesignConfig &cfg, Tick mean_service,
            const std::string &dist_name, Tick slo_target,
-           std::uint64_t warmup, std::uint64_t seed)
+           std::uint64_t warmup, std::uint64_t seed,
+           const sim::FaultSpec &faults)
 {
     Server::Config scfg;
     scfg.cores = cfg.cores;
@@ -194,6 +196,7 @@ makeServer(const DesignConfig &cfg, Tick mean_service,
     scfg.sloTarget = slo_target;
     scfg.warmup = warmup;
     scfg.seed = seed;
+    scfg.faults = faults;
     return std::make_unique<Server>(
         scfg, makeScheduler(cfg, mean_service, dist_name));
 }
@@ -292,7 +295,8 @@ runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
         spec.warmupFraction * static_cast<double>(total));
 
     auto server = makeServer(cfg, static_cast<Tick>(mean_service),
-                             dist_name, slo, warmup, spec.seed);
+                             dist_name, slo, warmup, spec.seed,
+                             spec.faults);
     server->stopAfterCompletions(total);
 
     RunResult result;
@@ -319,9 +323,25 @@ runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
         ++fp_events;
     });
 
+    // Satellite of the fingerprint scheme: injected fault events are
+    // part of the run's identity. Mixing them in makes two chaos runs
+    // comparable bit-for-bit (and a pristine run's digest untouched,
+    // since the hook only exists when an injector does).
+    if (sim::FaultInjector *fi = server->faultInjector()) {
+        fi->setEventHook([&fp, &fp_events](sim::FaultInjector::Kind kind,
+                                           Tick now, unsigned a,
+                                           unsigned b) {
+            fp.mix(now);
+            fp.mix(0xFA000000ull + static_cast<std::uint64_t>(kind));
+            fp.mix(a);
+            fp.mix(b);
+            ++fp_events;
+        });
+    }
+
     LoadGenerator gen(*server, spec);
     gen.start();
-    const Tick end = server->run();
+    const Tick end = server->run(spec.timeLimit);
 
     result.design = server->scheduler().name();
     result.offeredMrps =
@@ -347,7 +367,12 @@ runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
             &server->scheduler())) {
         result.migrated = group->requestsMigrated();
         result.messaging = group->messagingStats();
+        result.migratesRetried = group->migratesRetried();
+        result.migratesTimedOut = group->migratesTimedOut();
+        result.peersQuarantined = group->peersQuarantined();
     }
+    if (const sim::FaultInjector *fi = server->faultInjector())
+        result.faultsInjected = fi->counters().total();
     return result;
 }
 

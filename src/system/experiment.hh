@@ -124,6 +124,20 @@ struct WorkloadSpec
     /** Print the gem5-style stats dump to stdout after the run. */
     bool dumpStats = false;
 
+    /**
+     * Deterministic fault schedule injected into the run (chaos
+     * experiments; sim/fault_spec.hh). Default = no faults.
+     */
+    sim::FaultSpec faults;
+
+    /**
+     * Wall-clock bound on the run in simulated ns. Fault-injection
+     * runs must set this: an injected loss the protocol fails to
+     * recover would otherwise leave stopAfterCompletions unreachable
+     * and the run spinning on the runtime's periodic events forever.
+     */
+    Tick timeLimit = kTickInf;
+
     std::uint64_t seed = 1;
 };
 
@@ -156,6 +170,12 @@ struct RunResult
     /** AC-only extras (zero elsewhere). */
     std::uint64_t migrated = 0;
     core::MessagingStats messaging;
+
+    /** Hardened-protocol extras (nonzero only under fault injection). */
+    std::uint64_t migratesRetried = 0;
+    std::uint64_t migratesTimedOut = 0;
+    std::uint64_t peersQuarantined = 0;
+    std::uint64_t faultsInjected = 0;
 
     /**
      * Order-sensitive digest of the completion stream: every
@@ -198,7 +218,8 @@ net::Nic::Config nicConfigFor(const DesignConfig &cfg);
 std::unique_ptr<Server>
 makeServer(const DesignConfig &cfg, Tick mean_service,
            const std::string &dist_name, Tick slo_target,
-           std::uint64_t warmup, std::uint64_t seed);
+           std::uint64_t warmup, std::uint64_t seed,
+           const sim::FaultSpec &faults = {});
 
 /**
  * Open-loop load generator: injects sampled or trace-replayed

@@ -6,6 +6,8 @@
 #include "system/server.hh"
 
 #include "common/logging.hh"
+#include "core/group.hh"
+#include "sim/fault_injector.hh"
 
 namespace altoc::system {
 
@@ -29,9 +31,28 @@ Server::Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched)
     for (unsigned i = 0; i < cfg_.cores; ++i)
         cores_.push_back(std::make_unique<cpu::Core>(sim_, i, i));
 
+    if (cfg_.faults.enabled()) {
+        faults_ = std::make_unique<sim::FaultInjector>(cfg_.faults);
+        sim::FaultInjector *fi = faults_.get();
+        // Scheduling-VN messages can arrive late; data/request
+        // traffic is out of the fault model's scope.
+        mesh_->setExtraDelay([fi](unsigned vnet, unsigned src,
+                                  unsigned dst, Tick depart) {
+            return vnet == noc::kVnSched
+                       ? fi->messageDelay(src, dst, depart)
+                       : 0;
+        });
+        for (auto &core : cores_) {
+            core->setStretch([fi](unsigned id, Tick start, Tick slice) {
+                return fi->stretchExecution(id, start, slice);
+            });
+        }
+    }
+
     sched::SchedContext ctx;
     ctx.sim = &sim_;
     ctx.auditor = auditor_.get();
+    ctx.faults = faults_.get();
     ctx.mesh = mesh_.get();
     for (auto &core : cores_)
         ctx.cores.push_back(core.get());
@@ -174,6 +195,31 @@ Server::dumpStats(std::FILE *out) const
         char name[64];
         std::snprintf(name, sizeof name, "sched.queue%02zu.length", i);
         line(name, static_cast<double>(lens[i]));
+    }
+
+    if (const auto *gs =
+            dynamic_cast<const core::GroupScheduler *>(sched_.get())) {
+        line("sched.migratesRetried",
+             static_cast<double>(gs->migratesRetried()));
+        line("sched.migratesTimedOut",
+             static_cast<double>(gs->migratesTimedOut()));
+        line("sched.peersQuarantined",
+             static_cast<double>(gs->peersQuarantined()));
+    }
+    if (faults_) {
+        const sim::FaultInjector::Counters &fc = faults_->counters();
+        line("faults.injected", static_cast<double>(fc.total()));
+        line("faults.msgDropped", static_cast<double>(fc.msgDropped));
+        line("faults.msgDuplicated",
+             static_cast<double>(fc.msgDuplicated));
+        line("faults.msgDelayed", static_cast<double>(fc.msgDelayed));
+        line("faults.exhaustWindows",
+             static_cast<double>(fc.exhaustWindows));
+        line("faults.stallWindows",
+             static_cast<double>(fc.stallWindows));
+        line("faults.coreStraggles",
+             static_cast<double>(fc.coreStraggles));
+        line("faults.coreFreezes", static_cast<double>(fc.coreFreezes));
     }
     std::fprintf(out, "---------- End Simulation Statistics ----------\n");
 }

@@ -29,8 +29,13 @@
 #include "net/rpc.hh"
 #include "noc/mesh.hh"
 #include "sched/scheduler.hh"
+#include "sim/fault_spec.hh"
 #include "sim/simulator.hh"
 #include "stats/slo.hh"
+
+namespace altoc::sim {
+class FaultInjector;
+} // namespace altoc::sim
 
 namespace altoc::system {
 
@@ -80,6 +85,14 @@ class Server : public sched::CompletionSink
          * and the run panics at drain.
          */
         bool audit = ALTOC_AUDIT_ENABLED != 0;
+
+        /**
+         * Deterministic fault schedule for this run (chaos testing;
+         * sim/fault_spec.hh). Default-constructed = no faults: no
+         * injector is created and every fault hook stays unset, so
+         * the pristine event stream is reproduced bit-for-bit.
+         */
+        sim::FaultSpec faults;
     };
 
     Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched);
@@ -161,6 +174,9 @@ class Server : public sched::CompletionSink
         return auditor_.get();
     }
 
+    /** The fault injector, or null for a pristine run. */
+    sim::FaultInjector *faultInjector() const { return faults_.get(); }
+
     /**
      * gem5-style end-of-run statistics dump: one line per counter
      * across every component (simulator, NIC, NoC, cores, scheduler
@@ -173,6 +189,7 @@ class Server : public sched::CompletionSink
     sim::Simulator sim_;
     Rng rng_;
     std::unique_ptr<noc::Mesh> mesh_;
+    std::unique_ptr<sim::FaultInjector> faults_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::unique_ptr<sched::Scheduler> sched_;
     std::unique_ptr<net::Nic> nic_;

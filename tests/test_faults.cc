@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Fault-injection layer tests: FaultSpec grammar, FaultInjector
+ * determinism, and the hardened MIGRATE/ACK/NACK protocol under
+ * scripted message fates (drop / duplicate / lost ACK / lost NACK).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "core/hw_messaging.hh"
+#include "sim/fault_injector.hh"
+#include "sim/fault_spec.hh"
+#include "sim/simulator.hh"
+#include "system/experiment.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::core;
+using sim::FaultInjector;
+using sim::FaultSpec;
+
+// ---------------------------------------------------------------------
+// FaultSpec grammar
+// ---------------------------------------------------------------------
+
+TEST(FaultSpec, DefaultIsDisabled)
+{
+    const FaultSpec spec;
+    EXPECT_FALSE(spec.enabled());
+    EXPECT_EQ(spec.describe(), "seed=1");
+}
+
+TEST(FaultSpec, ParseFullGrammar)
+{
+    const FaultSpec spec = FaultSpec::parse(
+        "drop=0.01,dup=0.05,delay=0.2:300,exhaust=0.1:1000,"
+        "straggle=0.05:4,freeze=0.01:200,stall=1@50000+30000,"
+        "stallp=0.02:500,seed=7");
+    EXPECT_TRUE(spec.enabled());
+    EXPECT_DOUBLE_EQ(spec.dropProb, 0.01);
+    EXPECT_DOUBLE_EQ(spec.dupProb, 0.05);
+    EXPECT_DOUBLE_EQ(spec.delayProb, 0.2);
+    EXPECT_EQ(spec.delayNs, 300u);
+    EXPECT_DOUBLE_EQ(spec.exhaustProb, 0.1);
+    EXPECT_EQ(spec.exhaustNs, 1000u);
+    EXPECT_DOUBLE_EQ(spec.straggleProb, 0.05);
+    EXPECT_DOUBLE_EQ(spec.straggleFactor, 4.0);
+    EXPECT_DOUBLE_EQ(spec.freezeProb, 0.01);
+    EXPECT_EQ(spec.freezeNs, 200u);
+    EXPECT_TRUE(spec.stallSet);
+    EXPECT_EQ(spec.stallMgr, 1u);
+    EXPECT_EQ(spec.stallAt, 50000u);
+    EXPECT_EQ(spec.stallFor, 30000u);
+    EXPECT_DOUBLE_EQ(spec.stallProb, 0.02);
+    EXPECT_EQ(spec.stallNs, 500u);
+    EXPECT_EQ(spec.seed, 7u);
+}
+
+TEST(FaultSpec, DescribeRoundTrips)
+{
+    const char *text =
+        "drop=0.02,dup=0.01,delay=0.5:250,exhaust=0.05:2000,"
+        "straggle=0.1:2,freeze=0.05:100,stall=2@1000+500,"
+        "stallp=0.01:300,seed=42";
+    const FaultSpec spec = FaultSpec::parse(text);
+    const std::string canon = spec.describe();
+    EXPECT_EQ(FaultSpec::parse(canon).describe(), canon);
+}
+
+TEST(FaultSpec, FromEnvReadsAltocFaults)
+{
+    ::unsetenv("ALTOC_FAULTS");
+    EXPECT_FALSE(FaultSpec::fromEnv().has_value());
+    ::setenv("ALTOC_FAULTS", "drop=0.25,seed=9", 1);
+    const auto spec = FaultSpec::fromEnv();
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_DOUBLE_EQ(spec->dropProb, 0.25);
+    EXPECT_EQ(spec->seed, 9u);
+    ::unsetenv("ALTOC_FAULTS");
+}
+
+// ---------------------------------------------------------------------
+// FaultInjector determinism
+// ---------------------------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameFateStream)
+{
+    const FaultSpec spec = FaultSpec::parse("drop=0.3,dup=0.3,seed=5");
+    FaultInjector a(spec);
+    FaultInjector b(spec);
+    for (unsigned i = 0; i < 256; ++i) {
+        EXPECT_EQ(a.messageFate(i, 0, 1), b.messageFate(i, 0, 1))
+            << "draw " << i;
+    }
+    EXPECT_EQ(a.counters().msgDropped, b.counters().msgDropped);
+    EXPECT_EQ(a.counters().msgDuplicated, b.counters().msgDuplicated);
+    // A 30/30 split over 256 draws hits both fates.
+    EXPECT_GT(a.counters().msgDropped, 0u);
+    EXPECT_GT(a.counters().msgDuplicated, 0u);
+}
+
+TEST(FaultInjector, WindowedDecisionsIndependentOfQueryOrder)
+{
+    const FaultSpec spec = FaultSpec::parse(
+        "delay=0.4:100,exhaust=0.4:1000,stallp=0.4:1000,"
+        "straggle=0.4:2,freeze=0.4:50,seed=11");
+    FaultInjector fwd(spec);
+    FaultInjector rev(spec);
+
+    std::map<std::pair<unsigned, Tick>, std::uint64_t> forward;
+    for (unsigned mgr = 0; mgr < 4; ++mgr) {
+        for (Tick t = 0; t < 16000; t += 500) {
+            std::uint64_t key = 0;
+            key = key * 2 + (fwd.recvExhausted(mgr, t) ? 1 : 0);
+            key = key * 100000 + fwd.managerStalledUntil(mgr, t);
+            key = key * 1000 + fwd.messageDelay(mgr, mgr + 1, t);
+            key = key * 1000 + fwd.stretchExecution(mgr, t, 100);
+            forward[{mgr, t}] = key;
+        }
+    }
+    // Same grid, opposite order, interleaved differently: the pure
+    // hashes must agree cell by cell.
+    for (unsigned m = 4; m-- > 0;) {
+        for (Tick t = 15500; t + 500 > 0 && t <= 15500; t -= 500) {
+            std::uint64_t key = 0;
+            key = key * 2 + (rev.recvExhausted(m, t) ? 1 : 0);
+            key = key * 100000 + rev.managerStalledUntil(m, t);
+            key = key * 1000 + rev.messageDelay(m, m + 1, t);
+            key = key * 1000 + rev.stretchExecution(m, t, 100);
+            EXPECT_EQ(key, (forward[{m, t}]))
+                << "mgr " << m << " t " << t;
+            if (t == 0)
+                break;
+        }
+    }
+}
+
+TEST(FaultInjector, ScriptedFatesConsumedBeforeRandomDraws)
+{
+    FaultInjector fi{FaultSpec{}};
+    fi.pushFate(FaultInjector::MsgFate::Drop);
+    fi.pushFate(FaultInjector::MsgFate::Duplicate);
+    EXPECT_EQ(fi.messageFate(0, 0, 1), FaultInjector::MsgFate::Drop);
+    EXPECT_EQ(fi.messageFate(1, 0, 1),
+              FaultInjector::MsgFate::Duplicate);
+    // Queue exhausted; a no-fault spec always delivers afterwards.
+    EXPECT_EQ(fi.messageFate(2, 0, 1), FaultInjector::MsgFate::Deliver);
+    EXPECT_EQ(fi.counters().msgDropped, 1u);
+    EXPECT_EQ(fi.counters().msgDuplicated, 1u);
+}
+
+TEST(FaultInjector, ExplicitStallWindowBoundsAndExhaustsReceive)
+{
+    FaultInjector fi(FaultSpec::parse("stall=1@1000+500"));
+    EXPECT_EQ(fi.managerStalledUntil(1, 999), 0u);
+    EXPECT_EQ(fi.managerStalledUntil(1, 1000), 1500u);
+    EXPECT_EQ(fi.managerStalledUntil(1, 1499), 1500u);
+    EXPECT_EQ(fi.managerStalledUntil(1, 1500), 0u);
+    EXPECT_EQ(fi.managerStalledUntil(0, 1200), 0u);
+    // A mid-stall manager rejects MIGRATEs (frozen receive drain).
+    EXPECT_TRUE(fi.recvExhausted(1, 1200));
+    EXPECT_FALSE(fi.recvExhausted(1, 1600));
+    EXPECT_FALSE(fi.recvExhausted(0, 1200));
+    EXPECT_EQ(fi.counters().stallWindows, 1u);
+}
+
+TEST(FaultInjector, EventHookSeesEveryInjection)
+{
+    FaultInjector fi{FaultSpec{}};
+    std::vector<FaultInjector::Kind> kinds;
+    fi.setEventHook([&kinds](FaultInjector::Kind k, Tick, unsigned,
+                             unsigned) { kinds.push_back(k); });
+    fi.pushFate(FaultInjector::MsgFate::Drop);
+    fi.pushFate(FaultInjector::MsgFate::Duplicate);
+    fi.messageFate(0, 0, 1);
+    fi.messageFate(1, 2, 3);
+    ASSERT_EQ(kinds.size(), 2u);
+    EXPECT_EQ(kinds[0], FaultInjector::Kind::MsgDrop);
+    EXPECT_EQ(kinds[1], FaultInjector::Kind::MsgDup);
+}
+
+// ---------------------------------------------------------------------
+// Hardened MIGRATE protocol under scripted fates
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Messaging harness with a fault injector attached and every
+ *  protocol callback recorded. */
+struct FaultedMsgHarness
+{
+    sim::Simulator sim;
+    noc::Mesh mesh{4, 4};
+    net::RpcPool pool;
+    FaultInjector faults{FaultSpec{}};
+    std::unique_ptr<HwMessaging> msg;
+
+    std::vector<std::pair<unsigned, std::size_t>> delivered; // (mgr, n)
+    std::vector<std::pair<unsigned, std::size_t>> returned;  // (mgr, n)
+    // (src, dst, reqs in hand, attempt)
+    std::vector<std::tuple<unsigned, unsigned, std::size_t, unsigned>>
+        timeouts;
+    std::vector<std::tuple<unsigned, unsigned, std::size_t>> acks;
+
+    explicit FaultedMsgHarness(HwMessaging::Config cfg = {})
+    {
+        msg = std::make_unique<HwMessaging>(
+            sim, mesh, std::vector<unsigned>{0, 3, 12, 15}, cfg);
+        msg->setFaults(&faults);
+        msg->setMigrateIn(
+            [this](unsigned mgr, const std::vector<net::Rpc *> &reqs) {
+                delivered.emplace_back(mgr, reqs.size());
+            });
+        msg->setReturn([this](unsigned mgr, unsigned,
+                              const std::vector<net::Rpc *> &reqs) {
+            returned.emplace_back(mgr, reqs.size());
+        });
+        msg->setTimeout([this](unsigned src, unsigned dst,
+                               std::vector<net::Rpc *> reqs,
+                               unsigned attempt) {
+            timeouts.emplace_back(src, dst, reqs.size(), attempt);
+        });
+        msg->setAck([this](unsigned src, unsigned dst, std::size_t n) {
+            acks.emplace_back(src, dst, n);
+        });
+    }
+
+    std::vector<net::Rpc *>
+    batch(unsigned n)
+    {
+        std::vector<net::Rpc *> v;
+        for (unsigned i = 0; i < n; ++i) {
+            net::Rpc *r = pool.alloc();
+            r->service = 100;
+            r->remaining = 100;
+            v.push_back(r);
+        }
+        return v;
+    }
+};
+
+} // namespace
+
+TEST(HardenedProtocol, DroppedMigrateTimesOutWithBatchInHand)
+{
+    FaultedMsgHarness h;
+    h.faults.pushFate(FaultInjector::MsgFate::Drop);
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(4), 0));
+    EXPECT_EQ(h.msg->outstanding(), 1u);
+    h.sim.run();
+    // Never delivered; the timeout hands the batch back for retry.
+    EXPECT_TRUE(h.delivered.empty());
+    ASSERT_EQ(h.timeouts.size(), 1u);
+    EXPECT_EQ(std::get<0>(h.timeouts[0]), 0u);
+    EXPECT_EQ(std::get<1>(h.timeouts[0]), 1u);
+    EXPECT_EQ(std::get<2>(h.timeouts[0]), 4u); // reqs reclaimed here
+    EXPECT_EQ(std::get<3>(h.timeouts[0]), 0u);
+    EXPECT_EQ(h.msg->stats().migratesTimedOut, 1u);
+    EXPECT_EQ(h.msg->stats().migratesAcked, 0u);
+    // Staging and send FIFO fully recovered; nothing outstanding.
+    EXPECT_EQ(h.msg->sendCapacity(0), hw::kMrEntries);
+    EXPECT_EQ(h.msg->outstanding(), 0u);
+}
+
+TEST(HardenedProtocol, LostAckDeliversOnceAndTimeoutGetsNoBatch)
+{
+    FaultedMsgHarness h;
+    h.faults.pushFate(FaultInjector::MsgFate::Deliver); // MIGRATE
+    h.faults.pushFate(FaultInjector::MsgFate::Drop);    // ACK
+    EXPECT_TRUE(h.msg->sendMigrate(0, 2, h.batch(5), 1));
+    h.sim.run();
+    // The batch landed exactly once...
+    ASSERT_EQ(h.delivered.size(), 1u);
+    EXPECT_EQ(h.delivered[0].second, 5u);
+    EXPECT_EQ(h.msg->stats().descriptorsDelivered, 5u);
+    // ...so the timeout fires with an EMPTY batch: requests live at
+    // the destination and must never be reclaimed at the source.
+    ASSERT_EQ(h.timeouts.size(), 1u);
+    EXPECT_EQ(std::get<2>(h.timeouts[0]), 0u);
+    EXPECT_EQ(std::get<3>(h.timeouts[0]), 1u);
+    EXPECT_TRUE(h.acks.empty());
+    EXPECT_EQ(h.msg->stats().migratesAcked, 0u);
+    EXPECT_EQ(h.msg->stats().migratesTimedOut, 1u);
+    // The timeout still releases the staged MR entries.
+    EXPECT_EQ(h.msg->sendCapacity(0), hw::kMrEntries);
+    EXPECT_EQ(h.msg->outstanding(), 0u);
+}
+
+TEST(HardenedProtocol, DuplicatedMigrateDeliversExactlyOnce)
+{
+    FaultedMsgHarness h;
+    h.faults.pushFate(FaultInjector::MsgFate::Duplicate); // MIGRATE
+    h.faults.pushFate(FaultInjector::MsgFate::Deliver);   // ACK
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(3)));
+    h.sim.run();
+    // Two copies arrived; one delivery, one stale discard.
+    ASSERT_EQ(h.delivered.size(), 1u);
+    EXPECT_EQ(h.delivered[0].second, 3u);
+    EXPECT_EQ(h.msg->stats().staleMigratesDiscarded, 1u);
+    EXPECT_EQ(h.msg->stats().migratesAcked, 1u);
+    EXPECT_TRUE(h.timeouts.empty());
+    ASSERT_EQ(h.acks.size(), 1u);
+    EXPECT_EQ(std::get<2>(h.acks[0]), 3u);
+    EXPECT_EQ(h.msg->sendCapacity(0), hw::kMrEntries);
+    EXPECT_EQ(h.msg->outstanding(), 0u);
+}
+
+TEST(HardenedProtocol, DuplicatedAckResolvesOnce)
+{
+    FaultedMsgHarness h;
+    h.faults.pushFate(FaultInjector::MsgFate::Deliver);   // MIGRATE
+    h.faults.pushFate(FaultInjector::MsgFate::Duplicate); // ACK
+    EXPECT_TRUE(h.msg->sendMigrate(0, 3, h.batch(2)));
+    h.sim.run();
+    ASSERT_EQ(h.delivered.size(), 1u);
+    EXPECT_EQ(h.msg->stats().migratesAcked, 1u);
+    EXPECT_EQ(h.msg->stats().staleMigratesDiscarded, 1u);
+    EXPECT_TRUE(h.timeouts.empty());
+    EXPECT_EQ(h.msg->outstanding(), 0u);
+}
+
+TEST(HardenedProtocol, LostNackReclaimsBatchAtTimeout)
+{
+    FaultedMsgHarness h;
+    // Two equidistant senders overflow manager 1's MR bank
+    // (8 + 8 > 11): one MIGRATE lands, the other NACKs -- and that
+    // NACK is lost. Fates are drawn in event order: both MIGRATEs at
+    // send time, the loser's NACK at arrival, the winner's ACK after
+    // the drain.
+    h.faults.pushFate(FaultInjector::MsgFate::Deliver); // MIGRATE a
+    h.faults.pushFate(FaultInjector::MsgFate::Deliver); // MIGRATE b
+    h.faults.pushFate(FaultInjector::MsgFate::Drop);    // loser NACK
+    h.faults.pushFate(FaultInjector::MsgFate::Deliver); // winner ACK
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(8)));
+    EXPECT_TRUE(h.msg->sendMigrate(3, 1, h.batch(8)));
+    h.sim.run();
+    // One batch landed; the rejected one never saw its NACK, so the
+    // timeout (not the return path) hands it back.
+    ASSERT_EQ(h.delivered.size(), 1u);
+    EXPECT_TRUE(h.returned.empty());
+    EXPECT_EQ(h.msg->stats().migratesNacked, 1u);
+    ASSERT_EQ(h.timeouts.size(), 1u);
+    EXPECT_EQ(std::get<2>(h.timeouts[0]), 8u);
+    EXPECT_EQ(h.msg->stats().migratesTimedOut, 1u);
+    EXPECT_EQ(h.msg->stats().migratesAcked, 1u);
+    // Both sources fully recovered their staging.
+    EXPECT_EQ(h.msg->sendCapacity(0), hw::kMrEntries);
+    EXPECT_EQ(h.msg->sendCapacity(3), hw::kMrEntries);
+    EXPECT_EQ(h.msg->outstanding(), 0u);
+}
+
+TEST(HardenedProtocol, ExhaustionStormForcesNack)
+{
+    FaultedMsgHarness h;
+    // Exhaust every window with certainty: any MIGRATE NACKs even
+    // though the buffers have room.
+    h.faults = FaultInjector(FaultSpec::parse("exhaust=1:1000000"));
+    h.msg->setFaults(&h.faults);
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(4)));
+    h.sim.run();
+    EXPECT_TRUE(h.delivered.empty());
+    ASSERT_EQ(h.returned.size(), 1u);
+    EXPECT_EQ(h.returned[0].second, 4u);
+    EXPECT_EQ(h.msg->stats().migratesNacked, 1u);
+    EXPECT_GE(h.faults.counters().exhaustWindows, 1u);
+    EXPECT_EQ(h.msg->outstanding(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Server-level wiring: delays and core faults are scheduler-agnostic
+// ---------------------------------------------------------------------
+
+TEST(FaultWiring, StragglersAndFreezesStillCompleteEveryRequest)
+{
+    system::DesignConfig cfg;
+    cfg.design = system::Design::Rss;
+    cfg.cores = 8;
+    system::WorkloadSpec spec;
+    spec.service = workload::makeFixed(1 * kUs);
+    spec.rateMrps = 2.0;
+    spec.requests = 5000;
+    spec.seed = 3;
+    spec.faults = FaultSpec::parse("straggle=0.2:3,freeze=0.1:500");
+    spec.timeLimit = 100 * kMs;
+    const system::RunResult res = system::runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 5000u);
+    EXPECT_GT(res.faultsInjected, 0u);
+    // Stretched slices delay completions but never lose them.
+    EXPECT_GT(res.latency.p99, 1 * kUs);
+}
+
+TEST(FaultWiring, FaultScheduleIsReproducible)
+{
+    system::DesignConfig cfg;
+    cfg.design = system::Design::AcRss;
+    cfg.cores = 16;
+    cfg.groups = 2;
+    system::WorkloadSpec spec;
+    spec.service = workload::makeFixed(1 * kUs);
+    spec.rateMrps = 8.0;
+    spec.requests = 10000;
+    spec.connections = 8;
+    spec.seed = 7;
+    spec.faults =
+        FaultSpec::parse("drop=0.05,dup=0.02,delay=0.1:200,seed=21");
+    spec.timeLimit = 100 * kMs;
+    const system::RunResult a = system::runExperiment(cfg, spec);
+    const system::RunResult b = system::runExperiment(cfg, spec);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.fingerprintEvents, b.fingerprintEvents);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.migratesTimedOut, b.migratesTimedOut);
+    EXPECT_EQ(a.migratesRetried, b.migratesRetried);
+    EXPECT_GT(a.faultsInjected, 0u);
+
+    // A different fault seed yields a different schedule.
+    system::WorkloadSpec other = spec;
+    other.faults =
+        FaultSpec::parse("drop=0.05,dup=0.02,delay=0.1:200,seed=22");
+    const system::RunResult c = system::runExperiment(cfg, other);
+    EXPECT_TRUE(c.fingerprint != a.fingerprint ||
+                c.faultsInjected != a.faultsInjected);
+}

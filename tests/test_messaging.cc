@@ -33,10 +33,10 @@ struct MsgHarness
             [this](unsigned mgr, const std::vector<net::Rpc *> &reqs) {
                 delivered.emplace_back(mgr, reqs.size());
             });
-        msg->setReturn(
-            [this](unsigned mgr, const std::vector<net::Rpc *> &reqs) {
-                returned.emplace_back(mgr, reqs.size());
-            });
+        msg->setReturn([this](unsigned mgr, unsigned,
+                              const std::vector<net::Rpc *> &reqs) {
+            returned.emplace_back(mgr, reqs.size());
+        });
         msg->setUpdate([this](unsigned mgr, unsigned src, std::size_t q) {
             updates.emplace_back(mgr, src, q);
         });
@@ -233,4 +233,84 @@ TEST(HwMessaging, NocBytesAccounted)
     h.sim.run();
     // MIGRATE (8 + 4*14 = 64 B) + ACK (8 B).
     EXPECT_EQ(h.msg->stats().bytesOnNoc, 72u);
+}
+
+TEST(HwMessaging, ReceiveFifoBoundNacksIndependently)
+{
+    // Shrink the receive FIFO below the MR bank so the FIFO is the
+    // binding constraint: 3 + 3 fits 64 MR entries but not 4 FIFO
+    // slots when two equidistant MIGRATEs land in the same cycle.
+    HwMessaging::Config cfg;
+    cfg.mrEntries = 64;
+    cfg.fifoEntries = 4;
+    MsgHarness h(cfg);
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(3)));
+    EXPECT_TRUE(h.msg->sendMigrate(3, 1, h.batch(3)));
+    h.sim.run();
+    EXPECT_EQ(h.msg->stats().migratesNacked, 1u);
+    ASSERT_EQ(h.returned.size(), 1u);
+    EXPECT_EQ(h.returned[0].second, 3u);
+}
+
+TEST(HwMessaging, MrBankBoundNacksIndependently)
+{
+    // Now the MR bank binds: 4 + 4 fits 16 FIFO slots but not 6 MR
+    // entries.
+    HwMessaging::Config cfg;
+    cfg.mrEntries = 6;
+    cfg.fifoEntries = 16;
+    MsgHarness h(cfg);
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(4)));
+    EXPECT_TRUE(h.msg->sendMigrate(3, 1, h.batch(4)));
+    h.sim.run();
+    EXPECT_EQ(h.msg->stats().migratesNacked, 1u);
+    ASSERT_EQ(h.returned.size(), 1u);
+    EXPECT_EQ(h.returned[0].second, 4u);
+}
+
+TEST(HwMessaging, NackCountsOncePerBatchNotPerDescriptor)
+{
+    MsgHarness h;
+    // 8 + 8 > 11 MR entries: one whole batch bounces. The NACK is a
+    // single protocol event regardless of batch size.
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(8)));
+    EXPECT_TRUE(h.msg->sendMigrate(3, 1, h.batch(8)));
+    h.sim.run();
+    EXPECT_EQ(h.msg->stats().migratesNacked, 1u);
+    EXPECT_EQ(h.msg->stats().descriptorsReturned, 8u);
+    // And the staging the bounced batch held is fully released.
+    EXPECT_EQ(h.msg->freeMrEntries(0), hw::kMrEntries);
+    EXPECT_EQ(h.msg->freeMrEntries(3), hw::kMrEntries);
+    EXPECT_EQ(h.msg->outstanding(), 0u);
+}
+
+TEST(HwMessaging, NackPreservesMigratedOnceState)
+{
+    MsgHarness h;
+    // First hop 0 -> 1 lands and marks the batch migrated-once.
+    auto reqs = h.batch(2);
+    net::Rpc *probe = reqs[0];
+    std::vector<net::Rpc *> landed;
+    h.msg->setMigrateIn(
+        [&](unsigned, const std::vector<net::Rpc *> &in) {
+            landed = in;
+        });
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, std::move(reqs)));
+    h.sim.run();
+    ASSERT_EQ(landed.size(), 2u);
+    EXPECT_TRUE(probe->migrated);
+    EXPECT_EQ(probe->curGroup, 1u);
+
+    // A later 1 -> 2 attempt that bounces must leave both the flag
+    // and the landed group untouched: the request still lives at
+    // group 1 and still counts as migrated exactly once. Manager 2's
+    // MR bank is held by its own outbound staging (freed only by the
+    // much later ACK), so the probe's arrival deterministically finds
+    // no room: 10 staged + 2 inbound > 11 entries.
+    EXPECT_TRUE(h.msg->sendMigrate(2, 3, h.batch(10)));
+    EXPECT_TRUE(h.msg->sendMigrate(1, 2, std::move(landed)));
+    h.sim.run();
+    EXPECT_EQ(h.msg->stats().migratesNacked, 1u);
+    EXPECT_TRUE(probe->migrated);
+    EXPECT_EQ(probe->curGroup, 1u);
 }
