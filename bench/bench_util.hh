@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/fingerprint.hh"
 #include "common/logging.hh"
@@ -99,6 +100,56 @@ parseArgs(int argc, char **argv)
     }
     return opt;
 }
+
+/**
+ * The micro benches' `--json` shorthand, expanded into google
+ * -benchmark's native flags before benchmark::Initialize() parses
+ * them. This is the interface of the perf-regression harness
+ * (scripts/bench_compare.py, BENCH_kernel.json):
+ *
+ *   --json        emit the JSON report on stdout
+ *                 (--benchmark_format=json)
+ *   --json=FILE   keep the human console report and write the JSON
+ *                 report to FILE (--benchmark_out=FILE
+ *                 --benchmark_out_format=json)
+ *
+ * All other arguments pass through untouched, so the full
+ * --benchmark_* vocabulary still works.
+ */
+class JsonFlagArgs
+{
+  public:
+    JsonFlagArgs(int argc, char **argv)
+    {
+        storage_.reserve(static_cast<std::size_t>(argc) + 1);
+        storage_.emplace_back(argc > 0 ? argv[0] : "bench");
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--json") {
+                storage_.emplace_back("--benchmark_format=json");
+            } else if (arg.rfind("--json=", 0) == 0) {
+                storage_.emplace_back("--benchmark_out=" +
+                                      arg.substr(7));
+                storage_.emplace_back("--benchmark_out_format=json");
+            } else {
+                storage_.push_back(arg);
+            }
+        }
+        argv_.reserve(storage_.size() + 1);
+        for (std::string &s : storage_)
+            argv_.push_back(s.data());
+        argv_.push_back(nullptr);
+        argc_ = static_cast<int>(storage_.size());
+    }
+
+    int &argc() { return argc_; }
+    char **argv() { return argv_.data(); }
+
+  private:
+    std::vector<std::string> storage_;
+    std::vector<char *> argv_;
+    int argc_ = 0;
+};
 
 /** Apply the --scale factor to a request count (floor 1000 so the
  *  percentile machinery keeps enough samples to be meaningful). */

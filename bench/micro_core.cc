@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
 #include "core/calibration.hh"
 #include "core/erlang.hh"
 #include "core/pattern.hh"
@@ -102,4 +103,16 @@ BM_OfflineCalibrationPoint(benchmark::State &state)
 }
 BENCHMARK(BM_OfflineCalibrationPoint);
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() with the --json shorthand of the perf-regression
+// harness expanded first (see bench_util.hh:JsonFlagArgs).
+int
+main(int argc, char **argv)
+{
+    bench::JsonFlagArgs args(argc, argv);
+    benchmark::Initialize(&args.argc(), args.argv());
+    if (benchmark::ReportUnrecognizedArguments(args.argc(), args.argv()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

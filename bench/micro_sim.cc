@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
 #include "mica/kvs.hh"
 #include "net/rpc.hh"
 #include "noc/mesh.hh"
@@ -14,6 +15,13 @@
 #include "stats/histogram.hh"
 
 using namespace altoc;
+
+// The BM_Event* group is the checked-in kernel baseline
+// (BENCH_kernel.json, compared by scripts/bench_compare.py). The
+// steady-state schedule/dispatch path performs zero heap allocations
+// by construction -- InlineFn callbacks live in the slot pool, whose
+// storage is fixed once warm (enforced by
+// tests/test_event_queue.cc:EventHotPath.*).
 
 static void
 BM_EventScheduleRun(benchmark::State &state)
@@ -45,6 +53,23 @@ BM_EventQueueDepth(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EventQueueDepth)->Arg(1024)->Arg(65536);
+
+static void
+BM_EventScheduleCancel(benchmark::State &state)
+{
+    // The timeout pattern of the hardened migration protocol: almost
+    // every armed deadline is cancelled before it fires. Exercises
+    // slot-pool recycling plus the >=50%-dead heap compaction.
+    sim::Simulator sim;
+    Tick t = 1;
+    for (auto _ : state) {
+        const sim::EventId id = sim.at(t + 1000, [] {});
+        sim.cancel(id);
+        ++t;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventScheduleCancel);
 
 static void
 BM_RpcPoolAllocRelease(benchmark::State &state)
@@ -134,4 +159,16 @@ BM_HashTableFind(benchmark::State &state)
 }
 BENCHMARK(BM_HashTableFind);
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() with the --json shorthand of the perf-regression
+// harness expanded first (see bench_util.hh:JsonFlagArgs).
+int
+main(int argc, char **argv)
+{
+    bench::JsonFlagArgs args(argc, argv);
+    benchmark::Initialize(&args.argc(), args.argv());
+    if (benchmark::ReportUnrecognizedArguments(args.argc(), args.argv()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

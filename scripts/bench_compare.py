@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON reports (the perf-regression harness).
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CURRENT.json
+        [--threshold PCT] [--fail-on-regression]
+
+Both inputs are google-benchmark JSON reports, e.g. the checked-in
+kernel baseline BENCH_kernel.json and a fresh run:
+
+    ./build/bench/micro_sim --json=current.json --benchmark_filter=BM_Event
+    python3 scripts/bench_compare.py BENCH_kernel.json current.json
+
+Benchmarks are matched by name. The primary metric is items_per_second
+(higher is better); benchmarks that do not report it fall back to
+real_time (lower is better). Entries present in only one report are
+listed but never fail the comparison.
+
+Exit codes:
+    0  compared cleanly (regressions are warnings by default -- the
+       checked-in baseline was recorded on a different machine, so CI
+       treats deltas as informational)
+    1  at least one regression beyond --threshold, and
+       --fail-on-regression was given
+    2  malformed input (missing file, bad JSON, no benchmarks) --
+       always fatal, so a crashed or truncated bench run cannot pass
+       silently
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    """Return {name: (metric_value, higher_is_better)} for one report."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        print(f"error: {path} contains no benchmarks", file=sys.stderr)
+        raise SystemExit(2)
+    out = {}
+    for bench in benches:
+        name = bench.get("name")
+        if not name or bench.get("run_type") == "aggregate":
+            continue
+        if "items_per_second" in bench:
+            out[name] = (float(bench["items_per_second"]), True)
+        elif "real_time" in bench:
+            out[name] = (float(bench["real_time"]), False)
+    if not out:
+        print(f"error: {path} has no comparable entries", file=sys.stderr)
+        raise SystemExit(2)
+    return out
+
+
+def fmt(value):
+    return f"{value:.3e}"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare google-benchmark JSON reports.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent "
+                             "(default: 10)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any benchmark regresses "
+                             "beyond the threshold")
+    args = parser.parse_args()
+
+    base = load_report(args.baseline)
+    cur = load_report(args.current)
+
+    shared = [n for n in base if n in cur]
+    only_base = [n for n in base if n not in cur]
+    only_cur = [n for n in cur if n not in base]
+
+    width = max((len(n) for n in shared), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}"
+          f"  {'delta':>8}  verdict")
+    regressions = []
+    for name in shared:
+        bval, b_higher = base[name]
+        cval, c_higher = cur[name]
+        if b_higher != c_higher:
+            print(f"{name:<{width}}  metric kind changed; skipping")
+            continue
+        # Normalize so positive delta always means "got faster".
+        delta = (cval / bval - 1.0) if b_higher else (bval / cval - 1.0)
+        pct = delta * 100.0
+        if pct <= -args.threshold:
+            verdict = "REGRESSION"
+            regressions.append((name, pct))
+        elif pct >= args.threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        print(f"{name:<{width}}  {fmt(bval):>10}  {fmt(cval):>10}"
+              f"  {pct:>+7.1f}%  {verdict}")
+
+    for name in only_base:
+        print(f"{name:<{width}}  only in baseline")
+    for name in only_cur:
+        print(f"{name:<{width}}  only in current run")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%:", file=sys.stderr)
+        for name, pct in regressions:
+            print(f"  {name}: {pct:+.1f}%", file=sys.stderr)
+        if args.fail_on_regression:
+            return 1
+        print("(warning only: pass --fail-on-regression to gate)",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fixed-capacity inline callable: the event-kernel's callback type.
+ *
+ * std::function on the simulator hot path costs an indirect call plus
+ * a heap allocation whenever a closure outgrows the implementation's
+ * small-buffer (16 bytes on libstdc++). Every simulated nanosecond
+ * flows through EventQueue::schedule(), so those allocations dominate
+ * exactly the regime the paper cares about. InlineFn instead embeds
+ * the closure in a 48-byte inline buffer and *refuses to compile*
+ * when a capture list exceeds the budget: the failure surfaces at the
+ * offending call site (an unsatisfied constraint on the converting
+ * constructor), where the fix -- capture less, or capture narrower
+ * types -- is local and obvious.
+ *
+ * Contract:
+ *  - stores any callable F with sizeof(F) <= kCapacity,
+ *    alignof(F) <= kAlignment, and a noexcept move constructor
+ *    (lambdas, std::function, packaged_task all qualify);
+ *  - move-only (so move-only closures, e.g. ones owning a
+ *    std::packaged_task or a moved-in vector, are first-class);
+ *  - never allocates: construction placement-news into the inline
+ *    buffer, moves relocate buffer-to-buffer;
+ *  - the constraint (not a static_assert) keeps the size check
+ *    SFINAE-visible, so tests can assert
+ *    !std::is_constructible_v<InlineFn, TooBigLambda>.
+ */
+
+#ifndef ALTOC_COMMON_INLINE_FN_HH
+#define ALTOC_COMMON_INLINE_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace altoc {
+
+class InlineFn
+{
+  public:
+    /** Closure budget, sized for the largest hot-path capture in the
+     *  tree (hw_messaging's MIGRATE-drain closure: this + seq + a
+     *  moved-in descriptor vector + two packed manager ids). */
+    static constexpr std::size_t kCapacity = 48;
+    static constexpr std::size_t kAlignment = alignof(std::max_align_t);
+
+    /** Trait form of the constructor constraint, for static_asserts
+     *  and tests. */
+    template <typename F>
+    static constexpr bool fits =
+        sizeof(std::decay_t<F>) <= kCapacity &&
+        alignof(std::decay_t<F>) <= kAlignment;
+
+    InlineFn() = default;
+
+    template <typename F>
+        requires(!std::is_same_v<std::decay_t<F>, InlineFn> &&
+                 std::is_invocable_r_v<void, std::decay_t<F> &> &&
+                 std::is_nothrow_move_constructible_v<std::decay_t<F>> &&
+                 fits<F>)
+    InlineFn(F &&fn) // NOLINT: implicit by design (callback sink)
+        noexcept(std::is_nothrow_constructible_v<std::decay_t<F>, F &&>)
+    {
+        using Fn = std::decay_t<F>;
+        ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+        ops_ = &kOps<Fn>;
+    }
+
+    InlineFn(InlineFn &&other) noexcept : ops_(other.ops_)
+    {
+        if (ops_ != nullptr) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    InlineFn &
+    operator=(InlineFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            if (other.ops_ != nullptr) {
+                ops_ = other.ops_;
+                ops_->relocate(buf_, other.buf_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn &) = delete;
+    InlineFn &operator=(const InlineFn &) = delete;
+
+    ~InlineFn() { reset(); }
+
+    /** Destroy the stored callable (no-op when empty). */
+    void
+    reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** Invoke the stored callable. Undefined when empty. */
+    void operator()() { ops_->invoke(buf_); }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename Fn>
+    static void
+    invokeImpl(void *p)
+    {
+        (*static_cast<Fn *>(p))();
+    }
+
+    template <typename Fn>
+    static void
+    relocateImpl(void *dst, void *src) noexcept
+    {
+        Fn *from = static_cast<Fn *>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    destroyImpl(void *p) noexcept
+    {
+        static_cast<Fn *>(p)->~Fn();
+    }
+
+    template <typename Fn>
+    static constexpr Ops kOps{&invokeImpl<Fn>, &relocateImpl<Fn>,
+                              &destroyImpl<Fn>};
+
+    alignas(kAlignment) unsigned char buf_[kCapacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace altoc
+
+#endif // ALTOC_COMMON_INLINE_FN_HH

@@ -53,7 +53,7 @@ ThreadPool::workerLoop()
 {
     tls_owner = this;
     for (;;) {
-        std::function<void()> task;
+        InlineFn task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });

@@ -23,13 +23,14 @@
 
 #include <condition_variable>
 #include <deque>
-#include <functional>
 #include <future>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "common/inline_fn.hh"
 
 namespace altoc {
 
@@ -57,16 +58,20 @@ class ThreadPool
     submit(F fn) -> std::future<std::invoke_result_t<F>>
     {
         using R = std::invoke_result_t<F>;
-        auto task =
-            std::make_shared<std::packaged_task<R()>>(std::move(fn));
-        std::future<R> result = task->get_future();
+        // The packaged_task is move-captured straight into the queued
+        // closure (a move-only InlineFn): one allocation total -- the
+        // task's shared state -- instead of the former shared_ptr
+        // wrapper plus std::function copy.
+        std::packaged_task<R()> task(std::move(fn));
+        std::future<R> result = task.get_future();
         if (workers_.empty() || onWorkerThread()) {
-            (*task)();
+            task();
             return result;
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            queue_.emplace_back([task] { (*task)(); });
+            queue_.emplace_back(
+                [t = std::move(task)]() mutable { t(); });
         }
         cv_.notify_one();
         return result;
@@ -96,7 +101,7 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<InlineFn> queue_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     bool stop_ = false;

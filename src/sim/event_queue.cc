@@ -1,8 +1,21 @@
 /**
  * @file
- * EventQueue implementation: a hand-rolled binary heap. We avoid
- * std::priority_queue so cancelled records can be skipped in place
- * and move-only callbacks popped without copies.
+ * EventQueue implementation: an indexed 4-ary min-heap over POD keys
+ * with callbacks parked in a generation-counted slot pool.
+ *
+ * Why 4-ary: sift paths are half as deep as a binary heap's and the
+ * four child keys share two cache lines, which wins on the
+ * pop-dominated access pattern of a drain loop. Sifts move a single
+ * 24-byte key into a "hole" instead of swapping records, and the
+ * closures themselves never move during sifts at all.
+ *
+ * Dead-entry policy: cancel() reclaims the slot immediately but
+ * leaves the heap key in place (removing an arbitrary key would be
+ * O(n) or need per-slot heap-index bookkeeping on every sift). Keys
+ * whose slot generation no longer matches are skipped when they
+ * surface; compact() sweeps them wholesale as soon as they exceed
+ * half the heap, so the heap never holds more than 2x size() + 1
+ * entries no matter how adversarial the cancellation pattern.
  */
 
 #include "sim/event_queue.hh"
@@ -13,42 +26,107 @@
 
 namespace altoc::sim {
 
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (freeHead_ != kNilSlot) {
+        const std::uint32_t slot = freeHead_;
+        freeHead_ = slots_[slot].nextFree;
+        return slot;
+    }
+    altoc_assert(slots_.size() < kNilSlot, "event slot pool exhausted");
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Slot &s = slots_[slot];
+    s.cb.reset();
+    s.live = false;
+    ++s.gen; // stale handles to this slot die here
+    s.nextFree = freeHead_;
+    freeHead_ = slot;
+}
+
 EventId
 EventQueue::schedule(Tick when, Callback cb)
 {
-    const EventId id = nextId_++;
-    heap_.push_back(Record{when, nextSeq_++, id, std::move(cb)});
+    const std::uint32_t slot = allocSlot();
+    Slot &s = slots_[slot];
+    s.cb = std::move(cb);
+    s.live = true;
+    heap_.push_back(Key{when, nextSeq_++, slot, s.gen});
     siftUp(heap_.size() - 1);
-    live_.insert(id);
-    return id;
+    ++liveCount_;
+    return makeId(slot, s.gen);
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    return live_.erase(id) > 0;
+    const std::uint32_t raw = static_cast<std::uint32_t>(id);
+    if (raw == 0)
+        return false;
+    const std::uint32_t slot = raw - 1;
+    const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= slots_.size())
+        return false;
+    Slot &s = slots_[slot];
+    if (!s.live || s.gen != gen)
+        return false;
+    freeSlot(slot);
+    --liveCount_;
+    ++deadInHeap_;
+    if (deadInHeap_ * 2 > heap_.size())
+        compact();
+    return true;
+}
+
+void
+EventQueue::compact()
+{
+    std::size_t out = 0;
+    for (const Key &k : heap_) {
+        if (keyAlive(k))
+            heap_[out++] = k;
+    }
+    heap_.resize(out);
+    deadInHeap_ = 0;
+    if (out < 2)
+        return;
+    for (std::size_t i = (out - 2) / 4 + 1; i-- > 0;)
+        siftDown(i);
+}
+
+void
+EventQueue::popTop()
+{
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
 }
 
 void
 EventQueue::skipDead()
 {
-    while (!heap_.empty() && !live_.count(heap_.front().id)) {
-        heap_.front() = std::move(heap_.back());
-        heap_.pop_back();
-        if (!heap_.empty())
-            siftDown(0);
+    while (!heap_.empty() && !keyAlive(heap_.front())) {
+        popTop();
+        --deadInHeap_;
     }
 }
 
 Tick
 EventQueue::nextTime() const
 {
-    Tick best = kTickInf;
-    if (!heap_.empty() && live_.count(heap_.front().id))
+    if (!heap_.empty() && keyAlive(heap_.front()))
         return heap_.front().when;
-    for (const auto &rec : heap_) {
-        if (rec.when < best && live_.count(rec.id))
-            best = rec.when;
+    Tick best = kTickInf;
+    for (const Key &k : heap_) {
+        if (k.when < best && keyAlive(k))
+            best = k.when;
     }
     return best;
 }
@@ -65,46 +143,55 @@ EventQueue::runOne()
 {
     skipDead();
     altoc_assert(!heap_.empty(), "runOne() on an empty event queue");
-    Record rec = std::move(heap_.front());
-    heap_.front() = std::move(heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty())
-        siftDown(0);
-    live_.erase(rec.id);
+    const Key top = heap_.front();
+    popTop();
+    // Move the closure out before freeing: the callback may schedule,
+    // growing slots_ and invalidating any reference into the pool. The
+    // slot is released first so cancel(own-id) inside the callback
+    // correctly reports "already fired".
+    Callback cb = std::move(slots_[top.slot].cb);
+    freeSlot(top.slot);
+    --liveCount_;
     ++executed_;
-    rec.cb();
-    return rec.when;
+    cb();
+    return top.when;
 }
 
 void
 EventQueue::siftUp(std::size_t i)
 {
+    const Key k = heap_[i];
     while (i > 0) {
-        std::size_t parent = (i - 1) / 2;
-        if (!(heap_[parent] > heap_[i]))
+        const std::size_t parent = (i - 1) / 4;
+        if (!keyLess(k, heap_[parent]))
             break;
-        std::swap(heap_[parent], heap_[i]);
+        heap_[i] = heap_[parent];
         i = parent;
     }
+    heap_[i] = k;
 }
 
 void
 EventQueue::siftDown(std::size_t i)
 {
     const std::size_t n = heap_.size();
+    const Key k = heap_[i];
     for (;;) {
-        std::size_t l = 2 * i + 1;
-        std::size_t r = l + 1;
-        std::size_t smallest = i;
-        if (l < n && heap_[smallest] > heap_[l])
-            smallest = l;
-        if (r < n && heap_[smallest] > heap_[r])
-            smallest = r;
-        if (smallest == i)
-            return;
-        std::swap(heap_[i], heap_[smallest]);
-        i = smallest;
+        const std::size_t first = 4 * i + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t last = first + 4 < n ? first + 4 : n;
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (keyLess(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!keyLess(heap_[best], k))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
     }
+    heap_[i] = k;
 }
 
 } // namespace altoc::sim

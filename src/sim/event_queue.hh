@@ -1,21 +1,36 @@
 /**
  * @file
- * Deterministic discrete-event queue.
+ * Deterministic discrete-event queue: the simulator's hot-path kernel.
  *
  * Events are ordered by (tick, sequence); the sequence counter breaks
  * ties in insertion order so simulations replay identically across
- * runs. The queue is a binary min-heap over small event records whose
- * callbacks are type-erased std::function objects.
+ * runs. Internals are built for zero steady-state allocation:
+ *
+ *  - callbacks are fixed-capacity InlineFn objects (no std::function,
+ *    no heap for captures) parked out-of-line in a slot pool, so the
+ *    heap sifts move 24-byte POD keys instead of fat closures;
+ *  - liveness is a generation-counted slot pool: EventId packs
+ *    (generation, slot), and alloc/cancel are O(1) pointer bumps on a
+ *    free list -- no hashing, no unordered_set;
+ *  - the priority queue is a 4-ary min-heap over (when, seq, slot,
+ *    gen) keys. Cancellation is lazy (the key stays until it
+ *    surfaces), but the queue compacts eagerly once dead keys exceed
+ *    half the heap, so mass-cancellation workloads (timeout-heavy
+ *    fault runs) cannot bloat it.
+ *
+ * A fired or cancelled slot bumps its generation, so stale handles
+ * held across a slot's reuse are rejected in O(1). (A single slot
+ * would need 2^32 reuses to alias a generation; no reachable
+ * workload gets close.)
  */
 
 #ifndef ALTOC_SIM_EVENT_QUEUE_HH
 #define ALTOC_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "common/inline_fn.hh"
 #include "common/units.hh"
 
 namespace altoc::sim {
@@ -27,13 +42,13 @@ using EventId = std::uint64_t;
 constexpr EventId kNoEvent = 0;
 
 /**
- * Binary-heap event queue with stable tie-breaking and O(1) amortized
- * lazy cancellation.
+ * 4-ary-heap event queue with stable tie-breaking, O(1)
+ * slot-pool-based cancellation and bounded dead-entry slack.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFn;
 
     EventQueue() = default;
 
@@ -41,18 +56,19 @@ class EventQueue
     EventId schedule(Tick when, Callback cb);
 
     /**
-     * Cancel a previously scheduled event. Cancellation is lazy: the
-     * record stays in the heap but its callback is dropped when it
-     * reaches the top. Cancelling an already-fired event is a no-op
-     * and returns false.
+     * Cancel a previously scheduled event. The slot is reclaimed
+     * immediately (O(1)); the heap key lingers until it surfaces at
+     * the top or a compaction sweeps it. Cancelling an already-fired
+     * or already-cancelled event is a no-op and returns false, even
+     * if the slot has since been reused (the generation differs).
      */
     bool cancel(EventId id);
 
     /** True if no live events remain. */
-    bool empty() const { return live_.empty(); }
+    bool empty() const { return liveCount_ == 0; }
 
     /** Number of live (non-cancelled, unfired) events. */
-    std::size_t size() const { return live_.size(); }
+    std::size_t size() const { return liveCount_; }
 
     /** Time of the earliest live event; kTickInf when empty. */
     Tick nextTime() const;
@@ -71,7 +87,8 @@ class EventQueue
     EventId
     peekId() const
     {
-        return heap_.empty() ? kNoEvent : heap_.front().id;
+        return heap_.empty() ? kNoEvent
+                             : makeId(heap_.front().slot, heap_.front().gen);
     }
 
     /**
@@ -83,29 +100,72 @@ class EventQueue
     /** Total events executed so far (for perf accounting). */
     std::uint64_t executed() const { return executed_; }
 
+    /** Heap keys currently held, live + not-yet-swept dead (test and
+     *  bench introspection; bounded at < 2x size() + 1). */
+    std::size_t heapEntries() const { return heap_.size(); }
+
+    /** High-water slot-pool size (test and bench introspection). */
+    std::size_t slotCapacity() const { return slots_.size(); }
+
   private:
-    struct Record
+    /** Heap element: a POD sort key pointing into the slot pool. */
+    struct Key
     {
         Tick when;
         std::uint64_t seq;
-        EventId id;
-        Callback cb;
-
-        bool
-        operator>(const Record &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
+    /** Pool entry owning the callback of one scheduled event. */
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t gen = 0;
+        std::uint32_t nextFree = kNilSlot;
+        bool live = false;
+    };
+
+    static constexpr std::uint32_t kNilSlot = ~std::uint32_t{0};
+
+    /** (when, seq) lexicographic order; seq is unique, so this is a
+     *  total order and the dispatch sequence is bit-reproducible. */
+    static bool
+    keyLess(const Key &a, const Key &b)
+    {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
+
+    /** Slot indices are offset by one so kNoEvent (0) is never a
+     *  valid id even for slot 0, generation 0. */
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(gen) << 32) |
+               static_cast<EventId>(slot + 1);
+    }
+
+    bool
+    keyAlive(const Key &k) const
+    {
+        const Slot &s = slots_[k.slot];
+        return s.live && s.gen == k.gen;
+    }
+
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t slot);
     void siftUp(std::size_t i);
     void siftDown(std::size_t i);
+    void popTop();
     void skipDead();
+    void compact();
 
-    std::vector<Record> heap_;
-    std::unordered_set<EventId> live_;
+    std::vector<Key> heap_;
+    std::vector<Slot> slots_;
+    std::uint32_t freeHead_ = kNilSlot;
+    std::size_t liveCount_ = 0;
+    std::size_t deadInHeap_ = 0;
     std::uint64_t nextSeq_ = 1;
-    std::uint64_t nextId_ = 1;
     std::uint64_t executed_ = 0;
 };
 

@@ -6,6 +6,11 @@
  * schedule work. run() executes until the queue drains or a limit is
  * reached. Simulated time is monotone: scheduling in the past is a
  * library bug and panics.
+ *
+ * Callbacks are EventQueue::Callback (an InlineFn): closures convert
+ * implicitly at the call site but must fit the 48-byte inline budget
+ * -- oversized captures are a compile error, not a hidden heap
+ * allocation. See common/inline_fn.hh.
  */
 
 #ifndef ALTOC_SIM_SIMULATOR_HH
