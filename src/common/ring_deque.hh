@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Growable ring-buffer deque for the descriptor hot path.
+ *
+ * std::deque's segmented map costs an indirection (and, on libstdc++,
+ * a 512-byte node allocation) per block; every simulated request
+ * crosses at least one request queue, so the queues sit squarely on
+ * the per-RPC hot loop. RingDeque stores elements contiguously in a
+ * power-of-two ring: push/pop at either end are an index mask and a
+ * store, length is a cached field, and once the ring has grown to the
+ * workload's high-water mark it never allocates again.
+ *
+ * Growth copies the (at most a few thousand) element slots into a
+ * ring of twice the capacity — the elements themselves are moved, so
+ * a RingDeque<Rpc *> relocates only pointers and the descriptors they
+ * point at stay put (pointer stability, relied on by everything that
+ * holds an Rpc* across queue operations).
+ *
+ * Intentionally minimal: exactly the operations the request queues
+ * need (FIFO head, migration tail, hand-back front-push), no
+ * iterators, no exceptions on underflow — callers check empty()
+ * first, mirroring the previous std::deque usage.
+ */
+
+#ifndef ALTOC_COMMON_RING_DEQUE_HH
+#define ALTOC_COMMON_RING_DEQUE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace altoc {
+
+template <typename T>
+class RingDeque
+{
+  public:
+    RingDeque() = default;
+
+    /** Grow capacity to hold at least @p n elements without further
+     *  allocation. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > capacity())
+            regrow(n);
+    }
+
+    void
+    push_back(T v)
+    {
+        if (size_ == capacity())
+            regrow(size_ + 1);
+        buf_[(head_ + size_) & mask_] = std::move(v);
+        ++size_;
+    }
+
+    void
+    push_front(T v)
+    {
+        if (size_ == capacity())
+            regrow(size_ + 1);
+        head_ = (head_ - 1) & mask_;
+        buf_[head_] = std::move(v);
+        ++size_;
+    }
+
+    /** Remove and return the head. Undefined when empty. */
+    T
+    pop_front()
+    {
+        altoc_assert(size_ > 0, "pop_front on empty RingDeque");
+        T v = std::move(buf_[head_]);
+        head_ = (head_ + 1) & mask_;
+        --size_;
+        return v;
+    }
+
+    /** Remove and return the tail. Undefined when empty. */
+    T
+    pop_back()
+    {
+        altoc_assert(size_ > 0, "pop_back on empty RingDeque");
+        --size_;
+        return std::move(buf_[(head_ + size_) & mask_]);
+    }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+    T &back() { return buf_[(head_ + size_ - 1) & mask_]; }
+    const T &back() const { return buf_[(head_ + size_ - 1) & mask_]; }
+
+    /** The i-th element from the head (0 = front). */
+    T &operator[](std::size_t i) { return buf_[(head_ + i) & mask_]; }
+    const T &
+    operator[](std::size_t i) const
+    {
+        return buf_[(head_ + i) & mask_];
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return buf_.size(); }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    /** Reallocate to the next power of two >= max(need, 2 * cap). */
+    void
+    regrow(std::size_t need)
+    {
+        std::size_t cap = buf_.empty() ? kInitialCapacity : buf_.size();
+        while (cap < need)
+            cap *= 2;
+        std::vector<T> fresh(cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            fresh[i] = std::move(buf_[(head_ + i) & mask_]);
+        buf_ = std::move(fresh);
+        head_ = 0;
+        mask_ = cap - 1;
+    }
+
+    static constexpr std::size_t kInitialCapacity = 16;
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace altoc
+
+#endif // ALTOC_COMMON_RING_DEQUE_HH

@@ -6,6 +6,7 @@
 #include "core/group.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 #include "core/invariants.hh"
@@ -29,6 +30,8 @@ GroupScheduler::GroupScheduler(const Config &cfg)
     altoc_assert(cfg.workersPerGroup >= 1,
                  "each group needs at least one worker");
     altoc_assert(cfg.localDepth >= 1, "local depth must be at least 1");
+    idleMaskUsable_ =
+        cfg_.localDepth == 1 && cfg_.workersPerGroup <= 64;
     model_ = std::make_unique<ThresholdModel>(
         cfg.workersPerGroup, cfg.params.sloFactor,
         defaultConstants(cfg.distName));
@@ -76,6 +79,9 @@ GroupScheduler::onAttach()
             coreGroup_[base + 1 + w] = g;
         }
         grp.occupancy.assign(cfg_.workersPerGroup, 0);
+        grp.idleMask = cfg_.workersPerGroup >= 64
+                           ? ~std::uint64_t{0}
+                           : (std::uint64_t{1} << cfg_.workersPerGroup) - 1;
         grp.local.assign(cfg_.workersPerGroup, {});
         grp.qView.assign(cfg_.numGroups, 0);
         grp.estimator.emplace(cfg_.meanService);
@@ -158,6 +164,14 @@ GroupScheduler::messagingStats() const
 int
 GroupScheduler::pickWorker(const Group &grp) const
 {
+    if (idleMaskUsable_) {
+        // localDepth == 1: only idle workers qualify, and the scan
+        // would return the lowest-indexed one -- identical to the
+        // lowest set bit of the idle mask.
+        return grp.idleMask == 0
+                   ? -1
+                   : static_cast<int>(std::countr_zero(grp.idleMask));
+    }
     int best = -1;
     unsigned best_occ = cfg_.localDepth;
     for (unsigned w = 0; w < grp.occupancy.size(); ++w) {
@@ -191,7 +205,7 @@ GroupScheduler::pumpInt(unsigned g)
         if (w < 0)
             return;
         net::Rpc *r = grp.rx.dequeueHead();
-        ++grp.occupancy[static_cast<unsigned>(w)];
+        occupancyInc(grp, static_cast<unsigned>(w));
         const unsigned mgr_tile = ctx_.cores[grp.managerCore]->tile();
         const unsigned wrk_tile =
             ctx_.cores[grp.workerCores[static_cast<unsigned>(w)]]->tile();
@@ -228,7 +242,7 @@ GroupScheduler::finishRssDispatch(unsigned g)
     const int w = pickWorker(grp);
     net::Rpc *r = grp.rx.dequeueHead();
     if (r != nullptr && w >= 0) {
-        ++grp.occupancy[static_cast<unsigned>(w)];
+        occupancyInc(grp, static_cast<unsigned>(w));
         arriveWorker(g, static_cast<unsigned>(w), r);
     } else if (r != nullptr) {
         grp.rx.pushFront(r);
@@ -279,7 +293,7 @@ GroupScheduler::onCompletion(cpu::Core &core, net::Rpc *r)
                                                  "group %u",
                                                  w, g)));
     altoc_assert(grp.occupancy[w] > 0, "occupancy underflow");
-    --grp.occupancy[w];
+    occupancyDec(grp, w);
     sink_->onRpcDone(core, r);
     tryRunWorker(g, w);
     pump(g);
@@ -310,7 +324,7 @@ GroupScheduler::onPreempt(cpu::Core &core, net::Rpc *r)
                                                  "group %u",
                                                  w, g)));
     altoc_assert(grp.occupancy[w] > 0, "occupancy underflow");
-    --grp.occupancy[w];
+    occupancyDec(grp, w);
     r->remaining += cfg_.preemptCost;
     grp.rx.enqueue(r, ctx_.sim->now());
     tryRunWorker(g, w);
@@ -377,17 +391,17 @@ GroupScheduler::runtimeTick(unsigned g)
     // so neither the decision loop nor the auditor's replay of it
     // can route work toward them.
     const std::vector<std::size_t> *view = &grp.qView;
-    std::vector<std::size_t> maskedView;
     if (hardened()) {
-        maskedView = grp.qView;
+        maskedScratch_.assign(grp.qView.begin(), grp.qView.end());
         for (unsigned d = 0; d < cfg_.numGroups; ++d) {
             if (d != g && peerMasked(grp, d))
-                maskedView[d] = kQuarantineMask;
+                maskedScratch_[d] = kQuarantineMask;
         }
-        view = &maskedView;
+        view = &maskedScratch_;
     }
-    const RuntimeDecision dec =
-        decideMigrations(*view, g, threshold, cfg_.params);
+    RuntimeDecision &dec = decisionScratch_;
+    decideMigrationsInto(*view, g, threshold, cfg_.params,
+                         runtimeScratch_, dec);
     ALTOC_AUDIT_HOOK(audit_, checkDecision(*view, g, dec));
     patternCounts_[static_cast<std::size_t>(dec.pattern)] += 1;
 
@@ -398,11 +412,12 @@ GroupScheduler::runtimeTick(unsigned g)
         const unsigned cap = std::min(md.count, msg_->sendCapacity(g));
         if (cap == 0)
             continue;
-        std::vector<net::Rpc *> batch = collectFromTail(g, cap, threshold);
+        const std::vector<net::Rpc *> &batch =
+            collectFromTail(g, cap, threshold);
         if (batch.empty())
             continue;
         const unsigned n = static_cast<unsigned>(batch.size());
-        if (msg_->sendMigrate(g, md.dst, std::move(batch))) {
+        if (msg_->sendMigrate(g, md.dst, batch)) {
             ++sent;
             reqsMigrated_ += n;
         }
@@ -433,13 +448,15 @@ GroupScheduler::runtimeTick(unsigned g)
                     [this, g] { runtimeTick(g); });
 }
 
-std::vector<net::Rpc *>
+const std::vector<net::Rpc *> &
 GroupScheduler::collectFromTail(unsigned g, unsigned count,
                                 unsigned threshold)
 {
     Group &grp = groups_[g];
-    std::vector<net::Rpc *> batch;
-    std::vector<net::Rpc *> skipped;
+    std::vector<net::Rpc *> &batch = batchScratch_;
+    std::vector<net::Rpc *> &skipped = skipScratch_;
+    batch.clear();
+    skipped.clear();
     while (batch.size() < count) {
         const std::size_t pos = grp.rx.length();
         net::Rpc *r = grp.rx.dequeueTail();

@@ -29,13 +29,12 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/ring_deque.hh"
 #include "core/hw_messaging.hh"
 #include "core/params.hh"
 #include "core/prediction.hh"
@@ -189,8 +188,12 @@ class GroupScheduler : public sched::Scheduler
         net::NetRxQueue rx;
         /** Outstanding (running + queued + in flight) per worker. */
         std::vector<unsigned> occupancy;
+        /** Bit w set iff occupancy[w] == 0; maintained (and used by
+         *  pickWorker) when localDepth == 1 and the group fits in 64
+         *  bits, turning worker selection into a countr_zero. */
+        std::uint64_t idleMask = 0;
         /** Worker-local queues (depth-bounded). */
-        std::vector<std::deque<net::Rpc *>> local;
+        std::vector<RingDeque<net::Rpc *>> local;
         /** Synchronized queue-length view (Algorithm 1's q). */
         std::vector<std::size_t> qView;
         /** Next time the manager core is free (Rss variant). */
@@ -216,12 +219,30 @@ class GroupScheduler : public sched::Scheduler
     /** Pick the least-occupied worker with room; -1 if none. */
     int pickWorker(const Group &grp) const;
 
+    /** Occupancy updates route through these so idleMask stays
+     *  coherent with occupancy[w]. */
+    void
+    occupancyInc(Group &grp, unsigned w)
+    {
+        if (++grp.occupancy[w] == 1 && idleMaskUsable_)
+            grp.idleMask &= ~(std::uint64_t{1} << w);
+    }
+    void
+    occupancyDec(Group &grp, unsigned w)
+    {
+        if (--grp.occupancy[w] == 0 && idleMaskUsable_)
+            grp.idleMask |= std::uint64_t{1} << w;
+    }
+
     /** Periodic Algorithm 1 invocation for manager @p g. */
     void runtimeTick(unsigned g);
 
-    /** Collect up to @p count migratable requests from the RX tail. */
-    std::vector<net::Rpc *> collectFromTail(unsigned g, unsigned count,
-                                            unsigned threshold);
+    /** Collect up to @p count migratable requests from the RX tail
+     *  into batchScratch_; the returned reference is valid until the
+     *  next collectFromTail() call. */
+    const std::vector<net::Rpc *> &collectFromTail(unsigned g,
+                                                   unsigned count,
+                                                   unsigned threshold);
 
     /** Hardware messaging callbacks. */
     void onMigrateIn(unsigned g, const std::vector<net::Rpc *> &reqs);
@@ -251,6 +272,8 @@ class GroupScheduler : public sched::Scheduler
     void peerSuccess(unsigned g, unsigned dst);
 
     Config cfg_;
+    /** pickWorker may use Group::idleMask (see there). */
+    bool idleMaskUsable_ = false;
     /** Concrete view of ctx_.auditor for the scheduler-level checks
      *  (set at attach in audit builds; null otherwise). */
     InvariantAuditor *audit_ = nullptr;
@@ -266,6 +289,16 @@ class GroupScheduler : public sched::Scheduler
     std::uint64_t peersQuarantined_ = 0;
     std::array<std::uint64_t, 4> patternCounts_{};
     unsigned lastThreshold_ = 0;
+
+    /** Per-period working storage, reused across ticks so a warm
+     *  runtime invocation performs no heap allocation. The simulation
+     *  is single-threaded and each tick fully consumes these before
+     *  returning, so one set is shared by all managers. */
+    std::vector<net::Rpc *> batchScratch_;
+    std::vector<net::Rpc *> skipScratch_;
+    std::vector<std::size_t> maskedScratch_;
+    RuntimeScratch runtimeScratch_;
+    RuntimeDecision decisionScratch_;
 };
 
 } // namespace altoc::core

@@ -54,6 +54,12 @@ HwMessaging::HwMessaging(sim::Simulator &sim, noc::Mesh &mesh,
     altoc_assert(!tiles_.empty(), "messaging needs at least one manager");
     boxes_.assign(tiles_.size(), Mailbox{});
     updates_.assign(tiles_.size() * tiles_.size(), UpdateChannel{});
+    // Concurrency cap of the hardware protocol: each outstanding
+    // MIGRATE stages at least one MR entry at its source, so the
+    // table can never exceed managers x MR entries live slots.
+    // (Software mode is unbounded; the pool then grows on demand.)
+    slots_.reserve(static_cast<std::size_t>(tiles_.size()) *
+                   cfg_.mrEntries);
 }
 
 std::uint32_t
@@ -111,9 +117,80 @@ HwMessaging::sendCapacity(unsigned mgr) const
     return std::min(freeMrEntries(mgr), fifo_free);
 }
 
+HwMessaging::Pending &
+HwMessaging::allocPending(std::uint64_t &seq_out)
+{
+    std::uint32_t slot;
+    if (freeHead_ != kNilSlot) {
+        slot = freeHead_;
+        freeHead_ = slots_[slot].nextFree;
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &s = slots_[slot];
+    s.live = true;
+    ++liveOutstanding_;
+    Pending &p = s.p;
+    p.src = 0;
+    p.dst = 0;
+    p.attempt = 0;
+    p.count = 0;
+    p.state = PendingState::InFlight;
+    p.fifoDrained = false;
+    p.reqs.clear(); // keeps the slot's retained capacity
+    p.timeout = sim::kNoEvent;
+    if (p.reqs.capacity() == 0 && !batchPool_.empty()) {
+        p.reqs = std::move(batchPool_.back());
+        batchPool_.pop_back();
+    }
+    seq_out = (static_cast<std::uint64_t>(s.gen) << 32) | (slot + 1);
+    return p;
+}
+
+HwMessaging::Pending *
+HwMessaging::findPending(std::uint64_t seq)
+{
+    const auto idx = static_cast<std::uint32_t>(seq & 0xffffffffu);
+    if (idx == 0)
+        return nullptr;
+    const std::uint32_t slot = idx - 1;
+    const auto gen = static_cast<std::uint32_t>(seq >> 32);
+    if (slot >= slots_.size())
+        return nullptr;
+    Slot &s = slots_[slot];
+    if (!s.live || s.gen != gen)
+        return nullptr;
+    return &s.p;
+}
+
+void
+HwMessaging::freePending(std::uint64_t seq)
+{
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(seq & 0xffffffffu) - 1;
+    Slot &s = slots_[slot];
+    altoc_assert(s.live, "freeing a dead pending slot");
+    s.live = false;
+    ++s.gen; // every outstanding handle to this slot is now stale
+    s.nextFree = freeHead_;
+    freeHead_ = slot;
+    --liveOutstanding_;
+}
+
+void
+HwMessaging::recycleBatch(std::vector<net::Rpc *> &&batch)
+{
+    if (batch.capacity() == 0 || batchPool_.size() >= kBatchPoolCap)
+        return;
+    batch.clear();
+    batchPool_.push_back(std::move(batch));
+}
+
 bool
 HwMessaging::sendMigrate(unsigned src, unsigned dst,
-                         std::vector<net::Rpc *> reqs, unsigned attempt)
+                         const std::vector<net::Rpc *> &reqs,
+                         unsigned attempt)
 {
     altoc_assert(src < boxes_.size() && dst < boxes_.size(),
                  "manager id out of range");
@@ -134,13 +211,13 @@ HwMessaging::sendMigrate(unsigned src, unsigned dst,
     ++stats_.migratesSent;
     stats_.descriptorsSent += n;
 
-    const std::uint64_t seq = nextSeq_++;
-    Pending &p = pending_[seq];
+    std::uint64_t seq = 0;
+    Pending &p = allocPending(seq);
     p.src = src;
     p.dst = dst;
     p.attempt = attempt;
     p.count = n;
-    p.reqs = std::move(reqs);
+    p.reqs.assign(reqs.begin(), reqs.end());
 
     // Source-side controller + migrator time, then NoC transit.
     const Tick local = hw::kControllerNs +
@@ -176,13 +253,13 @@ HwMessaging::sendMigrate(unsigned src, unsigned dst,
 void
 HwMessaging::drainSendFifo(std::uint64_t seq)
 {
-    auto it = pending_.find(seq);
-    if (it == pending_.end() || it->second.fifoDrained)
+    Pending *p = findPending(seq);
+    if (p == nullptr || p->fifoDrained)
         return;
-    it->second.fifoDrained = true;
+    p->fifoDrained = true;
     if (cfg_.hardware) {
-        Mailbox &box = boxes_[it->second.src];
-        box.sendFifoUsed -= std::min(box.sendFifoUsed, it->second.count);
+        Mailbox &box = boxes_[p->src];
+        box.sendFifoUsed -= std::min(box.sendFifoUsed, p->count);
     }
 }
 
@@ -198,15 +275,14 @@ HwMessaging::releaseStaging(const Pending &p)
 void
 HwMessaging::deliverMigrate(std::uint64_t seq)
 {
-    auto it = pending_.find(seq);
-    if (it == pending_.end() ||
-        it->second.state != PendingState::InFlight) {
+    Pending *pp = findPending(seq);
+    if (pp == nullptr || pp->state != PendingState::InFlight) {
         // Duplicate copy, or the timeout already resolved this
         // exchange: a single delivery must remain a single delivery.
         ++stats_.staleMigratesDiscarded;
         return;
     }
-    Pending &p = it->second;
+    Pending &p = *pp;
     const unsigned src = p.src;
     const unsigned dst = p.dst;
     const unsigned n = p.count;
@@ -270,7 +346,7 @@ HwMessaging::deliverMigrate(std::uint64_t seq)
     // budget: this + seq + vector + 2x uint16 = 44 bytes.
     sim_.after(drain, [this, seq, batch = std::move(batch),
                        src16 = static_cast<std::uint16_t>(src),
-                       dst16 = static_cast<std::uint16_t>(dst)] {
+                       dst16 = static_cast<std::uint16_t>(dst)]() mutable {
         const unsigned src = src16;
         const unsigned dst = dst16;
         const unsigned n = static_cast<unsigned>(batch.size());
@@ -302,68 +378,83 @@ HwMessaging::deliverMigrate(std::uint64_t seq)
                        [this, seq] { deliverAck(seq); });
             break;
         }
+        // The drained batch buffer goes back to the pool so the next
+        // MIGRATE reuses its capacity instead of allocating.
+        recycleBatch(std::move(batch));
     });
 }
 
 void
 HwMessaging::deliverAck(std::uint64_t seq)
 {
-    auto it = pending_.find(seq);
-    if (it == pending_.end() ||
-        it->second.state != PendingState::Delivered) {
+    Pending *p = findPending(seq);
+    if (p == nullptr || p->state != PendingState::Delivered) {
         ++stats_.staleMigratesDiscarded;
         return;
     }
-    Pending p = std::move(it->second);
-    pending_.erase(it);
-    if (p.timeout != sim::kNoEvent)
-        sim_.cancel(p.timeout);
+    if (p->timeout != sim::kNoEvent)
+        sim_.cancel(p->timeout);
     // ACK invalidates the staged MR entries at the source.
-    releaseStaging(p);
+    releaseStaging(*p);
+    const unsigned src = p->src;
+    const unsigned dst = p->dst;
+    const unsigned n = p->count;
+    freePending(seq);
     ++stats_.migratesAcked;
     if (ackFn_)
-        ackFn_(p.src, p.dst, p.count);
+        ackFn_(src, dst, n);
 }
 
 void
 HwMessaging::deliverNack(std::uint64_t seq)
 {
-    auto it = pending_.find(seq);
-    if (it == pending_.end() ||
-        it->second.state != PendingState::NackInFlight) {
+    Pending *p = findPending(seq);
+    if (p == nullptr || p->state != PendingState::NackInFlight) {
         ++stats_.staleMigratesDiscarded;
         return;
     }
-    Pending p = std::move(it->second);
-    pending_.erase(it);
-    if (p.timeout != sim::kNoEvent)
-        sim_.cancel(p.timeout);
-    releaseStaging(p);
-    stats_.descriptorsReturned += p.reqs.size();
+    if (p->timeout != sim::kNoEvent)
+        sim_.cancel(p->timeout);
+    releaseStaging(*p);
+    stats_.descriptorsReturned += p->reqs.size();
+    const unsigned src = p->src;
+    const unsigned dst = p->dst;
+    // Swap the batch into the return-staging buffer so the slot can
+    // retire (and be reused by anything the callback triggers)
+    // before the callback observes the descriptors. The swap trades
+    // vector capacities, so neither side allocates.
+    std::swap(returnScratch_, p->reqs);
+    freePending(seq);
     if (returnFn_)
-        returnFn_(p.src, p.dst, p.reqs);
+        returnFn_(src, dst, returnScratch_);
 }
 
 void
 HwMessaging::onAckTimeout(std::uint64_t seq)
 {
-    auto it = pending_.find(seq);
-    if (it == pending_.end())
+    Pending *p = findPending(seq);
+    if (p == nullptr)
         return;
-    Pending p = std::move(it->second);
-    pending_.erase(it);
     // A never-delivered message still occupies its send-FIFO slots;
     // the timeout is what finally invalidates them.
-    if (!p.fifoDrained && cfg_.hardware) {
-        Mailbox &box = boxes_[p.src];
-        box.sendFifoUsed -= std::min(box.sendFifoUsed, p.count);
+    if (!p->fifoDrained && cfg_.hardware) {
+        Mailbox &box = boxes_[p->src];
+        box.sendFifoUsed -= std::min(box.sendFifoUsed, p->count);
     }
-    releaseStaging(p);
+    releaseStaging(*p);
     ++stats_.migratesTimedOut;
-    // p.reqs is empty when state reached Delivered: the batch lives
-    // at the destination and must not be reclaimed here.
+    // The reclaimed batch is empty when state reached Delivered: the
+    // requests live at the destination and must not be reclaimed
+    // here. Timeouts only fire under fault injection, so moving the
+    // vector out (and the allocation that implies later) is off the
+    // pristine hot path.
+    std::vector<net::Rpc *> reqs = std::move(p->reqs);
+    const unsigned src = p->src;
+    const unsigned dst = p->dst;
+    const unsigned attempt = p->attempt;
+    freePending(seq);
     if (timeoutFn_)
-        timeoutFn_(p.src, p.dst, std::move(p.reqs), p.attempt);
+        timeoutFn_(src, dst, std::move(reqs), attempt);
 }
 
 void

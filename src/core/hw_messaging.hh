@@ -36,10 +36,9 @@
 #define ALTOC_CORE_HW_MESSAGING_HH
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/inline_fn.hh"
 #include "common/units.hh"
 #include "core/params.hh"
 #include "net/rpc.hh"
@@ -86,16 +85,16 @@ class HwMessaging
     };
 
     /** Migrated descriptors arrived at manager @p mgr. */
-    using MigrateInFn =
-        std::function<void(unsigned mgr, const std::vector<net::Rpc *> &)>;
+    using MigrateInFn = InlineFunction<void(
+        unsigned mgr, const std::vector<net::Rpc *> &)>;
 
     /** Manager @p mgr learned manager @p src has queue length @p q. */
     using UpdateFn =
-        std::function<void(unsigned mgr, unsigned src, std::size_t q)>;
+        InlineFunction<void(unsigned mgr, unsigned src, std::size_t q)>;
 
     /** A MIGRATE from @p mgr to @p dst was NACKed and returned its
      *  descriptors to the source. */
-    using ReturnFn = std::function<void(
+    using ReturnFn = InlineFunction<void(
         unsigned mgr, unsigned dst, const std::vector<net::Rpc *> &)>;
 
     /**
@@ -105,14 +104,14 @@ class HwMessaging
      * batch was delivered but the ACK was lost -- the requests then
      * live at the destination and only the failure signal remains.
      */
-    using TimeoutFn = std::function<void(unsigned src, unsigned dst,
-                                         std::vector<net::Rpc *> reqs,
-                                         unsigned attempt)>;
+    using TimeoutFn = InlineFunction<void(unsigned src, unsigned dst,
+                                          std::vector<net::Rpc *> reqs,
+                                          unsigned attempt)>;
 
     /** The ACK for a MIGRATE of @p n descriptors from @p src to
      *  @p dst arrived back at the source. */
     using AckFn =
-        std::function<void(unsigned src, unsigned dst, std::size_t n)>;
+        InlineFunction<void(unsigned src, unsigned dst, std::size_t n)>;
 
     /**
      * @param sim           simulation engine
@@ -133,13 +132,16 @@ class HwMessaging
 
     /**
      * Issue a MIGRATE carrying @p reqs from manager @p src to
-     * manager @p dst. Returns false (and touches nothing) when the
-     * source lacks free MR staging entries or send-FIFO slots; the
-     * caller keeps ownership of the requests in that case.
+     * manager @p dst. The descriptors are copied into the table's
+     * (capacity-recycled) staging batch; the caller's vector is
+     * untouched and reusable. Returns false (and touches nothing)
+     * when the source lacks free MR staging entries or send-FIFO
+     * slots; the caller then still owns the requests.
      * @p attempt tags retries of a timed-out batch (0 = original).
      */
     bool sendMigrate(unsigned src, unsigned dst,
-                     std::vector<net::Rpc *> reqs, unsigned attempt = 0);
+                     const std::vector<net::Rpc *> &reqs,
+                     unsigned attempt = 0);
 
     /**
      * Broadcast manager @p src's queue length to all others.
@@ -161,7 +163,7 @@ class HwMessaging
     unsigned sendCapacity(unsigned mgr) const;
 
     /** MIGRATE exchanges currently outstanding (protocol in flight). */
-    std::size_t outstanding() const { return pending_.size(); }
+    std::size_t outstanding() const { return liveOutstanding_; }
 
     const MessagingStats &stats() const { return stats_; }
 
@@ -225,6 +227,42 @@ class HwMessaging
         sim::EventId timeout = sim::kNoEvent;
     };
 
+    /**
+     * One slot of the outstanding-MIGRATE table. The table is a flat
+     * generation-counted slot pool (the event queue's idiom): a seq
+     * handle encodes (generation << 32 | slot + 1), so resolving a
+     * protocol leg is an array index plus a generation compare
+     * instead of a hash lookup, freeing a slot is an O(1) free-list
+     * push, and a freed slot's bumped generation makes every stale
+     * handle miss -- exactly the discard semantics the hardened
+     * protocol needs. Slot reuse keeps the batch vector's capacity,
+     * so steady-state migrations allocate nothing.
+     */
+    struct Slot
+    {
+        Pending p;
+        std::uint32_t gen = 0;
+        std::uint32_t nextFree = kNilSlot;
+        bool live = false;
+    };
+
+    static constexpr std::uint32_t kNilSlot = ~std::uint32_t{0};
+
+    /** Largest number of recycled batch buffers kept around. */
+    static constexpr std::size_t kBatchPoolCap = 64;
+
+    /** Allocate a pending slot; @p seq_out receives its handle. */
+    Pending &allocPending(std::uint64_t &seq_out);
+
+    /** Resolve @p seq, or null for a stale/unknown handle. */
+    Pending *findPending(std::uint64_t seq);
+
+    /** Retire @p seq's slot (keeps the batch vector's capacity). */
+    void freePending(std::uint64_t seq);
+
+    /** Return a drained batch buffer to the reuse pool. */
+    void recycleBatch(std::vector<net::Rpc *> &&batch);
+
     /** Wire size of a MIGRATE with @p n descriptors. */
     static std::uint32_t migrateBytes(std::size_t n);
 
@@ -255,8 +293,14 @@ class HwMessaging
     std::vector<Mailbox> boxes_;
     /** updates_[src * numManagers + dst] */
     std::vector<UpdateChannel> updates_;
-    std::unordered_map<std::uint64_t, Pending> pending_;
-    std::uint64_t nextSeq_ = 0;
+    std::vector<Slot> slots_;
+    std::uint32_t freeHead_ = kNilSlot;
+    std::size_t liveOutstanding_ = 0;
+    /** Recycled batch buffers (vector-capacity reuse). */
+    std::vector<std::vector<net::Rpc *>> batchPool_;
+    /** NACK-return staging: the batch swaps out here so the slot can
+     *  retire before the return callback runs. */
+    std::vector<net::Rpc *> returnScratch_;
     sim::FaultInjector *faults_ = nullptr;
     MigrateInFn migrateIn_;
     UpdateFn update_;

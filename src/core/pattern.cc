@@ -33,13 +33,28 @@ classifyPattern(const std::vector<std::size_t> &q, std::size_t bulk,
                 unsigned concurrency)
 {
     PatternResult res;
+    std::vector<unsigned> rank;
+    classifyPatternInto(q, bulk, concurrency, rank, res);
+    return res;
+}
+
+void
+classifyPatternInto(const std::vector<std::size_t> &q, std::size_t bulk,
+                    unsigned concurrency,
+                    std::vector<unsigned> &rank_scratch,
+                    PatternResult &out)
+{
+    PatternResult &res = out;
+    res.pattern = Pattern::None;
+    res.plans.clear(); // keeps capacity across periods
     const std::size_t n = q.size();
     if (n < 2 || bulk == 0)
-        return res;
+        return;
 
     // Rank managers by queue length, longest first. Ties break on the
     // index so every manager computes the identical ranking.
-    std::vector<unsigned> rank(n);
+    std::vector<unsigned> &rank = rank_scratch;
+    rank.resize(n);
     std::iota(rank.begin(), rank.end(), 0u);
     std::sort(rank.begin(), rank.end(), [&q](unsigned x, unsigned y) {
         return q[x] != q[y] ? q[x] > q[y] : x < y;
@@ -62,7 +77,7 @@ classifyPattern(const std::vector<std::size_t> &q, std::size_t bulk,
                 continue;
             res.plans.push_back({longest, dst});
         }
-        return res;
+        return;
     }
 
     if (q[shortest] + bulk <= q[second_shortest]) {
@@ -73,7 +88,7 @@ classifyPattern(const std::vector<std::size_t> &q, std::size_t bulk,
             if (src != shortest)
                 res.plans.push_back({src, shortest});
         }
-        return res;
+        return;
     }
 
     if (q[longest] >= q[shortest] + bulk) {
@@ -91,10 +106,10 @@ classifyPattern(const std::vector<std::size_t> &q, std::size_t bulk,
         }
         if (res.plans.empty())
             res.pattern = Pattern::None;
-        return res;
+        return;
     }
 
-    return res;
+    return;
 }
 
 } // namespace altoc::core

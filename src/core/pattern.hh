@@ -66,6 +66,17 @@ struct PatternResult
 PatternResult classifyPattern(const std::vector<std::size_t> &q,
                               std::size_t bulk, unsigned concurrency);
 
+/**
+ * Allocation-free form of classifyPattern() for the per-period
+ * runtime tick: the ranking scratch and the result (and its plans
+ * vector) are caller-owned and reused across invocations, so a warm
+ * runtime never allocates here.
+ */
+void classifyPatternInto(const std::vector<std::size_t> &q,
+                         std::size_t bulk, unsigned concurrency,
+                         std::vector<unsigned> &rank_scratch,
+                         PatternResult &out);
+
 } // namespace altoc::core
 
 #endif // ALTOC_CORE_PATTERN_HH

@@ -32,12 +32,31 @@ defaultConstants(const std::string &dist_name)
     return ModelConstants{};
 }
 
+namespace {
+
+/** Memo-table resolution: grid points over [0, k). Thresholds for
+ *  realistic (k, L) span at most a few dozen distinct values, so at
+ *  2048 cells nearly every cell has equal endpoints and resolves
+ *  without an Erlang solve. */
+constexpr std::size_t kMemoPoints = 2048;
+
+} // namespace
+
 ThresholdModel::ThresholdModel(unsigned k, double l_factor,
                                ModelConstants consts)
     : k_(k), lFactor_(l_factor), consts_(consts)
 {
     altoc_assert(k > 0, "threshold model needs at least one worker");
     altoc_assert(l_factor > 1.0, "SLO factor must exceed 1");
+
+    // Build the quantized-load table. Eq. 2 clamps the load to
+    // k - 1e-6, so beyond memoMax_ the threshold is a constant.
+    memoMax_ = static_cast<double>(k_) - 1e-6;
+    memoStep_ = memoMax_ / static_cast<double>(kMemoPoints);
+    memo_.resize(kMemoPoints + 1);
+    for (std::size_t i = 0; i <= kMemoPoints; ++i)
+        memo_[i] = solveThreshold(static_cast<double>(i) * memoStep_);
+    satThreshold_ = solveThreshold(memoMax_);
 }
 
 double
@@ -52,12 +71,38 @@ ThresholdModel::expectedThreshold(double a) const
 }
 
 unsigned
-ThresholdModel::threshold(double a) const
+ThresholdModel::solveThreshold(double a) const
 {
     const double t = expectedThreshold(a);
     const double upper = static_cast<double>(upperBound());
     const double clamped = std::clamp(t, 1.0, upper);
     return static_cast<unsigned>(clamped + 0.5);
+}
+
+unsigned
+ThresholdModel::threshold(double a) const
+{
+    // Saturated region: Eq. 2 clamps the load to memoMax_, so the
+    // answer is the cached constant.
+    if (a >= memoMax_) {
+        ++memoHits_;
+        return satThreshold_;
+    }
+    if (a >= 0.0) {
+        std::size_t i = static_cast<std::size_t>(a / memoStep_);
+        if (i >= kMemoPoints)
+            i = kMemoPoints - 1;
+        const double lo = static_cast<double>(i) * memoStep_;
+        const double hi = static_cast<double>(i + 1) * memoStep_;
+        // threshold() is monotone in a (round-of-clamp-of-monotone),
+        // so equal bracketing grid values pin the answer exactly.
+        if (lo <= a && a <= hi && memo_[i] == memo_[i + 1]) {
+            ++memoHits_;
+            return memo_[i];
+        }
+    }
+    ++memoMisses_;
+    return solveThreshold(a);
 }
 
 unsigned

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/units.hh"
 
@@ -64,6 +65,17 @@ class ThresholdModel
     /**
      * The integral threshold the runtime compares queue lengths
      * against; clamped to [1, upperBound()].
+     *
+     * Memoized: threshold() is a monotone step function of the load
+     * (Eq. 2 is a monotone transform of the Erlang-C expected queue
+     * length, then clamped and rounded), so a quantized lookup table
+     * built at construction answers almost every per-period query
+     * with two table reads instead of the O(k) Erlang recurrence.
+     * When the two grid values bracketing @p a agree, monotonicity
+     * makes that value *exact*; only queries landing on one of the
+     * (few) step boundaries fall through to the direct solve, so the
+     * result is bit-identical to the unmemoized model by
+     * construction.
      */
     unsigned threshold(double a) const;
 
@@ -74,10 +86,29 @@ class ThresholdModel
     double lFactor() const { return lFactor_; }
     const ModelConstants &constants() const { return consts_; }
 
+    /** Memo-table queries answered without an Erlang solve. */
+    std::uint64_t memoHits() const { return memoHits_; }
+    /** Queries that fell through to the direct solve. */
+    std::uint64_t memoMisses() const { return memoMisses_; }
+
   private:
+    /** Direct (unmemoized) solve of threshold(). */
+    unsigned solveThreshold(double a) const;
+
     unsigned k_;
     double lFactor_;
     ModelConstants consts_;
+
+    /** Quantized-load lookup table over [0, k): memo_[i] is the
+     *  direct solve at load i * memoStep_. */
+    std::vector<unsigned> memo_;
+    double memoStep_ = 0.0;
+    /** Loads at or above this (the Eq. 2 saturation clamp point,
+     *  k - 1e-6) all produce satThreshold_. */
+    double memoMax_ = 0.0;
+    unsigned satThreshold_ = 0;
+    mutable std::uint64_t memoHits_ = 0;
+    mutable std::uint64_t memoMisses_ = 0;
 };
 
 /**

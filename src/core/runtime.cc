@@ -18,28 +18,44 @@ decideMigrations(const std::vector<std::size_t> &q_in, unsigned self,
                  unsigned threshold, const AltocParams &params)
 {
     RuntimeDecision out;
+    RuntimeScratch scratch;
+    decideMigrationsInto(q_in, self, threshold, params, scratch, out);
+    return out;
+}
+
+void
+decideMigrationsInto(const std::vector<std::size_t> &q_in, unsigned self,
+                     unsigned threshold, const AltocParams &params,
+                     RuntimeScratch &scratch, RuntimeDecision &out)
+{
+    out.pattern = Pattern::None;
+    out.overThreshold = false;
+    out.migrations.clear(); // keeps capacity across periods
     const std::size_t n = q_in.size();
     altoc_assert(self < n, "manager id out of range");
     if (n < 2)
-        return out;
+        return;
 
     out.overThreshold = q_in[self] > threshold;
 
-    const PatternResult pat =
-        classifyPattern(q_in, params.bulk, params.concurrency);
+    PatternResult &pat = scratch.pattern;
+    classifyPatternInto(q_in, params.bulk, params.concurrency,
+                        scratch.rank, pat);
     out.pattern = pat.pattern;
 
     // Destinations this manager should feed: pattern plans where we
     // are the source. If we are over threshold but the pattern gave
     // us no role, fall back to the shortest other queues (the deep
     // tail must drain somewhere).
-    std::vector<unsigned> dests;
+    std::vector<unsigned> &dests = scratch.dests;
+    dests.clear();
     for (const MigrationPlan &plan : pat.plans) {
         if (plan.src == self)
             dests.push_back(plan.dst);
     }
     if (dests.empty() && out.overThreshold) {
-        std::vector<unsigned> order(n);
+        std::vector<unsigned> &order = scratch.order;
+        order.resize(n);
         std::iota(order.begin(), order.end(), 0u);
         std::sort(order.begin(), order.end(),
                   [&q_in](unsigned a, unsigned b) {
@@ -55,7 +71,7 @@ decideMigrations(const std::vector<std::size_t> &q_in, unsigned self,
         }
     }
     if (dests.empty())
-        return out;
+        return;
 
     // Line 7: each MIGRATE carries S = Bulk / Concurrency requests.
     const unsigned s = std::max(
@@ -64,7 +80,8 @@ decideMigrations(const std::vector<std::size_t> &q_in, unsigned self,
     // Apply the line-8 guard against a local working copy of q that
     // reflects the decisions already taken this period. The predicate
     // is shared with the invariant auditor (core/invariants.hh).
-    std::vector<std::size_t> q(q_in);
+    std::vector<std::size_t> &q = scratch.q;
+    q.assign(q_in.begin(), q_in.end());
     for (unsigned dst : dests) {
         if (q[self] < s)
             break;
@@ -74,7 +91,6 @@ decideMigrations(const std::vector<std::size_t> &q_in, unsigned self,
         q[self] -= s;
         q[dst] += s;
     }
-    return out;
 }
 
 Tick

@@ -36,6 +36,21 @@ struct RuntimeDecision
 };
 
 /**
+ * Reusable working storage for decideMigrationsInto(). One instance
+ * per manager lives for the whole run; after the first few periods
+ * every vector has reached its high-water capacity and the per-period
+ * decision procedure stops allocating.
+ */
+struct RuntimeScratch
+{
+    PatternResult pattern;
+    std::vector<unsigned> rank;
+    std::vector<unsigned> dests;
+    std::vector<unsigned> order;
+    std::vector<std::size_t> q;
+};
+
+/**
  * Algorithm 1 for manager @p self: given the synchronized queue
  * view @p q, the current threshold @p threshold and the runtime
  * parameters, decide this period's MIGRATE messages.
@@ -50,6 +65,16 @@ struct RuntimeDecision
 RuntimeDecision decideMigrations(const std::vector<std::size_t> &q,
                                  unsigned self, unsigned threshold,
                                  const AltocParams &params);
+
+/**
+ * Allocation-free form of decideMigrations() for the per-period
+ * runtime tick: all working vectors (and out.migrations) are
+ * caller-owned and retain capacity across invocations.
+ */
+void decideMigrationsInto(const std::vector<std::size_t> &q,
+                          unsigned self, unsigned threshold,
+                          const AltocParams &params,
+                          RuntimeScratch &scratch, RuntimeDecision &out);
 
 /**
  * Manager-core occupancy of one runtime invocation (Sec. VI,

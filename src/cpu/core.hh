@@ -13,8 +13,8 @@
 #define ALTOC_CPU_CORE_HH
 
 #include <cstdint>
-#include <functional>
 
+#include "common/inline_fn.hh"
 #include "common/units.hh"
 #include "net/rpc.hh"
 #include "sim/simulator.hh"
@@ -27,11 +27,13 @@ namespace altoc::cpu {
 class Core
 {
   public:
-    /** Invoked when the running request finishes all its work. */
-    using CompletionFn = std::function<void(Core &, net::Rpc *)>;
+    /** Invoked when the running request finishes all its work.
+     *  Inline (no heap, no type-erasure allocation): completion fires
+     *  once per executed slice, squarely on the descriptor hot path. */
+    using CompletionFn = InlineFunction<void(Core &, net::Rpc *)>;
 
     /** Invoked when the quantum expires with work remaining. */
-    using PreemptFn = std::function<void(Core &, net::Rpc *)>;
+    using PreemptFn = InlineFunction<void(Core &, net::Rpc *)>;
 
     Core(sim::Simulator &sim, unsigned id, unsigned tile);
 
@@ -58,7 +60,7 @@ class Core
      * its partition here) install this; the default keeps the
      * workload-sampled demand.
      */
-    using ServiceResolver = std::function<void(net::Rpc &, Core &)>;
+    using ServiceResolver = InlineCopyFn<void(net::Rpc &, Core &)>;
 
     void setResolver(ServiceResolver fn) { resolver_ = std::move(fn); }
 
@@ -77,7 +79,7 @@ class Core
      * installs this; unset (the default) costs nothing. Stretch time
      * counts as stalledNs, not busyNs.
      */
-    using StretchFn = std::function<Tick(unsigned, Tick, Tick)>;
+    using StretchFn = InlineFunction<Tick(unsigned, Tick, Tick)>;
 
     void setStretch(StretchFn fn) { stretch_ = std::move(fn); }
 

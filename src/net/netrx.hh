@@ -11,10 +11,11 @@
 #ifndef ALTOC_NET_NETRX_HH
 #define ALTOC_NET_NETRX_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
 
 #include "common/logging.hh"
+#include "common/ring_deque.hh"
 #include "common/units.hh"
 #include "net/rpc.hh"
 
@@ -22,11 +23,17 @@ namespace altoc::net {
 
 /**
  * FIFO request queue with tail dequeue support and occupancy stats.
+ * Backed by a growable ring buffer (common/ring_deque.hh): O(1)
+ * head/tail operations, cached length, and no allocation once the
+ * ring has reached the run's high-water depth.
  */
 class NetRxQueue
 {
   public:
     NetRxQueue() = default;
+
+    /** Pre-size the ring for an expected peak depth. */
+    void reserve(std::size_t n) { q_.reserve(n); }
 
     /** Enqueue at the tail (normal arrival or migrated-in request). */
     void
@@ -44,9 +51,7 @@ class NetRxQueue
     {
         if (q_.empty())
             return nullptr;
-        Rpc *r = q_.front();
-        q_.pop_front();
-        return r;
+        return q_.pop_front();
     }
 
     /** Dequeue from the tail for migration; nullptr when empty. */
@@ -55,9 +60,7 @@ class NetRxQueue
     {
         if (q_.empty())
             return nullptr;
-        Rpc *r = q_.back();
-        q_.pop_back();
-        return r;
+        return q_.pop_back();
     }
 
     /** Re-insert at the head (failed migration hand-back). */
@@ -79,7 +82,7 @@ class NetRxQueue
     std::uint64_t totalEnqueued() const { return totalEnqueued_; }
 
   private:
-    std::deque<Rpc *> q_;
+    RingDeque<Rpc *> q_;
     std::size_t peak_ = 0;
     std::uint64_t totalEnqueued_ = 0;
 };

@@ -110,12 +110,21 @@ Nic::receive(Rpc *r)
     r->nicArrival = now;
     ++received_;
 
+    // Both latency components depend only on the packet size, and
+    // real traffic repeats a handful of sizes, so a one-entry cache
+    // answers almost every packet without redoing the floating-point
+    // pacing math or the PCIe latency interpolation.
+    if (r->sizeBytes != cachedBytes_) {
+        cachedBytes_ = r->sizeBytes;
+        cachedSer_ = serializationTime(r->sizeBytes);
+        cachedDeliver_ = deliveryLatency(r->sizeBytes);
+    }
+
     // Line-rate pacing: the RX pipeline serializes packets.
-    const Tick ser = serializationTime(r->sizeBytes);
-    rxFree_ = std::max(rxFree_, now) + ser;
+    rxFree_ = std::max(rxFree_, now) + cachedSer_;
 
     const unsigned queue = steer(r);
-    const Tick deliver_at = rxFree_ + deliveryLatency(r->sizeBytes);
+    const Tick deliver_at = rxFree_ + cachedDeliver_;
     sim_.at(deliver_at, [this, r, queue] { deliver_(r, queue); });
 }
 

@@ -22,9 +22,9 @@
 #define ALTOC_NET_NIC_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "common/inline_fn.hh"
 #include "common/rng.hh"
 #include "common/units.hh"
 #include "net/pcie.hh"
@@ -66,8 +66,9 @@ class Nic
         unsigned numQueues = 1;
     };
 
-    /** Invoked when a request reaches its receive queue. */
-    using DeliverFn = std::function<void(Rpc *, unsigned queue)>;
+    /** Invoked when a request reaches its receive queue. Inline:
+     *  this fires once per simulated request. */
+    using DeliverFn = InlineFunction<void(Rpc *, unsigned queue)>;
 
     Nic(sim::Simulator &sim, const Config &cfg, Rng rng);
 
@@ -104,6 +105,10 @@ class Nic
     Tick rxFree_ = 0;
     unsigned rrNext_ = 0;
     std::uint64_t received_ = 0;
+    /** One-entry size -> latency cache for receive(). */
+    std::uint32_t cachedBytes_ = ~std::uint32_t{0};
+    Tick cachedSer_ = 0;
+    Tick cachedDeliver_ = 0;
 };
 
 } // namespace altoc::net

@@ -16,8 +16,15 @@
 #include <deque>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/units.hh"
 #include "workload/distributions.hh"
+
+// Mirrors sim/auditor.hh: builds without ALTOC_AUDIT compile the
+// release() double-free scan away entirely.
+#ifndef ALTOC_AUDIT_ENABLED
+#define ALTOC_AUDIT_ENABLED 0
+#endif
 
 namespace altoc::net {
 
@@ -82,6 +89,11 @@ struct Rpc
     /** True if the scheduler rejected the request past its deadline
      *  (reactive-drop baselines only; ALTOCUMULUS never drops). */
     bool dropped = false;
+
+    /** Pool bookkeeping: true while the descriptor sits on the free
+     *  list. Maintained only by audit builds (O(1) double-release
+     *  detection); alloc()'s zero-reset clears it either way. */
+    bool pooled = false;
 };
 
 /**
@@ -117,12 +129,43 @@ class RpcPool
     void
     release(Rpc *r)
     {
+#if ALTOC_AUDIT_ENABLED
+        // A double release corrupts the free list and silently hands
+        // the same descriptor to two requests; catch it here while
+        // the offender is on the stack. The pooled flag makes the
+        // check O(1) -- a membership scan of the free list would be
+        // quadratic once reserve() pre-sizes it to the request count.
+        altoc_assert(outstanding_ > 0,
+                     "RpcPool::release underflow (rpc id %llu)",
+                     static_cast<unsigned long long>(r->id));
+        altoc_assert(!r->pooled,
+                     "double release of rpc id %llu",
+                     static_cast<unsigned long long>(r->id));
+        r->pooled = true;
+#endif
         free_.push_back(r);
         --outstanding_;
     }
 
+    /**
+     * Pre-size the pool so @p n descriptors can be outstanding with
+     * no slab growth. runExperiment calls this with the request count
+     * so the warm steady state never touches the allocator.
+     */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > free_.size() + outstanding_)
+            free_.reserve(n);
+        while (free_.size() + outstanding_ < n)
+            grow();
+    }
+
     /** Number of descriptors currently allocated. */
     std::size_t outstanding() const { return outstanding_; }
+
+    /** Total descriptors owned by the pool (free + outstanding). */
+    std::size_t capacity() const { return slabs_.size() * slabSize_; }
 
   private:
     void

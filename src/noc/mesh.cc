@@ -50,29 +50,6 @@ Mesh::flightTime(unsigned src, unsigned dst) const
     return static_cast<Tick>(hops(src, dst)) * perHop_;
 }
 
-std::size_t
-Mesh::linkIndex(unsigned from, unsigned to) const
-{
-    // Direction encoding: 0 = +x, 1 = -x, 2 = +y, 3 = -y.
-    const int fx = static_cast<int>(from % cols_);
-    const int fy = static_cast<int>(from / cols_);
-    const int tx = static_cast<int>(to % cols_);
-    const int ty = static_cast<int>(to / cols_);
-    unsigned dir;
-    if (tx == fx + 1 && ty == fy) {
-        dir = 0;
-    } else if (tx == fx - 1 && ty == fy) {
-        dir = 1;
-    } else if (ty == fy + 1 && tx == fx) {
-        dir = 2;
-    } else if (ty == fy - 1 && tx == fx) {
-        dir = 3;
-    } else {
-        panic("non-adjacent link %u -> %u", from, to);
-    }
-    return static_cast<std::size_t>(from) * 4 + dir;
-}
-
 Tick
 Mesh::send(unsigned vnet, unsigned src, unsigned dst, std::uint32_t bytes,
            Tick depart)
@@ -90,7 +67,10 @@ Mesh::send(unsigned vnet, unsigned src, unsigned dst, std::uint32_t bytes,
 
     // Walk the XY path: first fix x, then y. The head flit pays the
     // pipeline latency per hop and may wait for each link to drain;
-    // the body flits add serialization on the final hop.
+    // the body flits add serialization on the final hop. The XY walk
+    // already knows which way each hop goes, so the directed-link
+    // index (tile * 4 + direction; 0 = +x, 1 = -x, 2 = +y, 3 = -y)
+    // is computed inline instead of re-deriving it from coordinates.
     int x = static_cast<int>(src % cols_);
     int y = static_cast<int>(src / cols_);
     const int dx = static_cast<int>(dst % cols_);
@@ -98,14 +78,19 @@ Mesh::send(unsigned vnet, unsigned src, unsigned dst, std::uint32_t bytes,
     Tick t = depart;
     unsigned cur = src;
     while (x != dx || y != dy) {
+        unsigned dir;
         int nx = x, ny = y;
-        if (x != dx)
+        if (x != dx) {
+            dir = dx > x ? 0u : 1u;
             nx += (dx > x) ? 1 : -1;
-        else
+        } else {
+            dir = dy > y ? 2u : 3u;
             ny += (dy > y) ? 1 : -1;
+        }
         const unsigned next =
             static_cast<unsigned>(ny) * cols_ + static_cast<unsigned>(nx);
-        const std::size_t link = linkIndex(cur, next);
+        const std::size_t link =
+            static_cast<std::size_t>(cur) * 4 + dir;
         // Wait for the link, then occupy it for the message's flits
         // (wormhole-style cut-through: downstream hops overlap).
         t = std::max(t, occ[link]);

@@ -22,9 +22,9 @@
 #define ALTOC_NOC_MESH_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/inline_fn.hh"
 #include "common/units.hh"
 
 namespace altoc::noc {
@@ -81,8 +81,8 @@ class Mesh
      * messages; unset (the default) costs nothing.
      */
     using ExtraDelayFn =
-        std::function<Tick(unsigned vnet, unsigned src, unsigned dst,
-                           Tick depart)>;
+        InlineFunction<Tick(unsigned vnet, unsigned src, unsigned dst,
+                            Tick depart)>;
 
     void setExtraDelay(ExtraDelayFn fn) { extraDelay_ = std::move(fn); }
 
@@ -93,10 +93,6 @@ class Mesh
     std::uint64_t messages() const { return messages_; }
 
   private:
-    /** Index of the directed link from tile @p from to neighbor
-     *  @p to within a VN's occupancy table. */
-    std::size_t linkIndex(unsigned from, unsigned to) const;
-
     unsigned cols_;
     unsigned rows_;
     Tick perHop_;

@@ -22,8 +22,8 @@
 #define ALTOC_SCHED_JBSQ_HH
 
 #include <cstdint>
-#include <deque>
 
+#include "common/ring_deque.hh"
 #include "net/netrx.hh"
 #include "sched/scheduler.hh"
 
@@ -100,7 +100,7 @@ class JbsqScheduler : public Scheduler
     Config cfg_;
     unsigned coresPerDomain_ = 0;
     std::vector<net::NetRxQueue> central_;
-    std::vector<std::deque<net::Rpc *>> local_;
+    std::vector<RingDeque<net::Rpc *>> local_;
     /** Running + queued + in-flight pushes, per core. */
     std::vector<unsigned> occupancy_;
     std::uint64_t preemptions_ = 0;

@@ -17,6 +17,7 @@
 #define ALTOC_SIM_SIMULATOR_HH
 
 #include <cstdint>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/units.hh"
@@ -39,21 +40,25 @@ class Simulator
     /** Current simulated time. */
     Tick now() const { return now_; }
 
-    /** Schedule @p cb to run @p delay ns from now. */
+    /** Schedule @p cb to run @p delay ns from now. The callable is
+     *  forwarded straight into its event slot (see
+     *  EventQueue::schedule). */
+    template <typename F>
     EventId
-    after(Tick delay, EventQueue::Callback cb)
+    after(Tick delay, F &&cb)
     {
-        return events_.schedule(now_ + delay, std::move(cb));
+        return events_.schedule(now_ + delay, std::forward<F>(cb));
     }
 
     /** Schedule @p cb at absolute time @p when (must be >= now). */
+    template <typename F>
     EventId
-    at(Tick when, EventQueue::Callback cb)
+    at(Tick when, F &&cb)
     {
         altoc_assert(when >= now_, "scheduling in the past: %llu < %llu",
                      static_cast<unsigned long long>(when),
                      static_cast<unsigned long long>(now_));
-        return events_.schedule(when, std::move(cb));
+        return events_.schedule(when, std::forward<F>(cb));
     }
 
     /** Cancel a pending event; returns false if it already ran. */

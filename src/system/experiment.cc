@@ -188,7 +188,7 @@ std::unique_ptr<Server>
 makeServer(const DesignConfig &cfg, Tick mean_service,
            const std::string &dist_name, Tick slo_target,
            std::uint64_t warmup, std::uint64_t seed,
-           const sim::FaultSpec &faults)
+           const sim::FaultSpec &faults, bool log_latency_histogram)
 {
     Server::Config scfg;
     scfg.cores = cfg.cores;
@@ -197,6 +197,7 @@ makeServer(const DesignConfig &cfg, Tick mean_service,
     scfg.warmup = warmup;
     scfg.seed = seed;
     scfg.faults = faults;
+    scfg.logLatencyHistogram = log_latency_histogram;
     return std::make_unique<Server>(
         scfg, makeScheduler(cfg, mean_service, dist_name));
 }
@@ -296,7 +297,10 @@ runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
 
     auto server = makeServer(cfg, static_cast<Tick>(mean_service),
                              dist_name, slo, warmup, spec.seed,
-                             spec.faults);
+                             spec.faults, spec.logLatencyHistogram);
+    // Pre-size the descriptor pool and latency store so the measured
+    // run performs no slab growth or sample-vector reallocation.
+    server->reserveFor(total);
     server->stopAfterCompletions(total);
 
     RunResult result;
@@ -350,7 +354,7 @@ runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
         end > 0 ? static_cast<double>(server->completed()) /
                       static_cast<double>(end) * 1e3
                 : 0.0;
-    result.latency = server->tracker().histogram().summary();
+    result.latency = server->tracker().summary();
     result.sloTarget = slo;
     result.violationRatio = server->tracker().violationRatio();
     result.violations = server->tracker().violations();

@@ -9,6 +9,7 @@
 #define ALTOC_SYSTEM_EXPERIMENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -121,6 +122,14 @@ struct WorkloadSpec
     /** Capture (id, latency, migrated) per completed request. */
     bool capturePerRequest = false;
 
+    /**
+     * Record latencies in the constant-memory LogHistogram instead of
+     * the exact per-sample store. For very long runs whose sample
+     * vector would dominate memory; percentile metrics then carry the
+     * log store's ~0.8% relative error. Default off (exact).
+     */
+    bool logLatencyHistogram = false;
+
     /** Print the gem5-style stats dump to stdout after the run. */
     bool dumpStats = false;
 
@@ -219,7 +228,8 @@ std::unique_ptr<Server>
 makeServer(const DesignConfig &cfg, Tick mean_service,
            const std::string &dist_name, Tick slo_target,
            std::uint64_t warmup, std::uint64_t seed,
-           const sim::FaultSpec &faults = {});
+           const sim::FaultSpec &faults = {},
+           bool log_latency_histogram = false);
 
 /**
  * Open-loop load generator: injects sampled or trace-replayed

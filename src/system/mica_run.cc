@@ -93,7 +93,7 @@ runMicaExperiment(const MicaRunConfig &cfg)
         end > 0 ? static_cast<double>(server->completed()) /
                       static_cast<double>(end) * 1e3
                 : 0.0;
-    result.latency = server->tracker().histogram().summary();
+    result.latency = server->tracker().summary();
     result.sloTarget = slo;
     result.violationRatio = server->tracker().violationRatio();
     result.violations = server->tracker().violations();

@@ -13,7 +13,7 @@ namespace altoc::system {
 
 Server::Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched)
     : cfg_(cfg), rng_(cfg.seed), sched_(std::move(sched)),
-      tracker_(cfg.sloTarget)
+      tracker_(cfg.sloTarget, cfg.logLatencyHistogram)
 {
     altoc_assert(cfg_.cores > 0, "server needs cores");
     altoc_assert(sched_ != nullptr, "server needs a scheduler");
@@ -169,7 +169,7 @@ Server::dumpStats(std::FILE *out) const
     line("server.dropped", static_cast<double>(dropped_));
     line("server.workerUtilization", workerUtilization());
 
-    const stats::Summary lat = tracker_.histogram().summary();
+    const stats::Summary lat = tracker_.summary();
     line("latency.samples", static_cast<double>(lat.count));
     line("latency.meanNs", lat.mean);
     line("latency.p50Ns", static_cast<double>(lat.p50));

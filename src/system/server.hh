@@ -17,10 +17,10 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/inline_fn.hh"
 #include "common/rng.hh"
 #include "common/units.hh"
 #include "core/invariants.hh"
@@ -87,6 +87,13 @@ class Server : public sched::CompletionSink
         bool audit = ALTOC_AUDIT_ENABLED != 0;
 
         /**
+         * Back the SLO tracker with the constant-memory LogHistogram
+         * instead of the exact sample store (for very long runs;
+         * percentiles then carry ~0.8% relative error). Default off.
+         */
+        bool logLatencyHistogram = false;
+
+        /**
          * Deterministic fault schedule for this run (chaos testing;
          * sim/fault_spec.hh). Default-constructed = no faults: no
          * injector is created and every fault hook stays unset, so
@@ -107,6 +114,18 @@ class Server : public sched::CompletionSink
     /** Allocate a request descriptor. */
     net::Rpc *makeRpc();
 
+    /**
+     * Pre-size the descriptor pool and the latency sample store for a
+     * run of @p n requests, so the warm steady state performs no slab
+     * growth or histogram reallocation.
+     */
+    void
+    reserveFor(std::uint64_t n)
+    {
+        pool_.reserve(static_cast<std::size_t>(n));
+        tracker_.reserve(static_cast<std::size_t>(n));
+    }
+
     /** Hand a request to the NIC at the current time. */
     void inject(net::Rpc *r);
 
@@ -115,7 +134,7 @@ class Server : public sched::CompletionSink
 
     /** Per-completion callback (id, latency) for trace joins. */
     using CompletionHook =
-        std::function<void(const net::Rpc &, Tick latency)>;
+        InlineFunction<void(const net::Rpc &, Tick latency)>;
     void setCompletionHook(CompletionHook fn) { hook_ = std::move(fn); }
 
     /**
@@ -125,7 +144,7 @@ class Server : public sched::CompletionSink
      * determinism checker's observation point (bench_util.hh hashes
      * the (tick, kind, core, id) stream through it).
      */
-    using CompletionProbe = std::function<void(
+    using CompletionProbe = InlineFunction<void(
         const cpu::Core &, const net::Rpc &, Tick now)>;
     void setCompletionProbe(CompletionProbe fn)
     {

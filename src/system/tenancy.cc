@@ -177,7 +177,7 @@ TenantSystem::run()
         res.name = tenant.name;
         res.design = tenant.sched->name();
         res.completed = tenant.completed;
-        res.latency = tenant.tracker->histogram().summary();
+        res.latency = tenant.tracker->summary();
         res.sloTarget = tenant.tracker->target();
         res.violationRatio = tenant.tracker->violationRatio();
         if (auto *group = dynamic_cast<const core::GroupScheduler *>(

@@ -3,8 +3,9 @@
  * Event-kernel tests for the slotted queue: generation-counted handle
  * reuse, mass-cancellation compaction, schedule/cancel interleaving
  * against a reference model, tie-break stability, the inline-callback
- * capture-size compile check, and the zero-allocation guarantee on
- * the steady-state hot path.
+ * capture-size compile check, the zero-allocation guarantee on the
+ * steady-state hot path, and a whole-pipeline bound on allocations
+ * per completed request across a warm runExperiment slice.
  */
 
 #include <gtest/gtest.h>
@@ -20,6 +21,8 @@
 
 #include "common/inline_fn.hh"
 #include "sim/event_queue.hh"
+#include "system/experiment.hh"
+#include "workload/distributions.hh"
 
 using namespace altoc;
 using namespace altoc::sim;
@@ -379,4 +382,59 @@ TEST(EventHotPath, SteadyStateScheduleDispatchDoesNotAllocate)
         << "schedule/cancel allocated on the steady-state hot path";
     while (!q.empty())
         q.runOne();
+}
+
+// ---------------------------------------------------------------------
+// Whole-pipeline allocation bound per completed request
+// ---------------------------------------------------------------------
+
+#if !ALTOC_AUDIT_ENABLED
+namespace {
+
+std::size_t
+allocsForAcIntRun(std::uint64_t requests)
+{
+    altoc::system::DesignConfig cfg;
+    cfg.design = altoc::system::Design::AcInt;
+    cfg.cores = 16;
+    cfg.groups = 2;
+    altoc::system::WorkloadSpec spec;
+    spec.service = altoc::workload::makeFixed(1 * kUs);
+    spec.rateMrps = 8.0;
+    spec.requests = requests;
+    spec.seed = 42;
+    const std::size_t before = g_allocs.load();
+    const altoc::system::RunResult res =
+        altoc::system::runExperiment(cfg, spec);
+    const std::size_t used = g_allocs.load() - before;
+    EXPECT_EQ(res.completed, requests);
+    return used;
+}
+
+} // namespace
+#endif // !ALTOC_AUDIT_ENABLED
+
+TEST(EventHotPath, CompletedRequestAllocationIsBounded)
+{
+#if ALTOC_AUDIT_ENABLED
+    GTEST_SKIP() << "audit builds allocate in the invariant auditor";
+#else
+    // Fixed setup costs (server, scheduler, reserves) are identical
+    // between an N- and a 2N-request run of the same config, so the
+    // difference isolates what actually scales with completed
+    // requests. After the descriptor-path overhaul that residue is a
+    // handful of slab/regrowth allocations for the *whole* extra
+    // slice -- bound it at 1 allocation per 20 completed requests so
+    // any per-request heap traffic sneaking back in fails loudly.
+    constexpr std::uint64_t kN = 4000;
+    const std::size_t small = allocsForAcIntRun(kN);
+    const std::size_t big = allocsForAcIntRun(2 * kN);
+    ASSERT_GE(big, small)
+        << "longer run allocated less; harness assumption broken";
+    const std::size_t per_slice = big - small;
+    EXPECT_LE(per_slice, kN / 20)
+        << "steady-state pipeline allocates per completed request ("
+        << per_slice << " extra allocations across " << kN
+        << " extra requests)";
+#endif
 }

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * RingDeque / NetRxQueue tests: wraparound across the power-of-two
+ * boundary, tail dequeue (migration order), pointer stability of
+ * queued descriptors across ring growth, and a randomized reference
+ * fuzz against std::deque.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/ring_deque.hh"
+#include "net/netrx.hh"
+#include "net/rpc.hh"
+
+using namespace altoc;
+using altoc::net::NetRxQueue;
+using altoc::net::Rpc;
+
+// ---------------------------------------------------------------------
+// Wraparound
+// ---------------------------------------------------------------------
+
+TEST(RingDeque, WrapsAroundWithoutGrowing)
+{
+    RingDeque<int> q;
+    q.reserve(16);
+    const std::size_t cap = q.capacity();
+    // March the window around the ring several times at constant
+    // depth: head and tail repeatedly cross the physical end of the
+    // buffer while capacity stays put.
+    int next = 0, expect = 0;
+    for (int i = 0; i < 8; ++i)
+        q.push_back(next++);
+    for (int round = 0; round < 1000; ++round) {
+        q.push_back(next++);
+        ASSERT_EQ(q.pop_front(), expect++);
+    }
+    EXPECT_EQ(q.capacity(), cap) << "constant-depth churn grew the ring";
+    EXPECT_EQ(q.size(), 8u);
+    // Indexing is head-relative regardless of physical position.
+    for (std::size_t i = 0; i < q.size(); ++i)
+        EXPECT_EQ(q[i], expect + static_cast<int>(i));
+}
+
+TEST(RingDeque, PushFrontWrapsBelowZero)
+{
+    RingDeque<int> q;
+    // head_ starts at 0: the first push_front must wrap to the last
+    // physical slot.
+    q.push_front(2);
+    q.push_front(1);
+    q.push_back(3);
+    EXPECT_EQ(q.front(), 1);
+    EXPECT_EQ(q.back(), 3);
+    EXPECT_EQ(q.pop_front(), 1);
+    EXPECT_EQ(q.pop_front(), 2);
+    EXPECT_EQ(q.pop_front(), 3);
+    EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------------
+// Tail dequeue
+// ---------------------------------------------------------------------
+
+TEST(RingDeque, TailDequeueReturnsNewestFirst)
+{
+    RingDeque<int> q;
+    for (int i = 0; i < 10; ++i)
+        q.push_back(i);
+    // Migration collects from the tail: deepest-queued first.
+    EXPECT_EQ(q.pop_back(), 9);
+    EXPECT_EQ(q.pop_back(), 8);
+    // Head order is unaffected.
+    EXPECT_EQ(q.pop_front(), 0);
+    EXPECT_EQ(q.back(), 7);
+    EXPECT_EQ(q.size(), 7u);
+}
+
+// ---------------------------------------------------------------------
+// Pointer stability across growth
+// ---------------------------------------------------------------------
+
+TEST(RingDeque, QueuedPointersSurviveGrowth)
+{
+    // The queues hold Rpc*; growth moves the pointer slots but the
+    // descriptors they point at must stay put.
+    std::vector<std::unique_ptr<Rpc>> pool;
+    RingDeque<Rpc *> q;
+    const std::size_t initial_cap = []() {
+        RingDeque<Rpc *> probe;
+        probe.push_back(nullptr);
+        return probe.capacity();
+    }();
+    // Offset the head so the ring is wrapped when it regrows.
+    for (int i = 0; i < 5; ++i) {
+        q.push_back(nullptr);
+        q.pop_front();
+    }
+    std::vector<Rpc *> raw;
+    for (std::uint64_t i = 0; i < 4 * initial_cap; ++i) {
+        pool.push_back(std::make_unique<Rpc>());
+        pool.back()->id = i;
+        raw.push_back(pool.back().get());
+        q.push_back(raw.back());
+    }
+    EXPECT_GT(q.capacity(), initial_cap) << "test never grew the ring";
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        Rpc *r = q.pop_front();
+        EXPECT_EQ(r, raw[i]) << "FIFO order broken across growth";
+        EXPECT_EQ(r->id, i) << "descriptor moved or corrupted";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference-model fuzz vs std::deque
+// ---------------------------------------------------------------------
+
+TEST(RingDeque, FuzzMatchesStdDeque)
+{
+    RingDeque<std::uint64_t> q;
+    std::deque<std::uint64_t> model;
+
+    std::uint64_t lcg = 0x5eed;
+    auto rnd = [&lcg](std::uint64_t mod) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return (lcg >> 33) % mod;
+    };
+
+    std::uint64_t next = 0;
+    for (int op = 0; op < 200000; ++op) {
+        switch (rnd(5)) {
+        case 0:
+        case 1:
+            q.push_back(next);
+            model.push_back(next);
+            ++next;
+            break;
+        case 2:
+            q.push_front(next);
+            model.push_front(next);
+            ++next;
+            break;
+        case 3:
+            if (!model.empty()) {
+                ASSERT_EQ(q.pop_front(), model.front());
+                model.pop_front();
+            }
+            break;
+        default:
+            if (!model.empty()) {
+                ASSERT_EQ(q.pop_back(), model.back());
+                model.pop_back();
+            }
+            break;
+        }
+        ASSERT_EQ(q.size(), model.size());
+        ASSERT_EQ(q.empty(), model.empty());
+        if (!model.empty()) {
+            ASSERT_EQ(q.front(), model.front());
+            ASSERT_EQ(q.back(), model.back());
+            // Spot-check a random interior element.
+            const std::size_t i = rnd(model.size());
+            ASSERT_EQ(q[i], model[i]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// NetRxQueue semantics on top of the ring
+// ---------------------------------------------------------------------
+
+TEST(NetRx, HeadTailAndHandBackOrder)
+{
+    NetRxQueue q;
+    std::vector<std::unique_ptr<Rpc>> pool;
+    auto mk = [&pool](std::uint64_t id) {
+        pool.push_back(std::make_unique<Rpc>());
+        pool.back()->id = id;
+        return pool.back().get();
+    };
+
+    for (std::uint64_t i = 0; i < 6; ++i)
+        q.enqueue(mk(i), static_cast<Tick>(100 + i));
+    EXPECT_EQ(q.length(), 6u);
+    EXPECT_EQ(q.front()->id, 0u);
+    EXPECT_EQ(q.back()->id, 5u);
+    EXPECT_EQ(q.front()->enqueued, 100u);
+
+    // Migration takes the deepest-queued (tail) requests.
+    Rpc *migrated = q.dequeueTail();
+    ASSERT_NE(migrated, nullptr);
+    EXPECT_EQ(migrated->id, 5u);
+
+    // A failed migration hands the descriptor back at the head.
+    q.pushFront(migrated);
+    EXPECT_EQ(q.front()->id, 5u);
+    EXPECT_EQ(q.dequeueHead()->id, 5u);
+    EXPECT_EQ(q.dequeueHead()->id, 0u);
+
+    EXPECT_EQ(q.peakLength(), 6u);
+    EXPECT_EQ(q.totalEnqueued(), 6u);
+
+    while (!q.empty())
+        q.dequeueHead();
+    EXPECT_EQ(q.dequeueHead(), nullptr);
+    EXPECT_EQ(q.dequeueTail(), nullptr);
+}
