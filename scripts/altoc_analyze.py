@@ -1,0 +1,1284 @@
+#!/usr/bin/env python3
+"""altoc-analyze: AST-level determinism & concurrency checks.
+
+Project-semantic static analysis that neither clang-tidy nor the
+regex rules in scripts/lint.sh can express:
+
+  unordered-iter   range-for / iterator loops over std::unordered_map
+                   or std::unordered_set (including through using
+                   aliases). Hash-table iteration order is
+                   implementation-defined; if it leaks into events or
+                   stats, jobs=1 vs jobs=K bit-equality dies.
+  pointer-order    relational comparison of raw pointers, std::less /
+                   std::greater over pointer types, and ordered
+                   containers keyed by pointers. Pointer values depend
+                   on allocator state, so any ordering derived from
+                   them is a heap-layout dependence.
+  wall-clock       std::chrono / time() / clock_gettime / gettimeofday
+                   in simulation code, including calls smuggled
+                   through using-aliases or split across lines, which
+                   lint.sh's line-regexes miss. Simulated components
+                   take time from sim::Simulator::now().
+  foreign-rng      std::mt19937 / random_device / rand() and friends,
+                   including through aliases. All randomness forks
+                   altoc::Rng so one seed reproduces a run.
+  hot-path-alloc   transitive call-graph walk from every ALTOC_HOT
+                   function (see src/common/annotations.hh): no
+                   reachable project function may contain a heap
+                   `new`, construct a std::function, throw, or call
+                   malloc-family / make_unique / make_shared.
+  bad-waiver       a waiver comment with no reason (see below).
+
+Waivers: a finding is suppressed by a comment on the same line or the
+line directly above:
+
+    // altoc-analyze:allow(<check>) <reason>
+
+The reason is mandatory; a reason-less waiver is itself a finding
+(bad-waiver) and cannot be waived. Waivers that suppress nothing are
+reported as stale (warning only).
+
+Engines: with the libclang python bindings installed (package
+python3-clang) the checks run on the real clang AST driven by the
+build tree's compile_commands.json; otherwise a built-in
+tokenizer-based fallback engine implements the same checks. The
+fallback engine is the reference for CI gating (deterministic,
+dependency-free); the clang engine adds canonical-type precision
+where available. `--engine` forces one.
+
+Usage:
+    scripts/altoc_analyze.py [--build-dir build] [--engine auto]
+                             [--report FILE] [--list-checks]
+                             [--list-waivers] [--self-test] [paths...]
+
+Exits 0 when the tree is clean (no unwaived findings), 1 otherwise,
+2 on usage/configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from collections import defaultdict
+
+# ---------------------------------------------------------------------
+# Check catalog
+# ---------------------------------------------------------------------
+
+CHECKS = {
+    "unordered-iter": "iteration over an unordered container",
+    "pointer-order": "pointer values used as an ordering",
+    "wall-clock": "wall-clock time in simulation code",
+    "foreign-rng": "randomness outside altoc::Rng",
+    "hot-path-alloc": "allocation/throw reachable from an ALTOC_HOT path",
+    "bad-waiver": "altoc-analyze:allow waiver without a reason",
+}
+
+WAIVER_RE = re.compile(r"altoc-analyze:allow\(([a-z-]+)\)\s*(.*)")
+# Fixture marker: `// expect[check-a,check-b]` on the offending line.
+EXPECT_RE = re.compile(r"expect\[([a-z,-]+)\]")
+
+CXX_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "catch", "new", "delete", "throw", "do", "else", "case", "goto",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+    "static_assert", "decltype", "noexcept", "co_await", "co_return",
+    "co_yield", "requires", "assert",
+}
+
+UNORDERED_TYPES = {
+    "unordered_map", "unordered_set",
+    "unordered_multimap", "unordered_multiset",
+}
+
+WALL_CLOCK_IDS = {
+    "gettimeofday", "clock_gettime", "localtime", "localtime_r",
+    "gmtime", "strftime", "timespec_get",
+}
+WALL_CLOCK_CLOCKS = {
+    "steady_clock", "system_clock", "high_resolution_clock",
+}
+
+RNG_TYPES = {
+    "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "random_device", "ranlux24", "ranlux48",
+    "knuth_b",
+}
+RNG_CALLS = {"srand", "drand48", "lrand48", "mrand48", "srandom"}
+
+ALLOC_CALLS = {
+    "malloc", "calloc", "realloc", "strdup", "strndup",
+    "aligned_alloc", "posix_memalign", "make_unique", "make_shared",
+}
+
+ORDERED_PTR_TEMPLATES = {"less", "greater", "map", "set", "multimap",
+                         "multiset"}
+
+
+class Finding:
+    def __init__(self, check, path, line, message, chain=None):
+        self.check = check
+        self.path = path
+        self.line = line
+        self.message = message
+        self.chain = chain or []
+        self.waived = False
+
+    def render(self):
+        loc = f"{self.path}:{self.line}"
+        text = f"[{self.check}] {loc}: {self.message}"
+        if self.chain:
+            text += f"\n    via {' -> '.join(self.chain)}"
+        return text
+
+
+# ---------------------------------------------------------------------
+# Tokenizer (shared by the fallback engine and root/waiver scanning)
+# ---------------------------------------------------------------------
+
+class Tok:
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind, value, line):
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return f"{self.kind}:{self.value}@{self.line}"
+
+
+TOKEN_RE = re.compile(
+    r"""
+      (?P<comment>//[^\n]*|/\*.*?\*/)
+    | (?P<str>"(?:\\.|[^"\\\n])*"|'(?:\\.|[^'\\\n])*')
+    | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<num>\.?[0-9](?:[0-9a-fA-FxX'.pP]|[eE][+-]?)*)
+    | (?P<punct><<=|>>=|->\*|\.\.\.|::|->|\+\+|--|<<|>>|<=|>=|==|!=|
+        &&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|<=>|[{}()\[\];,<>=!&|^~*/%+.?:-])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(text):
+    """Lex C++ source into (kind, value, line) tokens; comments and
+    string/char literal contents are dropped (literals become opaque
+    placeholder tokens), so banned words in prose never match."""
+    toks = []
+    line = 1
+    pos = 0
+    for m in TOKEN_RE.finditer(text):
+        line += text.count("\n", pos, m.start())
+        pos = m.start()
+        kind = m.lastgroup
+        if kind == "comment":
+            continue
+        value = m.group()
+        if kind == "str":
+            value = '""'
+        toks.append(Tok(kind, value, line))
+    return toks
+
+
+def match_balanced(toks, i, open_tok, close_tok):
+    """Index just past the token matching toks[i] (which must be
+    open_tok); returns len(toks) when unbalanced."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        v = toks[i].value
+        if v == open_tok:
+            depth += 1
+        elif v == close_tok:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+# ---------------------------------------------------------------------
+# Waivers
+# ---------------------------------------------------------------------
+
+class Waiver:
+    def __init__(self, path, line, check, reason):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.reason = reason
+        self.used = False
+
+
+def scan_waivers(path, text, findings):
+    """Collect waivers; reason-less ones become bad-waiver findings."""
+    waivers = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        m = WAIVER_RE.search(raw)
+        if not m:
+            continue
+        check, reason = m.group(1), m.group(2).strip()
+        if check not in CHECKS:
+            findings.append(Finding(
+                "bad-waiver", path, lineno,
+                f"waiver names unknown check '{check}'"))
+            continue
+        if not reason:
+            findings.append(Finding(
+                "bad-waiver", path, lineno,
+                f"waiver for '{check}' carries no reason; "
+                "write `// altoc-analyze:allow({0}) <why>`".format(check)))
+            continue
+        waivers.append(Waiver(path, lineno, check, reason))
+    return waivers
+
+
+def apply_waivers(findings, waivers):
+    """Suppress findings covered by a waiver on the same or previous
+    line; returns (active_findings, stale_waivers)."""
+    index = defaultdict(list)
+    for w in waivers:
+        index[(w.path, w.check, w.line)].append(w)
+        index[(w.path, w.check, w.line + 1)].append(w)
+    active = []
+    seen = set()
+    for f in findings:
+        hit = index.get((f.path, f.check, f.line))
+        if hit and f.check != "bad-waiver":
+            for w in hit:
+                w.used = True
+            f.waived = True
+            continue
+        key = (f.path, f.line, f.check)
+        if key in seen:  # e.g. two banned tokens on one line
+            continue
+        seen.add(key)
+        active.append(f)
+    stale = [w for w in waivers if not w.used]
+    return active, stale
+
+
+# ---------------------------------------------------------------------
+# Hot-path root scanning (engine-independent, text-level)
+# ---------------------------------------------------------------------
+
+def scan_hot_roots(path, toks):
+    """Return [(name, line)] for every ALTOC_HOT-marked definition.
+
+    The marker is attached to the function *definition*: the next
+    identifier followed by '(' after the ALTOC_HOT token (skipping
+    over the return type) names the function. Qualified names keep
+    their last two components (Class::method -> method with class)."""
+    roots = []
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.value != "ALTOC_HOT":
+            continue
+        prev = toks[i - 1].value if i > 0 else ""
+        if prev in {"define", "ifdef", "ifndef", "undef", "defined"}:
+            continue  # the macro's own definition/guards, not a use
+        j = i + 1
+        name = None
+        cls = None
+        while j < n - 1 and j < i + 24:
+            if (toks[j].kind == "id"
+                    and toks[j + 1].value == "("
+                    and toks[j].value not in CXX_KEYWORDS):
+                name = toks[j].value
+                if j >= 2 and toks[j - 1].value == "::" \
+                        and toks[j - 2].kind == "id":
+                    cls = toks[j - 2].value
+                break
+            j += 1
+        if name:
+            roots.append((cls, name, toks[j].line))
+    return roots
+
+
+# ---------------------------------------------------------------------
+# Fallback engine
+# ---------------------------------------------------------------------
+
+class FnDef:
+    """One function definition found by the indexer."""
+
+    def __init__(self, cls, name, path, line, body):
+        self.cls = cls          # enclosing/qualifying class or None
+        self.name = name
+        self.path = path
+        self.line = line
+        self.body = body        # token list of the body
+
+    @property
+    def qual(self):
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+
+class FallbackEngine:
+    """Tokenizer-based implementation of every check. Dependency-free
+    and deterministic; the reference engine for CI gating."""
+
+    name = "fallback"
+
+    def __init__(self, files):
+        self.files = files          # {path: text}
+        self.toks = {p: tokenize(t) for p, t in files.items()}
+        self.findings = []
+
+    # -- shared helpers ------------------------------------------------
+
+    def note(self, check, path, line, msg, chain=None):
+        self.findings.append(Finding(check, path, line, msg, chain))
+
+    def run(self):
+        unordered_vars = self._collect_unordered_vars()
+        for path in sorted(self.files):
+            toks = self.toks[path]
+            self._check_unordered_iter(path, toks, unordered_vars)
+            self._check_pointer_order(path, toks)
+            self._check_wall_clock(path, toks)
+            self._check_foreign_rng(path, toks)
+        self._check_hot_paths()
+        return self.findings
+
+    # -- unordered-iter ------------------------------------------------
+
+    def _collect_unordered_aliases(self, toks):
+        """Names aliased to unordered containers via using/typedef."""
+        aliases = set()
+        for i, t in enumerate(toks):
+            if t.value == "using" and i + 2 < len(toks) \
+                    and toks[i + 1].kind == "id" \
+                    and toks[i + 2].value == "=":
+                j = i + 3
+                while j < len(toks) and toks[j].value != ";":
+                    if toks[j].value in UNORDERED_TYPES:
+                        aliases.add(toks[i + 1].value)
+                        break
+                    j += 1
+            elif t.value == "typedef":
+                j = i + 1
+                seen = False
+                while j < len(toks) and toks[j].value != ";":
+                    if toks[j].value in UNORDERED_TYPES:
+                        seen = True
+                    j += 1
+                if seen and j - 1 > i and toks[j - 1].kind == "id":
+                    aliases.add(toks[j - 1].value)
+        return aliases
+
+    def _collect_unordered_vars(self):
+        """Global registry of variables declared with an unordered
+        container type (covers members declared in headers and used in
+        the matching .cc)."""
+        names = set()
+        for path, toks in self.toks.items():
+            aliases = self._collect_unordered_aliases(toks)
+            n = len(toks)
+            for i, t in enumerate(toks):
+                hit = t.value in UNORDERED_TYPES or t.value in aliases
+                if not hit or t.kind != "id":
+                    continue
+                j = i + 1
+                if j < n and toks[j].value == "<":
+                    j = match_balanced(toks, j, "<", ">")
+                while j < n and toks[j].value in {"&", "*", "const"}:
+                    j += 1
+                if j < n and toks[j].kind == "id" \
+                        and toks[j].value not in CXX_KEYWORDS:
+                    k = j + 1
+                    if k < n and toks[k].value in {";", "=", "{", ",", ")"}:
+                        names.add(toks[j].value)
+        return names
+
+    def _check_unordered_iter(self, path, toks, unordered_vars):
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.value != "for" or i + 1 >= n or toks[i + 1].value != "(":
+                continue
+            end = match_balanced(toks, i + 1, "(", ")")
+            header = toks[i + 2:end - 1]
+            colon = None
+            depth = 0
+            for k, h in enumerate(header):
+                if h.value in {"(", "[", "{", "<"}:
+                    depth += 1
+                elif h.value in {")", "]", "}", ">"}:
+                    depth -= 1
+                elif h.value == ":" and depth == 0:
+                    if k + 1 < len(header) and header[k + 1].value == ":":
+                        continue
+                    colon = k
+                    break
+            if colon is not None:
+                tail = [h for h in header[colon + 1:] if h.kind == "id"]
+                if tail and tail[-1].value in unordered_vars:
+                    self.note(
+                        "unordered-iter", path, t.line,
+                        f"range-for over unordered container "
+                        f"'{tail[-1].value}'; iterate a sorted snapshot "
+                        "or switch to a flat ordered container")
+                continue
+            # iterator loop: `x.begin()` / `x->begin()` in the header
+            for k, h in enumerate(header):
+                if h.value in {"begin", "cbegin"} and k >= 2 \
+                        and header[k - 1].value in {".", "->"} \
+                        and header[k - 2].kind == "id" \
+                        and header[k - 2].value in unordered_vars:
+                    self.note(
+                        "unordered-iter", path, h.line,
+                        f"iterator loop over unordered container "
+                        f"'{header[k - 2].value}'; iterate a sorted "
+                        "snapshot or switch to a flat ordered container")
+                    break
+
+    # -- pointer-order -------------------------------------------------
+
+    def _collect_pointer_vars(self, toks):
+        """Identifiers declared as raw pointers in this file. A
+        declaration is `Type * name` directly after a statement
+        boundary (or parameter comma), which keeps multiplications
+        like `a * b` out of the registry."""
+        ptrs = set()
+        n = len(toks)
+        boundary = {";", "{", "}", "(", ","}
+        for i in range(2, n - 1):
+            if toks[i].value != "*":
+                continue
+            name_i = i + 1
+            while name_i < n and toks[name_i].value == "*":
+                name_i += 1
+            if name_i >= n or toks[name_i].kind != "id" \
+                    or toks[name_i].value in CXX_KEYWORDS:
+                continue
+            after = toks[name_i + 1].value if name_i + 1 < n else ""
+            if after not in {";", "=", ",", ")"}:
+                continue
+            # Walk back over the type: id, ::, <...>, const. A comma
+            # only belongs to the type inside angle brackets; at angle
+            # depth zero it separates parameters/declarators.
+            j = i - 1
+            type_seen = False
+            angle = 0
+            while j >= 0:
+                v = toks[j].value
+                if toks[j].kind == "id" and v not in CXX_KEYWORDS:
+                    type_seen = True
+                    j -= 1
+                elif v == ">":
+                    angle += 1
+                    j -= 1
+                elif v == "<" and angle > 0:
+                    angle -= 1
+                    j -= 1
+                elif v in {"::", "const"} and type_seen:
+                    j -= 1
+                elif v == "," and angle > 0:
+                    j -= 1
+                else:
+                    break
+            if type_seen and (j < 0 or toks[j].value in boundary):
+                ptrs.add(toks[name_i].value)
+        return ptrs
+
+    def _check_pointer_order(self, path, toks):
+        ptrs = self._collect_pointer_vars(toks)
+        n = len(toks)
+        rel = {"<", ">", "<=", ">="}
+        for i in range(1, n - 1):
+            t = toks[i]
+            if t.value in rel and toks[i - 1].kind == "id" \
+                    and toks[i + 1].kind == "id" \
+                    and toks[i - 1].value in ptrs \
+                    and toks[i + 1].value in ptrs:
+                self.note(
+                    "pointer-order", path, t.line,
+                    f"relational comparison of pointers "
+                    f"'{toks[i - 1].value} {t.value} {toks[i + 1].value}'; "
+                    "pointer values depend on allocator state -- order "
+                    "by a stable id instead")
+            # std::less<T*>, std::map<T*, ...>, std::set<T*>
+            if t.kind == "id" and t.value in ORDERED_PTR_TEMPLATES \
+                    and i >= 2 and toks[i - 1].value == "::" \
+                    and toks[i - 2].value == "std" \
+                    and i + 1 < n and toks[i + 1].value == "<":
+                end = match_balanced(toks, i + 1, "<", ">")
+                inner = toks[i + 2:end - 1]
+                depth = 0
+                for k, h in enumerate(inner):
+                    if h.value == "<":
+                        depth += 1
+                    elif h.value == ">":
+                        depth -= 1
+                    elif h.value == "*" and depth == 0:
+                        nxt = inner[k + 1].value if k + 1 < len(inner) \
+                            else ">"
+                        if nxt in {",", ">"} or k == len(inner) - 1:
+                            self.note(
+                                "pointer-order", path, t.line,
+                                f"std::{t.value} ordered by a pointer "
+                                "type; pointer order is heap-layout "
+                                "dependent -- key by a stable id")
+                            break
+
+    # -- wall-clock ----------------------------------------------------
+
+    @staticmethod
+    def _is_call_context(toks, i):
+        """True when toks[i] (an identifier followed by '(') reads as
+        a free-function call rather than a member access, a qualified
+        name, or a declaration like `long time()`."""
+        if i == 0:
+            return True
+        p = toks[i - 1]
+        if p.value in {".", "->", "::"}:
+            return False
+        if p.kind == "id" and p.value not in CXX_KEYWORDS:
+            return False  # `long time(` / `int rand(` declares, not calls
+        return True
+
+    def _alias_targets(self, toks, target_head):
+        """Names aliased (using X = / namespace X =) to something
+        whose definition mentions target_head (e.g. 'chrono')."""
+        aliases = set()
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.value not in {"using", "namespace"}:
+                continue
+            if t.value == "using" and i + 2 < n \
+                    and toks[i + 1].kind == "id" \
+                    and toks[i + 2].value == "=":
+                j = i + 3
+            elif t.value == "namespace" and i + 2 < n \
+                    and toks[i + 1].kind == "id" \
+                    and toks[i + 2].value == "=":
+                j = i + 3
+            else:
+                continue
+            while j < n and toks[j].value != ";":
+                if toks[j].value == target_head:
+                    aliases.add(toks[i + 1].value)
+                    break
+                j += 1
+        return aliases
+
+    def _check_wall_clock(self, path, toks, note_check="wall-clock"):
+        aliases = self._alias_targets(toks, "chrono")
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            prev = toks[i - 1].value if i > 0 else ""
+            nxt = toks[i + 1].value if i + 1 < n else ""
+            if t.value == "chrono" and prev == "::":
+                self.note(note_check, path, t.line,
+                          "std::chrono in simulation code; take time "
+                          "from sim::Simulator::now()")
+            elif t.value in WALL_CLOCK_CLOCKS and nxt == "::":
+                self.note(note_check, path, t.line,
+                          f"{t.value} in simulation code; take time "
+                          "from sim::Simulator::now()")
+            elif t.value in WALL_CLOCK_IDS and nxt == "(" \
+                    and self._is_call_context(toks, i):
+                self.note(note_check, path, t.line,
+                          f"wall-clock call {t.value}(); take time "
+                          "from sim::Simulator::now()")
+            elif t.value == "time" and nxt == "(" \
+                    and self._is_call_context(toks, i):
+                args_end = match_balanced(toks, i + 1, "(", ")")
+                args = [a.value for a in toks[i + 2:args_end - 1]]
+                if args in ([], ["0"], ["NULL"], ["nullptr"]):
+                    self.note(note_check, path, t.line,
+                              "time() wall-clock read; take time from "
+                              "sim::Simulator::now()")
+            elif t.value in aliases and nxt in {"::", "{", "("}:
+                self.note(note_check, path, t.line,
+                          f"'{t.value}' aliases std::chrono; take time "
+                          "from sim::Simulator::now()")
+
+    # -- foreign-rng ---------------------------------------------------
+
+    def _check_foreign_rng(self, path, toks):
+        alias_srcs = set()
+        n = len(toks)
+        # using G = std::mt19937; -> later `G g;` or `G(...)`
+        for i, t in enumerate(toks):
+            if t.value == "using" and i + 2 < n \
+                    and toks[i + 1].kind == "id" \
+                    and toks[i + 2].value == "=":
+                j = i + 3
+                while j < n and toks[j].value != ";":
+                    if toks[j].value in RNG_TYPES:
+                        alias_srcs.add(toks[i + 1].value)
+                        break
+                    j += 1
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            prev = toks[i - 1].value if i > 0 else ""
+            nxt = toks[i + 1].value if i + 1 < n else ""
+            if t.value in RNG_TYPES and prev in {"::", ""}:
+                self.note("foreign-rng", path, t.line,
+                          f"std::{t.value}; fork altoc::Rng so seeds "
+                          "stay deterministic")
+            elif t.value in RNG_CALLS and nxt == "(" \
+                    and self._is_call_context(toks, i):
+                self.note("foreign-rng", path, t.line,
+                          f"{t.value}(); fork altoc::Rng so seeds "
+                          "stay deterministic")
+            elif t.value == "rand" and nxt == "(" \
+                    and self._is_call_context(toks, i):
+                self.note("foreign-rng", path, t.line,
+                          "rand(); fork altoc::Rng so seeds stay "
+                          "deterministic")
+            elif t.value in alias_srcs and prev not in {"=", "using"}:
+                used = nxt in {"(", "{", "::"} or \
+                    (i + 1 < n and toks[i + 1].kind == "id")
+                if used:
+                    self.note("foreign-rng", path, t.line,
+                              f"'{t.value}' aliases a std RNG engine; "
+                              "fork altoc::Rng so seeds stay "
+                              "deterministic")
+
+    # -- hot-path-alloc ------------------------------------------------
+
+    def _index_functions(self):
+        """Best-effort function definition index: (class?, name, body
+        tokens). Tracks class/struct context for in-class bodies and
+        Class::name qualifiers for out-of-line ones."""
+        defs = []
+        for path, toks in self.toks.items():
+            n = len(toks)
+            class_stack = []  # (name, brace_depth_at_open)
+            depth = 0
+            i = 0
+            while i < n:
+                t = toks[i]
+                v = t.value
+                if v == "{":
+                    depth += 1
+                    i += 1
+                    continue
+                if v == "}":
+                    depth -= 1
+                    if class_stack and depth < class_stack[-1][1]:
+                        class_stack.pop()
+                    i += 1
+                    continue
+                if v in {"class", "struct"} and t.kind == "id" \
+                        and i + 1 < n and toks[i + 1].kind == "id":
+                    # lookahead for '{' before ';' -> a definition
+                    j = i + 2
+                    while j < n and toks[j].value not in {"{", ";"}:
+                        j += 1
+                    if j < n and toks[j].value == "{":
+                        class_stack.append((toks[i + 1].value, depth + 1))
+                    i += 1
+                    continue
+                # candidate function name
+                if t.kind == "id" and v not in CXX_KEYWORDS \
+                        and i + 1 < n and toks[i + 1].value == "(":
+                    close = match_balanced(toks, i + 1, "(", ")")
+                    j = close
+                    # skip qualifiers / trailing bits before the body
+                    while j < n and (
+                            toks[j].kind == "id"
+                            or toks[j].value in {"const", "noexcept",
+                                                 "override", "final",
+                                                 "->", "::", "&", "&&",
+                                                 "*", "<", ">", ",",
+                                                 "..."}):
+                        if toks[j].value == "noexcept" and j + 1 < n \
+                                and toks[j + 1].value == "(":
+                            j = match_balanced(toks, j + 1, "(", ")")
+                        elif toks[j].kind == "id" and j + 1 < n \
+                                and toks[j + 1].value == "(" \
+                                and toks[j].value.startswith("ALTOC_"):
+                            j = match_balanced(toks, j + 1, "(", ")")
+                        else:
+                            j += 1
+                    # constructor member-initializer list
+                    if j < n and toks[j].value == ":":
+                        j += 1
+                        while j < n:
+                            while j < n and (toks[j].kind == "id"
+                                             or toks[j].value == "::"):
+                                j += 1
+                            if j < n and toks[j].value == "<":
+                                j = match_balanced(toks, j, "<", ">")
+                            if j >= n or toks[j].value not in {"(", "{"}:
+                                break
+                            closer = ")" if toks[j].value == "(" else "}"
+                            j = match_balanced(toks, j, toks[j].value,
+                                               closer)
+                            if j < n and toks[j].value == ",":
+                                j += 1
+                            else:
+                                break
+                    if j < n and toks[j].value == "{":
+                        body_end = match_balanced(toks, j, "{", "}")
+                        cls = None
+                        if i >= 2 and toks[i - 1].value == "::" \
+                                and toks[i - 2].kind == "id":
+                            cls = toks[i - 2].value
+                        elif class_stack:
+                            cls = class_stack[-1][0]
+                        defs.append(FnDef(cls, v, path, t.line,
+                                          toks[j + 1:body_end - 1]))
+                        # Skip the whole body: its braces are balanced,
+                        # so depth and the class stack stay consistent.
+                        i = body_end
+                        continue
+                    i = close if close > i else i + 1
+                    continue
+                i += 1
+        return defs
+
+    def _body_calls(self, fn):
+        """Call sites in a body: (receiver_kind, qualifier, name)."""
+        calls = []
+        toks = fn.body
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.value in CXX_KEYWORDS:
+                continue
+            if i + 1 >= n or toks[i + 1].value != "(":
+                continue
+            prev = toks[i - 1].value if i > 0 else ""
+            if prev in {".", "->"}:
+                calls.append(("method", None, t.value))
+            elif prev == "::" and i >= 2 and toks[i - 2].kind == "id":
+                calls.append(("qualified", toks[i - 2].value, t.value))
+            else:
+                calls.append(("bare", None, t.value))
+        return calls
+
+    def _body_violations(self, fn):
+        """Direct hot-path violations inside one function body."""
+        out = []
+        toks = fn.body
+        n = len(toks)
+        for i, t in enumerate(toks):
+            v = t.value
+            if v == "new":
+                nxt = toks[i + 1].value if i + 1 < n else ""
+                if nxt != "(":  # `new (buf) T` placement is allowed
+                    out.append((t.line, "heap `new` expression"))
+            elif v == "throw":
+                out.append((t.line, "throw site"))
+            elif v == "function" and i >= 2 \
+                    and toks[i - 1].value == "::" \
+                    and toks[i - 2].value == "std":
+                out.append((t.line, "std::function construction"))
+            elif t.kind == "id" and v in ALLOC_CALLS and i + 1 < n \
+                    and toks[i + 1].value == "(":
+                out.append((t.line, f"allocation call {v}()"))
+        return out
+
+    def _check_hot_paths(self):
+        defs = self._index_functions()
+        by_name = defaultdict(list)
+        by_cls_name = defaultdict(list)
+        for d in defs:
+            by_name[d.name].append(d)
+            by_cls_name[(d.cls, d.name)].append(d)
+
+        roots = []
+        for path, toks in self.toks.items():
+            for cls, name, line in scan_hot_roots(path, toks):
+                cand = by_cls_name.get((cls, name)) or by_name.get(name)
+                if cand:
+                    roots.extend(cand)
+
+        if not roots:
+            return  # nothing annotated in this tree (e.g. fixtures)
+
+        def resolve(fn, call):
+            kind, qual, name = call
+            if kind == "qualified":
+                hit = by_cls_name.get((qual, name))
+                return hit or []
+            if kind == "method":
+                return [d for d in by_name.get(name, []) if d.cls]
+            # bare: same class first, then free functions
+            if fn.cls:
+                hit = by_cls_name.get((fn.cls, name))
+                if hit:
+                    return hit
+            return [d for d in by_name.get(name, []) if d.cls is None]
+
+        seen = set()
+        work = [(d, [d.qual]) for d in roots]
+        while work:
+            fn, chain = work.pop()
+            key = (fn.path, fn.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            for line, what in self._body_violations(fn):
+                self.note("hot-path-alloc", fn.path, line,
+                          f"{what} in {fn.qual}(), reachable from "
+                          f"hot path", chain=chain)
+            for call in self._body_calls(fn):
+                for callee in resolve(fn, call):
+                    if (callee.path, callee.line) not in seen:
+                        work.append((callee, chain + [callee.qual]))
+
+
+# ---------------------------------------------------------------------
+# libclang engine
+# ---------------------------------------------------------------------
+
+class ClangEngine:
+    """Checks on the real clang AST, driven by compile_commands.json.
+    Canonical types see through using-aliases for free; call graphs
+    resolve through referenced declarations instead of name matching.
+    Only instantiated when the bindings import and a probe parse
+    succeeds."""
+
+    name = "clang"
+
+    def __init__(self, files, build_dir, extra_args=None):
+        import clang.cindex as ci  # noqa: probed by make_engine
+        self.ci = ci
+        self.files = files
+        self.build_dir = build_dir
+        self.extra_args = extra_args or []
+        self.findings = []
+        self.index = ci.Index.create()
+        self.compile_args = self._load_compile_db()
+
+    def note(self, check, path, line, msg, chain=None):
+        self.findings.append(Finding(check, path, line, msg, chain))
+
+    def _load_compile_db(self):
+        db_path = os.path.join(self.build_dir, "compile_commands.json")
+        args_by_file = {}
+        if not os.path.exists(db_path):
+            return args_by_file
+        with open(db_path, encoding="utf-8") as fh:
+            for entry in json.load(fh):
+                args = entry.get("arguments")
+                if not args:
+                    args = entry.get("command", "").split()
+                filtered = []
+                skip = False
+                for a in args[1:]:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in {"-c", "-o"}:
+                        skip = a == "-o"
+                        continue
+                    if a.endswith((".cc", ".cpp", ".o")):
+                        continue
+                    filtered.append(a)
+                args_by_file[os.path.abspath(entry["file"])] = filtered
+        return args_by_file
+
+    def _parse(self, path):
+        args = self.compile_args.get(os.path.abspath(path))
+        if args is None:
+            args = ["-std=c++20", "-xc++"] + self.extra_args
+        tu = self.index.parse(path, args=args)
+        return tu
+
+    def run(self):
+        self.scope_abs = {os.path.abspath(p) for p in self.files}
+        # Headers are analyzed through the TUs that include them; a
+        # header no TU includes is parsed standalone.
+        seen_headers = set()
+        tus = []
+        for path in sorted(self.files):
+            if path.endswith(".cc") or path.endswith(".cpp"):
+                tus.append((path, self._parse(path)))
+        for path, tu in tus:
+            for inc in tu.get_includes():
+                if inc.include and \
+                        os.path.abspath(inc.include.name) in self.scope_abs:
+                    seen_headers.add(os.path.abspath(inc.include.name))
+        for path in sorted(self.files):
+            if path.endswith(".hh") and \
+                    os.path.abspath(path) not in seen_headers:
+                tus.append((path, self._parse(path)))
+
+        graph = {}
+        hot_usrs = []
+        text_roots = set()
+        for path, text in self.files.items():
+            for cls, fname, _line in scan_hot_roots(path, tokenize(text)):
+                text_roots.add((cls, fname))
+
+        for path, tu in tus:
+            for diag in tu.diagnostics:
+                if diag.severity >= diag.Fatal:
+                    print(f"altoc-analyze: [clang] parse trouble in "
+                          f"{path}: {diag.spelling}", file=sys.stderr)
+            self._walk_tu(tu, graph, hot_usrs, text_roots)
+
+        self._walk_hot_graph(graph, hot_usrs)
+        return self.findings
+
+    # -- AST traversal -------------------------------------------------
+
+    def _walk_tu(self, tu, graph, hot_usrs, text_roots):
+        ci = self.ci
+        K = ci.CursorKind
+
+        def canon(cursor_type):
+            try:
+                return cursor_type.get_canonical().spelling
+            except Exception:
+                return cursor_type.spelling
+
+        def visit(cursor, current_fn):
+            kind = cursor.kind
+            in_scope = cursor.location.file is not None and \
+                os.path.abspath(cursor.location.file.name) in self.scope_abs
+            path = (os.path.relpath(cursor.location.file.name)
+                    if in_scope else None)
+            line = cursor.location.line
+
+            if kind in (K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+                        K.DESTRUCTOR, K.FUNCTION_TEMPLATE) \
+                    and cursor.is_definition():
+                usr = cursor.get_usr()
+                entry = graph.setdefault(usr, {
+                    "name": cursor.spelling,
+                    "qual": self._qual_name(cursor),
+                    "path": path, "line": line,
+                    "calls": set(), "violations": [],
+                })
+                cls = None
+                if cursor.semantic_parent is not None and \
+                        cursor.semantic_parent.kind in (
+                            K.CLASS_DECL, K.STRUCT_DECL,
+                            K.CLASS_TEMPLATE):
+                    cls = cursor.semantic_parent.spelling
+                is_hot = (cls, cursor.spelling) in text_roots or \
+                    (None, cursor.spelling) in text_roots and cls is None
+                for child in cursor.get_children():
+                    if child.kind == K.ANNOTATE_ATTR and \
+                            child.spelling == "altoc::hot":
+                        is_hot = True
+                if is_hot and in_scope:
+                    hot_usrs.append(usr)
+                current_fn = entry if in_scope else None
+
+            if in_scope:
+                self._check_cursor(cursor, path, line, current_fn, canon)
+
+            for child in cursor.get_children():
+                visit(child, current_fn)
+
+        visit(tu.cursor, None)
+
+    def _qual_name(self, cursor):
+        K = self.ci.CursorKind
+        parts = [cursor.spelling]
+        p = cursor.semantic_parent
+        while p is not None and p.kind in (K.CLASS_DECL, K.STRUCT_DECL,
+                                           K.NAMESPACE, K.CLASS_TEMPLATE):
+            if p.spelling:
+                parts.append(p.spelling)
+            p = p.semantic_parent
+        return "::".join(reversed(parts))
+
+    def _check_cursor(self, cursor, path, line, current_fn, canon):
+        ci = self.ci
+        K = ci.CursorKind
+
+        if cursor.kind == K.CXX_FOR_RANGE_STMT:
+            children = list(cursor.get_children())
+            if len(children) >= 2:
+                range_t = canon(children[-2].type)
+                if "unordered_map" in range_t or \
+                        "unordered_set" in range_t or \
+                        "unordered_multi" in range_t:
+                    self.note("unordered-iter", path, line,
+                              f"range-for over {range_t.split('<')[0]}; "
+                              "iterate a sorted snapshot or a flat "
+                              "ordered container")
+        elif cursor.kind == K.BINARY_OPERATOR:
+            kids = list(cursor.get_children())
+            if len(kids) == 2:
+                lt = kids[0].type.get_canonical()
+                rt = kids[1].type.get_canonical()
+                if lt.kind == ci.TypeKind.POINTER and \
+                        rt.kind == ci.TypeKind.POINTER:
+                    toks = [t.spelling for t in cursor.get_tokens()]
+                    if any(op in toks for op in ("<", ">", "<=", ">=")):
+                        self.note("pointer-order", path, line,
+                                  "relational comparison of pointers; "
+                                  "order by a stable id instead")
+        elif cursor.kind in (K.DECL_REF_EXPR, K.TYPE_REF, K.CALL_EXPR,
+                             K.VAR_DECL):
+            ref = cursor.referenced if cursor.kind != K.VAR_DECL else None
+            names = []
+            if ref is not None:
+                names.append(self._qual_name(ref))
+            t = canon(cursor.type) if cursor.type is not None else ""
+            if t:
+                names.append(t)
+            joined = " ".join(names)
+            if "std::chrono" in joined or any(
+                    c in joined for c in WALL_CLOCK_CLOCKS) or \
+                    any(f"{w}" == (ref.spelling if ref else "")
+                        for w in WALL_CLOCK_IDS):
+                self.note("wall-clock", path, line,
+                          "wall-clock time in simulation code; use "
+                          "sim::Simulator::now()")
+            elif any(f"std::{r}" in joined for r in RNG_TYPES) or \
+                    (ref is not None and ref.spelling in
+                     RNG_CALLS | {"rand"}):
+                self.note("foreign-rng", path, line,
+                          "foreign RNG; fork altoc::Rng so seeds stay "
+                          "deterministic")
+            if cursor.kind == K.VAR_DECL and t:
+                key = t.split("<", 1)[0]
+                if key.startswith(("std::less", "std::greater",
+                                   "std::map", "std::set",
+                                   "std::multimap", "std::multiset")) \
+                        and "*" in t.split("<", 1)[-1].split(",")[0]:
+                    self.note("pointer-order", path, line,
+                              f"{key} keyed/ordered by a pointer type; "
+                              "key by a stable id")
+        # hot-path violations & call edges, attributed to the
+        # enclosing function entry
+        if current_fn is not None:
+            if cursor.kind == K.CXX_NEW_EXPR:
+                toks = [t.spelling for t in cursor.get_tokens()][:2]
+                if toks[1:2] != ["("]:
+                    current_fn["violations"].append(
+                        (path, line, "heap `new` expression"))
+            elif cursor.kind == K.CXX_THROW_EXPR:
+                current_fn["violations"].append((path, line,
+                                                 "throw site"))
+            elif cursor.kind == K.VAR_DECL and cursor.type is not None:
+                if canon(cursor.type).startswith("std::function<"):
+                    current_fn["violations"].append(
+                        (path, line, "std::function construction"))
+            elif cursor.kind == K.CALL_EXPR and \
+                    cursor.referenced is not None:
+                ref = cursor.referenced
+                if ref.spelling in ALLOC_CALLS:
+                    current_fn["violations"].append(
+                        (path, line, f"allocation call "
+                                     f"{ref.spelling}()"))
+                usr = ref.get_usr()
+                if usr:
+                    current_fn["calls"].add(usr)
+
+    def _walk_hot_graph(self, graph, hot_usrs):
+        seen = set()
+        work = [(u, [graph[u]["qual"]]) for u in hot_usrs if u in graph]
+        while work:
+            usr, chain = work.pop()
+            if usr in seen or usr not in graph:
+                continue
+            seen.add(usr)
+            entry = graph[usr]
+            for path, line, what in entry["violations"]:
+                if path is None:
+                    continue
+                self.note("hot-path-alloc", path, line,
+                          f"{what} in {entry['qual']}(), reachable "
+                          "from hot path", chain=chain)
+            for callee in sorted(entry["calls"]):
+                if callee not in seen and callee in graph:
+                    work.append(
+                        (callee, chain + [graph[callee]["qual"]]))
+
+
+# ---------------------------------------------------------------------
+# Engine selection
+# ---------------------------------------------------------------------
+
+def clang_available():
+    try:
+        import clang.cindex as ci
+        index = ci.Index.create()
+        tu = index.parse("probe.cc", args=["-std=c++20", "-xc++"],
+                         unsaved_files=[("probe.cc", "int x = 1;")])
+        return any(c.spelling == "x" for c in tu.cursor.get_children())
+    except Exception:
+        return False
+
+
+def make_engine(engine_name, files, build_dir, extra_args=None):
+    if engine_name == "clang" or (engine_name == "auto"
+                                  and clang_available()):
+        try:
+            return ClangEngine(files, build_dir, extra_args)
+        except Exception as exc:
+            if engine_name == "clang":
+                print(f"altoc-analyze: clang engine unavailable: {exc}",
+                      file=sys.stderr)
+                sys.exit(2)
+    return FallbackEngine(files)
+
+
+# ---------------------------------------------------------------------
+# File collection
+# ---------------------------------------------------------------------
+
+def collect_files(paths):
+    files = {}
+    for root in paths:
+        if os.path.isfile(root):
+            with open(root, encoding="utf-8", errors="replace") as fh:
+                files[root] = fh.read()
+            continue
+        for dirpath, _dirs, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith((".cc", ".hh", ".cpp", ".hpp")):
+                    p = os.path.join(dirpath, name)
+                    with open(p, encoding="utf-8",
+                              errors="replace") as fh:
+                        files[p] = fh.read()
+    return files
+
+
+# ---------------------------------------------------------------------
+# Self-test over the fixture suite
+# ---------------------------------------------------------------------
+
+def parse_expectations(files):
+    expected = set()
+    for path, text in files.items():
+        for lineno, raw in enumerate(text.splitlines(), 1):
+            m = EXPECT_RE.search(raw)
+            if not m:
+                continue
+            for check in m.group(1).split(","):
+                check = check.strip()
+                if check:
+                    expected.add((path, lineno, check))
+    return expected
+
+
+def run_self_test(fixture_dir, engine_name, build_dir):
+    files = collect_files([fixture_dir])
+    if not files:
+        print(f"altoc-analyze: no fixtures under {fixture_dir}",
+              file=sys.stderr)
+        return 2
+    engines = []
+    if engine_name in ("auto", "fallback"):
+        engines.append("fallback")
+    if engine_name == "clang" or (engine_name == "auto"
+                                  and clang_available()):
+        engines.append("clang")
+
+    status = 0
+    for name in engines:
+        engine = make_engine(name, files,
+                             build_dir, extra_args=["-I", fixture_dir])
+        findings = engine.run()
+        all_waivers = []
+        for path, text in files.items():
+            all_waivers.extend(scan_waivers(path, text, findings))
+        active, _stale = apply_waivers(findings, all_waivers)
+        got = {(f.path, f.line, f.check) for f in active}
+        expected = parse_expectations(files)
+        missing = expected - got
+        surprise = got - expected
+        label = f"self-test[{engine.name}]"
+        for path, line, check in sorted(missing):
+            print(f"{label}: MISSING expected finding "
+                  f"[{check}] at {path}:{line}")
+            status = 1
+        for path, line, check in sorted(surprise):
+            print(f"{label}: UNEXPECTED finding [{check}] at "
+                  f"{path}:{line}")
+            status = 1
+        print(f"{label}: {len(expected)} expected findings, "
+              f"{len(got)} produced, "
+              f"{'ok' if not (missing or surprise) else 'FAILED'}")
+    return status
+
+
+# ---------------------------------------------------------------------
+# main
+# ---------------------------------------------------------------------
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="altoc_analyze.py",
+        description="AST-level determinism & concurrency checks")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files/directories to analyze (default: src)")
+    ap.add_argument("--build-dir", default="build",
+                    help="build tree holding compile_commands.json")
+    ap.add_argument("--engine", choices=["auto", "clang", "fallback"],
+                    default="auto")
+    ap.add_argument("--report", metavar="FILE",
+                    help="also write the findings report to FILE")
+    ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("--list-waivers", action="store_true",
+                    help="print the waiver inventory and exit")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the seeded-violation fixture suite")
+    ap.add_argument("--fixtures", default="tests/analyze_fixtures",
+                    help="fixture directory for --self-test")
+    args = ap.parse_args(argv)
+
+    if args.list_checks:
+        for name, desc in CHECKS.items():
+            print(f"{name:16} {desc}")
+        return 0
+
+    if args.self_test:
+        return run_self_test(args.fixtures, args.engine, args.build_dir)
+
+    paths = args.paths or ["src"]
+    for p in paths:
+        if not os.path.exists(p):
+            print(f"altoc-analyze: no such path: {p}", file=sys.stderr)
+            return 2
+    files = collect_files(paths)
+
+    findings = []
+    all_waivers = []
+    for path, text in files.items():
+        all_waivers.extend(scan_waivers(path, text, findings))
+
+    if args.list_waivers:
+        if not all_waivers:
+            print("altoc-analyze: no waivers")
+            return 0
+        for w in sorted(all_waivers, key=lambda w: (w.path, w.line)):
+            print(f"{w.path}:{w.line}: allow({w.check}) -- {w.reason}")
+        print(f"altoc-analyze: {len(all_waivers)} waiver(s)")
+        return 0
+
+    engine = make_engine(args.engine, files, args.build_dir)
+    findings.extend(engine.run())
+    active, stale = apply_waivers(findings, all_waivers)
+
+    lines = [f"altoc-analyze: engine={engine.name}, "
+             f"{len(files)} files, {len(CHECKS)} checks"]
+    for f in sorted(active, key=lambda f: (f.path, f.line, f.check)):
+        lines.append(f.render())
+    for w in stale:
+        lines.append(f"[stale-waiver] {w.path}:{w.line}: waiver for "
+                     f"'{w.check}' suppressed nothing (warning only)")
+    waived = sum(1 for f in findings if f.waived)
+    lines.append(
+        f"altoc-analyze: {len(active)} finding(s), {waived} waived, "
+        f"{len(stale)} stale waiver(s)"
+        + (" -- FAILED" if active else " -- clean"))
+    report = "\n".join(lines)
+    print(report)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,36 +1,73 @@
 #!/usr/bin/env bash
 # Project-specific smell checks that clang-tidy cannot express.
 #
-# Usage: scripts/lint.sh
+# Usage: scripts/lint.sh [--list-waivers]
 #
 # Each rule greps the library sources (src/) for an idiom this
-# codebase bans; see the rule comments for the rationale. A line can
-# opt out with a trailing `lint:allow` comment, which should name the
-# reason. Exits non-zero listing every offending file:line.
+# codebase bans; see the rule comments for the rationale. Exits
+# non-zero listing every offending file:line.
+#
+# Waiver grammar (enforced): a line opts out of exactly one rule with
+#
+#     // ... lint:allow <rule>: <reason>
+#
+# The rule name scopes the waiver (it never silences other rules that
+# match the same line) and the reason is mandatory -- a reason-less or
+# malformed waiver is itself a lint failure. `--list-waivers` prints
+# the current waiver inventory and exits.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
+
+list_waivers() {
+    local hits
+    hits=$(grep -rn --include='*.cc' --include='*.hh' 'lint:allow' src |
+        sed -E 's/^([^:]+:[0-9]+):.*lint:allow ([a-z-]+): *(.*)$/\1: [\2] \3/')
+    if [ -z "$hits" ]; then
+        echo "lint: no waivers"
+    else
+        echo "$hits"
+        echo "lint: $(echo "$hits" | wc -l) waiver(s)"
+    fi
+}
+
+if [ "${1:-}" = "--list-waivers" ]; then
+    list_waivers
+    exit 0
+fi
 
 fail=0
 
 # Strip line comments and block-comment-ish lines so prose mentioning
 # banned words (e.g. "accept new work") does not trip the rules, then
-# drop lines carrying an explicit lint:allow waiver.
+# drop lines waived *for this specific rule* (lint:allow <rule>: ...).
 code_lines() {
-    grep -rn --include='*.cc' --include='*.hh' -E "$1" src |
-        grep -vE 'lint:allow' |
+    local pattern=$1 rulename=$2
+    grep -rn --include='*.cc' --include='*.hh' -E "$pattern" src |
+        grep -vE "lint:allow ${rulename}: ." |
         grep -vE '^[^:]+:[0-9]+:\s*(//|\*|/\*)'
 }
 
 rule() {
     local name=$1 pattern=$2 why=$3 hits
-    hits=$(code_lines "$pattern")
+    hits=$(code_lines "$pattern" "$name")
     if [ -n "$hits" ]; then
         echo "lint: [$name] $why"
         echo "$hits" | sed 's/^/    /'
         fail=1
     fi
 }
+
+# Waiver hygiene: every lint:allow in the tree must name a known rule
+# and carry a non-empty same-line reason after the colon.
+known_rules='naked-new|wall-clock|raw-tick-literal|foreign-rng|iostream|raw-schedule|unguarded-queue-mutation'
+bad_waivers=$(grep -rn --include='*.cc' --include='*.hh' 'lint:allow' src |
+    grep -vE "lint:allow (${known_rules}): .")
+if [ -n "$bad_waivers" ]; then
+    echo "lint: [waiver-hygiene] lint:allow must read 'lint:allow <rule>: <reason>'"
+    echo "$bad_waivers" | sed 's/^/    /'
+    fail=1
+fi
 
 # Descriptors come from net::RpcPool and everything else is owned by
 # containers or unique_ptr; a naked new/delete is a leak in waiting

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Source-level annotations consumed by compilers and by the project
+ * analyzer (scripts/altoc_analyze.py).
+ *
+ * Two families live here:
+ *
+ *  - Thread-safety capability annotations (ALTOC_GUARDED_BY and
+ *    friends). Under Clang these expand to the attributes checked by
+ *    -Wthread-safety, so the lock discipline of common/thread_pool,
+ *    common/logging and system/parallel_run is proven at compile time
+ *    (the build adds -Werror=thread-safety when the compiler is
+ *    Clang; see ALTOC_THREAD_SAFETY in CMakeLists.txt). GCC compiles
+ *    them away.
+ *
+ *  - ALTOC_HOT, the descriptor-path marker. Functions tagged with it
+ *    are roots of the analyzer's transitive hot-path walk, which
+ *    asserts that no reachable project function contains a heap
+ *    `new`, constructs a std::function, or throws -- locking in the
+ *    zero-allocation hot path structurally, not just via the
+ *    allocation-counting tests. Both compilers also get the `hot`
+ *    optimizer hint out of it.
+ *
+ * Annotating a new hot path: tag the entry-point *definition* with
+ * ALTOC_HOT (before the return type), run
+ * `python3 scripts/altoc_analyze.py`, and either fix what the walk
+ * flags or waive a finding on its own line with
+ * `// altoc-analyze:allow(<check>) <reason>`. See DESIGN.md
+ * "Static analysis".
+ */
+
+#ifndef ALTOC_COMMON_ANNOTATIONS_HH
+#define ALTOC_COMMON_ANNOTATIONS_HH
+
+// ---------------------------------------------------------------------
+// Clang thread-safety analysis attributes
+// ---------------------------------------------------------------------
+
+#if defined(__clang__) && !defined(SWIG)
+#define ALTOC_TS_ATTR(x) __attribute__((x))
+#else
+#define ALTOC_TS_ATTR(x) // no-op outside Clang
+#endif
+
+/** Marks a type as a lockable capability (e.g. altoc::Mutex). */
+#define ALTOC_CAPABILITY(x) ALTOC_TS_ATTR(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its
+ *  dtor (e.g. altoc::MutexLock). */
+#define ALTOC_SCOPED_CAPABILITY ALTOC_TS_ATTR(scoped_lockable)
+
+/** Data member readable/writable only while holding the given lock. */
+#define ALTOC_GUARDED_BY(x) ALTOC_TS_ATTR(guarded_by(x))
+
+/** Pointer member whose pointee is guarded by the given lock. */
+#define ALTOC_PT_GUARDED_BY(x) ALTOC_TS_ATTR(pt_guarded_by(x))
+
+/** Function acquires the capability and holds it on return. */
+#define ALTOC_ACQUIRE(...) ALTOC_TS_ATTR(acquire_capability(__VA_ARGS__))
+
+/** Function releases a held capability. */
+#define ALTOC_RELEASE(...) ALTOC_TS_ATTR(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns the given value. */
+#define ALTOC_TRY_ACQUIRE(...) \
+    ALTOC_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must already hold the listed capabilities. */
+#define ALTOC_REQUIRES(...) ALTOC_TS_ATTR(requires_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed capabilities (the function
+ *  acquires them itself; calling with them held would deadlock). */
+#define ALTOC_EXCLUDES(...) ALTOC_TS_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Function returns a reference to the given capability. */
+#define ALTOC_RETURN_CAPABILITY(x) ALTOC_TS_ATTR(lock_returned(x))
+
+/** Escape hatch: disable the analysis for one function (use only
+ *  with a comment explaining why the discipline cannot be stated). */
+#define ALTOC_NO_THREAD_SAFETY_ANALYSIS \
+    ALTOC_TS_ATTR(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------
+// Hot-path marker
+// ---------------------------------------------------------------------
+
+/**
+ * Descriptor-path entry point: scripts/altoc_analyze.py walks the
+ * call graph from every ALTOC_HOT function and rejects reachable
+ * heap `new` expressions, std::function construction and throw
+ * sites. Doubles as the `hot` optimizer hint for both compilers.
+ */
+#if defined(__clang__)
+#define ALTOC_HOT __attribute__((hot, annotate("altoc::hot")))
+#else
+#define ALTOC_HOT __attribute__((hot))
+#endif
+
+#endif // ALTOC_COMMON_ANNOTATIONS_HH

@@ -38,9 +38,8 @@ class Fnv1a
     std::uint64_t digest() const { return h_; }
 
   private:
-    // FNV-1a basis/prime, not durations. lint:allow raw-tick-literal
-    static constexpr std::uint64_t kOffset = 14695981039346656037ull; // lint:allow raw-tick-literal
-    static constexpr std::uint64_t kPrime = 1099511628211ull; // lint:allow raw-tick-literal
+    static constexpr std::uint64_t kOffset = 14695981039346656037ull; // lint:allow raw-tick-literal: FNV-1a offset basis, not a duration
+    static constexpr std::uint64_t kPrime = 1099511628211ull; // lint:allow raw-tick-literal: FNV-1a prime, not a duration
 
     std::uint64_t h_ = kOffset;
 };

@@ -7,7 +7,9 @@
 
 #include <cstdarg>
 #include <cstdio>
-#include <mutex>
+
+#include "common/annotations.hh"
+#include "common/mutex.hh"
 
 namespace altoc {
 namespace detail {
@@ -15,12 +17,17 @@ namespace detail {
 namespace {
 
 /** Serializes the stderr sink: parallel experiment workers may warn
- *  concurrently and their lines must not interleave. */
-std::mutex &
-sinkMutex()
+ *  concurrently and their lines must not interleave. constinit-safe
+ *  (std::mutex is constexpr-constructible), so it is usable from any
+ *  static initialization context. */
+Mutex sink_mutex;
+
+/** The one place a log line hits stderr; callers hold the sink. */
+void
+writeLine(const char *kind, const std::string &msg)
+    ALTOC_REQUIRES(sink_mutex)
 {
-    static std::mutex m;
-    return m;
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
 }
 
 } // namespace
@@ -49,9 +56,8 @@ logAbort(const char *kind, const char *file, int line,
          const std::string &msg)
 {
     {
-        std::lock_guard<std::mutex> lock(sinkMutex());
-        std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(),
-                     file, line);
+        MutexLock lock(sink_mutex);
+        writeLine(kind, vformat("%s (%s:%d)", msg.c_str(), file, line));
         std::fflush(stderr);
     }
     if (std::string(kind) == "fatal")
@@ -62,8 +68,8 @@ logAbort(const char *kind, const char *file, int line,
 void
 logPrint(const char *kind, const std::string &msg)
 {
-    std::lock_guard<std::mutex> lock(sinkMutex());
-    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    MutexLock lock(sink_mutex);
+    writeLine(kind, msg);
 }
 
 } // namespace detail

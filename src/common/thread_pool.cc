@@ -34,7 +34,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -55,8 +55,12 @@ ThreadPool::workerLoop()
     for (;;) {
         InlineFn task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            // Open-coded predicate wait: a wait(lock, lambda) would
+            // read the guarded members from a lambda body the
+            // thread-safety analysis cannot attribute to this scope.
+            while (!stop_ && queue_.empty())
+                cv_.wait(mutex_);
             if (queue_.empty())
                 return; // stop requested and nothing left to drain
             task = std::move(queue_.front());

@@ -21,16 +21,16 @@
 #ifndef ALTOC_COMMON_THREAD_POOL_HH
 #define ALTOC_COMMON_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/inline_fn.hh"
+#include "common/mutex.hh"
 
 namespace altoc {
 
@@ -54,8 +54,8 @@ class ThreadPool
      * caller is already one of this pool's workers.
      */
     template <typename F>
-    auto
-    submit(F fn) -> std::future<std::invoke_result_t<F>>
+    std::future<std::invoke_result_t<F>>
+    submit(F fn) ALTOC_EXCLUDES(mutex_)
     {
         using R = std::invoke_result_t<F>;
         // The packaged_task is move-captured straight into the queued
@@ -69,7 +69,7 @@ class ThreadPool
             return result;
         }
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             queue_.emplace_back(
                 [t = std::move(task)]() mutable { t(); });
         }
@@ -98,13 +98,13 @@ class ThreadPool
     static unsigned defaultJobs();
 
   private:
-    void workerLoop();
+    void workerLoop() ALTOC_EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_;
-    std::deque<InlineFn> queue_;
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    mutable Mutex mutex_;
+    CondVar cv_;
+    std::deque<InlineFn> queue_ ALTOC_GUARDED_BY(mutex_);
+    bool stop_ ALTOC_GUARDED_BY(mutex_) = false;
 };
 
 /**

@@ -9,6 +9,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "common/annotations.hh"
 #include "core/invariants.hh"
 #include "sim/fault_injector.hh"
 
@@ -129,7 +130,7 @@ GroupScheduler::start()
     }
 }
 
-void
+ALTOC_HOT void
 GroupScheduler::deliver(net::Rpc *r, unsigned queue)
 {
     altoc_assert(queue < groups_.size(), "group %u out of range", queue);
@@ -192,7 +193,7 @@ GroupScheduler::pump(unsigned g)
         pumpRss(g);
 }
 
-void
+ALTOC_HOT void
 GroupScheduler::pumpInt(unsigned g)
 {
     Group &grp = groups_[g];
@@ -259,7 +260,7 @@ GroupScheduler::arriveWorker(unsigned g, unsigned w, net::Rpc *r)
     tryRunWorker(g, w);
 }
 
-void
+ALTOC_HOT void
 GroupScheduler::tryRunWorker(unsigned g, unsigned w)
 {
     Group &grp = groups_[g];

@@ -26,6 +26,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/annotations.hh"
 #include "sim/fault_injector.hh"
 
 namespace altoc::core {
@@ -250,7 +251,7 @@ HwMessaging::sendMigrate(unsigned src, unsigned dst,
     return true;
 }
 
-void
+ALTOC_HOT void
 HwMessaging::drainSendFifo(std::uint64_t seq)
 {
     Pending *p = findPending(seq);
@@ -272,7 +273,7 @@ HwMessaging::releaseStaging(const Pending &p)
     }
 }
 
-void
+ALTOC_HOT void
 HwMessaging::deliverMigrate(std::uint64_t seq)
 {
     Pending *pp = findPending(seq);

@@ -6,6 +6,7 @@
 #include "net/nic.hh"
 
 #include "common/logging.hh"
+#include "common/annotations.hh"
 
 namespace altoc::net {
 
@@ -101,7 +102,7 @@ Nic::steer(const Rpc *r)
     return 0;
 }
 
-void
+ALTOC_HOT void
 Nic::receive(Rpc *r)
 {
     altoc_assert(static_cast<bool>(deliver_),

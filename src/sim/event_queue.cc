@@ -23,6 +23,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/annotations.hh"
 
 namespace altoc::sim {
 
@@ -154,7 +155,7 @@ EventQueue::peekTime()
     return heap_.empty() ? kTickInf : heap_.front().when;
 }
 
-Tick
+ALTOC_HOT Tick
 EventQueue::runOne()
 {
     skipDead();
@@ -176,7 +177,7 @@ EventQueue::runOne()
     return top.when;
 }
 
-Tick
+ALTOC_HOT Tick
 EventQueue::runOneBefore(Tick until, Tick &now_out)
 {
     skipDead();

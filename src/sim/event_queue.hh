@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/inline_fn.hh"
 #include "common/units.hh"
 
@@ -62,7 +63,7 @@ class EventQueue
      * a ready-made Callback moves in instead.
      */
     template <typename F>
-    EventId
+    ALTOC_HOT EventId
     schedule(Tick when, F &&cb)
     {
         const std::uint32_t slot = allocSlot();

@@ -38,6 +38,10 @@ struct RunJob
  * Execute every job (runExperiment) across @p jobs worker threads
  * (0 = ALTOC_JOBS env, else hardware concurrency; 1 = serial) and
  * return results in job order.
+ *
+ * Setting ALTOC_PROGRESS in the environment makes long batches emit
+ * inform() progress lines (roughly every tenth completion); results
+ * and stdout are unaffected.
  */
 std::vector<RunResult> runMany(const std::vector<RunJob> &batch,
                                unsigned jobs = 0);

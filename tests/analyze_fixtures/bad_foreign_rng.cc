@@ -1,0 +1,53 @@
+// Fixture: seeded violations for the foreign-rng check. All
+// randomness forks altoc::Rng so one seed reproduces a whole run;
+// std engines and libc RNGs escape the seed tree.
+
+#include <cstdlib>
+#include <random>
+
+using Engine = std::mt19937; // expect[foreign-rng]
+
+unsigned
+roll()
+{
+    std::mt19937 gen(42); // expect[foreign-rng]
+    return static_cast<unsigned>(gen());
+}
+
+unsigned
+roll_alias()
+{
+    Engine gen(7); // expect[foreign-rng]
+    return static_cast<unsigned>(gen());
+}
+
+unsigned
+device_seed()
+{
+    std::random_device rd; // expect[foreign-rng]
+    return rd();
+}
+
+int
+roll_c()
+{
+    return rand(); // expect[foreign-rng]
+}
+
+void
+reseed()
+{
+    srand(1234); // expect[foreign-rng]
+}
+
+struct Local
+{
+    // A project method merely *named* rand is not the libc call.
+    int rand() { return 3; }
+};
+
+int
+member_rand_is_fine(Local &local, int x)
+{
+    return local.rand() + x;
+}

@@ -1,0 +1,61 @@
+// Fixture: seeded violations for the hot-path-alloc check. The
+// analyzer walks the call graph from every ALTOC_HOT function and
+// flags reachable heap news, std::function construction, throw
+// sites, and malloc-family calls -- including ones buried a call or
+// two deep (Pool::grab below is only reached through depth_helper).
+
+#ifndef ALTOC_HOT
+#define ALTOC_HOT
+#endif
+
+#include <functional>
+
+struct Event
+{
+    int id;
+    char payload[32];
+};
+
+struct Pool
+{
+    Event *
+    grab()
+    {
+        return new Event{7, {}}; // expect[hot-path-alloc]
+    }
+};
+
+static int
+depth_helper(Pool &pool)
+{
+    Event *e = pool.grab();
+    int id = e->id;
+    delete e;
+    return id;
+}
+
+ALTOC_HOT int
+hot_dispatch(Pool &pool)
+{
+    std::function<int()> thunk = [] { return 1; }; // expect[hot-path-alloc]
+    if (!thunk)
+        throw 42; // expect[hot-path-alloc]
+    return depth_helper(pool) + thunk();
+}
+
+ALTOC_HOT void
+hot_emplace(void *buf)
+{
+    // Placement new targets caller-provided storage: allowed.
+    new (buf) Event{1, {}};
+}
+
+int
+cold_setup()
+{
+    // Allocation off the hot graph is fine: nothing reaches this.
+    auto *e = new Event{2, {}};
+    int id = e->id;
+    delete e;
+    return id;
+}

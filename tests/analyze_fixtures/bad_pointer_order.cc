@@ -1,0 +1,42 @@
+// Fixture: seeded violations for the pointer-order check. Pointer
+// values depend on allocator state, so any ordering derived from them
+// is heap-layout dependent and breaks run-to-run determinism.
+
+#include <map>
+#include <set>
+
+struct Rpc
+{
+    int id;
+};
+
+bool
+arrives_first(const Rpc *a, const Rpc *b)
+{
+    return a < b; // expect[pointer-order]
+}
+
+bool
+not_later(Rpc *p, Rpc *q)
+{
+    return p <= q; // expect[pointer-order]
+}
+
+std::map<Rpc *, int> g_live;      // expect[pointer-order]
+std::set<const Rpc *> g_seen;     // expect[pointer-order]
+std::less<Rpc *> g_cmp;           // expect[pointer-order]
+
+bool
+id_order_is_fine(const Rpc *a, const Rpc *b)
+{
+    // Ordering by a stable id is the sanctioned pattern: not flagged.
+    return a->id < b->id;
+}
+
+int
+arith_is_fine(int m, int n)
+{
+    // Plain multiplication must not be mistaken for a pointer decl.
+    int product = m * n;
+    return product;
+}

@@ -1,0 +1,54 @@
+// Fixture: seeded violations for the unordered-iter check. Iterating
+// a hash table leaks implementation-defined bucket order into
+// whatever consumes the loop.
+
+#include <unordered_map>
+#include <unordered_set>
+
+using Index = std::unordered_map<int, int>;
+
+int
+sum_values(const std::unordered_map<int, int> &table)
+{
+    int total = 0;
+    for (const auto &kv : table) // expect[unordered-iter]
+        total += kv.second;
+    return total;
+}
+
+int
+count_keys(Index &index)
+{
+    int n = 0;
+    for (auto it = index.begin(); it != index.end(); ++it) // expect[unordered-iter]
+        ++n;
+    return n;
+}
+
+int
+sum_alias(Index &index2)
+{
+    // The alias hides the unordered type from line-regex lints; the
+    // analyzer tracks `using Index = std::unordered_map<...>`.
+    int total = 0;
+    for (auto &kv : index2) // expect[unordered-iter]
+        total += kv.second;
+    return total;
+}
+
+long
+sum_set(const std::unordered_set<long> &seen)
+{
+    long total = 0;
+    for (long v : seen) // expect[unordered-iter]
+        total += v;
+    return total;
+}
+
+int
+lookup_is_fine(const std::unordered_map<int, int> &table2, int key)
+{
+    // Point lookups are order-free: must NOT be flagged.
+    auto it = table2.find(key);
+    return it == table2.end() ? 0 : it->second;
+}

@@ -1,0 +1,17 @@
+// Fixture: waiver hygiene. A reason-less waiver is itself a finding
+// and suppresses nothing; unknown check names are rejected too.
+
+#include <cstdlib>
+
+int
+unexcused()
+{
+    return rand(); // expect[foreign-rng,bad-waiver] altoc-analyze:allow(foreign-rng)
+}
+
+int
+unknown_check()
+{
+    // expect[bad-waiver] altoc-analyze:allow(no-such-check) reason present but check bogus
+    return 2;
+}

@@ -1,0 +1,51 @@
+// Fixture: seeded violations for the wall-clock check. Simulated
+// components take time from sim::Simulator::now(); any host-clock
+// read makes a run irreproducible. The alias cases below are exactly
+// what lint.sh's line-regexes miss.
+
+#include <chrono>
+#include <ctime>
+
+namespace fastclock = std::chrono;           // expect[wall-clock]
+using WallClock = std::chrono::steady_clock; // expect[wall-clock]
+
+long
+now_ns()
+{
+    auto t = std::chrono::steady_clock::now(); // expect[wall-clock]
+    return t.time_since_epoch().count();
+}
+
+long
+now_namespace_alias()
+{
+    return fastclock::steady_clock::now() // expect[wall-clock]
+        .time_since_epoch()
+        .count();
+}
+
+long
+now_type_alias()
+{
+    return WallClock::now().time_since_epoch().count(); // expect[wall-clock]
+}
+
+long
+stamp()
+{
+    // Split across lines: invisible to a line-regex, not to tokens.
+    return static_cast<long>(time( // expect[wall-clock]
+        nullptr));
+}
+
+struct Sim
+{
+    // A project method merely *named* time is not the libc call.
+    long time() { return 42; }
+};
+
+long
+sim_time_is_fine(Sim &sim)
+{
+    return sim.time();
+}

@@ -1,0 +1,29 @@
+// Fixture: every violation below carries a reasoned waiver, so the
+// analyzer must report nothing for this file. Waivers bind to the
+// same line or the line directly beneath them.
+
+#include <ctime>
+#include <unordered_map>
+
+int
+sum_waived(const std::unordered_map<int, int> &histo)
+{
+    int total = 0;
+    // altoc-analyze:allow(unordered-iter) order-insensitive sum; addition commutes
+    for (const auto &kv : histo)
+        total += kv.second;
+    return total;
+}
+
+bool
+same_buffer_region(const char *lo, const char *hi)
+{
+    // altoc-analyze:allow(pointer-order) bounds check within one buffer, never an event ordering
+    return lo < hi;
+}
+
+long
+boot_stamp()
+{
+    return time(nullptr); // altoc-analyze:allow(wall-clock) host-side log banner, outside simulation
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Heap-layout-perturbation determinism test: the strongest in-process
+ * probe we have against pointer-order and iteration-order bugs.
+ *
+ * The same experiment runs twice in one process. Between (and during
+ * setup of) the runs, the heap is deliberately scrambled with
+ * randomized-size allocations that are partially retained, so the
+ * second run's objects land at completely different addresses with
+ * different relative ordering. If any component orders work by
+ * pointer value, iterates a hash table keyed on pointers, or
+ * otherwise leaks allocator state into scheduling decisions, the
+ * completion-stream fingerprints diverge and this fails loudly.
+ *
+ * The scrambler draws sizes from altoc::Rng (not a std engine -- the
+ * foreign-rng rule applies to tests exercising determinism too), and
+ * keeps every retained block alive until after both runs so the
+ * allocator cannot hand the second run the first run's exact layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "system/experiment.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+DesignConfig
+probeConfig(Design design)
+{
+    DesignConfig cfg;
+    cfg.design = design;
+    cfg.cores = 8;
+    cfg.groups = 2;
+    return cfg;
+}
+
+WorkloadSpec
+probeWorkload()
+{
+    WorkloadSpec spec;
+    spec.service = workload::makeExponential(1 * kUs);
+    spec.rateMrps = 4.0;
+    spec.requests = 4000;
+    spec.seed = 41;
+    return spec;
+}
+
+/**
+ * Scramble the heap: allocate @p rounds blocks of randomized size
+ * (1 B .. 64 KiB, skewed small like real descriptor churn), retain
+ * every third one and free the rest immediately. Returns the
+ * retained blocks so the caller controls their lifetime.
+ */
+std::vector<std::unique_ptr<char[]>>
+scrambleHeap(Rng &rng, std::size_t rounds)
+{
+    std::vector<std::unique_ptr<char[]>> retained;
+    retained.reserve(rounds / 3 + 1);
+    for (std::size_t i = 0; i < rounds; ++i) {
+        const std::size_t size =
+            1 + static_cast<std::size_t>(
+                    rng.below(rng.chance(0.9) ? 512 : 64 * 1024));
+        auto block = std::make_unique<char[]>(size);
+        // Touch both ends so the allocation cannot be elided.
+        block[0] = static_cast<char>(i);
+        block[size - 1] = static_cast<char>(size);
+        if (i % 3 == 0)
+            retained.push_back(std::move(block));
+    }
+    return retained;
+}
+
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.fingerprintEvents, b.fingerprintEvents);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.violations, b.violations);
+    EXPECT_EQ(a.latency.p99, b.latency.p99);
+    // Doubles compared exactly on purpose: identical operations in
+    // identical order must give identical bits.
+    EXPECT_EQ(a.achievedMrps, b.achievedMrps);
+    EXPECT_EQ(a.utilization, b.utilization);
+}
+
+class HeapPerturb : public ::testing::TestWithParam<Design>
+{
+};
+
+TEST_P(HeapPerturb, FingerprintSurvivesHeapScramble)
+{
+    const DesignConfig cfg = probeConfig(GetParam());
+    const WorkloadSpec spec = probeWorkload();
+
+    Rng scrambler(0x5ca3b1e5);
+    // Pre-run scramble: shift where the first run's world lands.
+    auto held1 = scrambleHeap(scrambler, 2000);
+    const RunResult first = runExperiment(cfg, spec);
+
+    // Inter-run scramble, with the first batch still held: the
+    // second run's allocations cannot reuse the first run's layout.
+    auto held2 = scrambleHeap(scrambler, 5000);
+    const RunResult second = runExperiment(cfg, spec);
+
+    expectIdentical(first, second);
+
+    // Keep both batches demonstrably alive past the second run.
+    ASSERT_FALSE(held1.empty());
+    ASSERT_FALSE(held2.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, HeapPerturb,
+                         ::testing::Values(Design::Rss, Design::ZygOs,
+                                           Design::Nebula, Design::AcInt,
+                                           Design::AcRss),
+                         [](const auto &info) {
+                             return std::string(
+                                 designName(info.param));
+                         });
+
+} // namespace
