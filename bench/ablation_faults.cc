@@ -88,11 +88,35 @@ main(int argc, char **argv)
             if (!sc.spec.empty())
                 spec.faults = sim::FaultSpec::parse(sc.spec);
             spec.timeLimit = 2000 * kMs;
+            // --trace attaches the event tracer to every run; with
+            // --trace=FILE each run serializes to FILE.<index> for
+            // altoc-trace (distinct paths: the batch runs in
+            // parallel).
+            spec.tracing = opt.tracing();
+            if (!opt.traceFile.empty())
+                spec.tracing.file = opt.traceFile + "." +
+                                    std::to_string(batch.size());
             batch.push_back(RunJob{cfg, spec});
         }
     }
     const std::vector<RunResult> results = runMany(batch, opt.jobs);
     digest.addAll(results);
+    if (opt.trace) {
+        std::uint64_t recorded = 0;
+        std::uint64_t dropped = 0;
+        for (const RunResult &res : results) {
+            recorded += res.traceRecords;
+            dropped += res.traceDropped;
+        }
+        std::printf("\n[trace: %llu records (%llu dropped) across "
+                    "%zu runs%s%s]\n",
+                    static_cast<unsigned long long>(recorded),
+                    static_cast<unsigned long long>(dropped),
+                    results.size(),
+                    opt.traceFile.empty() ? "" : " -> ",
+                    opt.traceFile.empty() ? ""
+                                          : opt.traceFile.c_str());
+    }
 
     std::printf("\n%-10s %-8s %8s %10s %9s %9s %9s %9s %9s\n",
                 "faults", "design", "MRPS", "p99 (us)", "viol",

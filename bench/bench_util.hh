@@ -58,12 +58,28 @@ section(const char *title)
  *                  to the ALTOC_FAULTS env. Most benches ignore it;
  *                  ablation_faults runs it instead of its built-in
  *                  intensity ladder.
+ *   --trace[=FILE] attach the binary event tracer to every run
+ *                  (trace/trace.hh). With =FILE, single-run benches
+ *                  serialize the rings there for `altoc-trace`;
+ *                  sweeps with many runs record in memory only.
  */
 struct Options
 {
     unsigned jobs = 0; //!< 0 = ThreadPool::defaultJobs()
     double scale = 1.0;
     std::string faultSpec; //!< empty = no override
+    bool trace = false;
+    std::string traceFile; //!< empty = rings stay in memory
+
+    /** The WorkloadSpec::tracing this command line asks for. */
+    altoc::trace::TraceConfig
+    tracing() const
+    {
+        altoc::trace::TraceConfig tc;
+        tc.enabled = trace;
+        tc.file = traceFile;
+        return tc;
+    }
 };
 
 inline Options
@@ -88,9 +104,14 @@ parseArgs(int argc, char **argv)
                 fatal("--scale must lie in (0, 1]");
         } else if (std::strcmp(arg, "--fault-spec") == 0) {
             opt.faultSpec = value("--fault-spec");
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            opt.trace = true;
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            opt.trace = true;
+            opt.traceFile = arg + 8;
         } else {
             fatal("unknown argument '%s' (supported: --jobs N, "
-                  "--scale X, --fault-spec S)", arg);
+                  "--scale X, --fault-spec S, --trace[=FILE])", arg);
         }
     }
     if (opt.faultSpec.empty()) {

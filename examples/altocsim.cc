@@ -21,6 +21,7 @@
 #include <cstring>
 #include <string>
 
+#include "sim/fault_spec.hh"
 #include "system/experiment.hh"
 #include "workload/distributions.hh"
 
@@ -52,6 +53,10 @@ struct Options
     std::uint64_t seed = 1;
     bool csv = false;
     bool stats = false;
+    std::string fault_spec;
+    bool trace = false;
+    std::string trace_file;
+    std::size_t trace_slots = 4096;
 };
 
 [[noreturn]] void
@@ -81,7 +86,12 @@ usage(int code)
         "  --no-migration     disable proactive migration\n"
         "  --seed N           RNG seed                   [1]\n"
         "  --csv              one CSV row instead of the report\n"
-        "  --stats            dump per-component statistics\n");
+        "  --stats            dump per-component statistics\n"
+        "  --fault-spec S     fault schedule (sim/fault_spec.hh\n"
+        "                     grammar, e.g. drop=0.05,dup=0.03)\n"
+        "  --trace[=FILE]     record the binary event trace; with\n"
+        "                     =FILE, write it for altoc-trace\n"
+        "  --trace-slots N    per-core trace ring slots  [4096]\n");
     std::exit(code);
 }
 
@@ -167,7 +177,17 @@ parse(int argc, char **argv)
             opt.csv = true;
         else if (!std::strcmp(arg, "--stats"))
             opt.stats = true;
-        else {
+        else if (!std::strcmp(arg, "--fault-spec"))
+            opt.fault_spec = need(i);
+        else if (!std::strcmp(arg, "--trace"))
+            opt.trace = true;
+        else if (!std::strncmp(arg, "--trace=", 8)) {
+            opt.trace = true;
+            opt.trace_file = arg + 8;
+        } else if (!std::strcmp(arg, "--trace-slots")) {
+            opt.trace_slots =
+                static_cast<std::size_t>(std::atoll(need(i)));
+        } else {
             std::fprintf(stderr, "unknown flag '%s'\n", arg);
             usage(2);
         }
@@ -225,6 +245,16 @@ main(int argc, char **argv)
     }
     spec.seed = opt.seed;
     spec.dumpStats = opt.stats;
+    if (!opt.fault_spec.empty()) {
+        spec.faults = sim::FaultSpec::parse(opt.fault_spec);
+        spec.faults.seed = opt.seed;
+        // A faulted run can lose completions for good; bound it so
+        // the periodic runtime cannot spin forever (see WorkloadSpec).
+        spec.timeLimit = 500 * kMs;
+    }
+    spec.tracing.enabled = opt.trace;
+    spec.tracing.file = opt.trace_file;
+    spec.tracing.ringSlots = opt.trace_slots;
 
     const RunResult res = runExperiment(cfg, spec);
 
@@ -261,6 +291,16 @@ main(int argc, char **argv)
                 res.meetsSlo() ? "met" : "VIOLATED",
                 res.violationRatio * 100.0);
     std::printf("utilization  : %.1f%%\n", res.utilization * 100.0);
+    std::printf("fingerprint  : %016llx (%llu events)\n",
+                static_cast<unsigned long long>(res.fingerprint),
+                static_cast<unsigned long long>(res.fingerprintEvents));
+    if (opt.trace) {
+        std::printf("trace        : %llu records (%llu dropped)%s%s\n",
+                    static_cast<unsigned long long>(res.traceRecords),
+                    static_cast<unsigned long long>(res.traceDropped),
+                    opt.trace_file.empty() ? "" : " -> ",
+                    opt.trace_file.c_str());
+    }
     if (res.migrated > 0 || res.messaging.migratesSent > 0) {
         std::printf("migration    : %llu requests in %llu MIGRATEs "
                     "(%llu NACKed, %llu updates)\n",

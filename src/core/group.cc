@@ -12,6 +12,7 @@
 #include "common/annotations.hh"
 #include "core/invariants.hh"
 #include "sim/fault_injector.hh"
+#include "trace/trace.hh"
 
 namespace altoc::core {
 
@@ -96,6 +97,7 @@ GroupScheduler::onAttach()
     msg_ = std::make_unique<HwMessaging>(*ctx_.sim, *ctx_.mesh,
                                          manager_tiles, mcfg);
     msg_->setFaults(ctx_.faults);
+    msg_->setTracer(ctx_.tracer);
     msg_->setMigrateIn([this](unsigned g,
                               const std::vector<net::Rpc *> &reqs) {
         onMigrateIn(g, reqs);
@@ -350,6 +352,11 @@ GroupScheduler::runtimeTick(unsigned g)
         if (until > ctx_.sim->now()) {
             if (cfg_.variant == Variant::Rss)
                 grp.managerFree = std::max(grp.managerFree, until);
+            ALTOC_TRACE_HOOK(
+                ctx_.tracer,
+                record(ctx_.sim->now(), g, trace::TraceKind::ManagerStall,
+                       static_cast<std::uint32_t>(std::min<Tick>(
+                           until - ctx_.sim->now(), 0xffffffffu))));
             ctx_.sim->at(until, [this, g] { runtimeTick(g); });
             return;
         }
@@ -386,6 +393,10 @@ GroupScheduler::runtimeTick(unsigned g)
         break;
     }
     lastThreshold_ = threshold;
+    ALTOC_TRACE_HOOK(ctx_.tracer,
+                     record(ctx_.sim->now(), g,
+                            trace::TraceKind::ThresholdRecompute,
+                            threshold));
 
     // Lines 4-13: decide and execute migrations. Under hardening,
     // quarantined peers are masked to an effectively infinite queue
@@ -421,6 +432,15 @@ GroupScheduler::runtimeTick(unsigned g)
         if (msg_->sendMigrate(g, md.dst, batch)) {
             ++sent;
             reqsMigrated_ += n;
+            // A send toward a quarantined-but-unmasked peer is the
+            // half-open probe: its ACK rejoins the peer, its timeout
+            // re-arms the probation clock.
+            if (hardened() && grp.peers[md.dst].quarantined) {
+                ALTOC_TRACE_HOOK(ctx_.tracer,
+                                 record(ctx_.sim->now(), g,
+                                        trace::TraceKind::QuarantineProbe,
+                                        trace::tracePack(n, md.dst)));
+            }
         }
     }
 
@@ -586,6 +606,18 @@ GroupScheduler::retryMigrate(unsigned g, unsigned avoid,
                                       std::move(reqs), attempt);
     altoc_assert(ok, "retry MIGRATE refused despite capacity check");
     ++migratesRetried_;
+    ALTOC_TRACE_HOOK(ctx_.tracer,
+                     record(ctx_.sim->now(), g,
+                            trace::TraceKind::MigrateRetry,
+                            trace::tracePack(n, static_cast<unsigned>(best)),
+                            static_cast<std::uint8_t>(attempt)));
+    if (grp.peers[static_cast<unsigned>(best)].quarantined) {
+        ALTOC_TRACE_HOOK(ctx_.tracer,
+                         record(ctx_.sim->now(), g,
+                                trace::TraceKind::QuarantineProbe,
+                                trace::tracePack(
+                                    n, static_cast<unsigned>(best))));
+    }
 }
 
 void
@@ -619,6 +651,10 @@ GroupScheduler::peerFailure(unsigned g, unsigned dst)
         ph.quarantined = true;
         ph.probeAt = ctx_.sim->now() + cfg_.params.hardening.probation;
         ++peersQuarantined_;
+        ALTOC_TRACE_HOOK(ctx_.tracer,
+                         record(ctx_.sim->now(), g,
+                                trace::TraceKind::QuarantineEnter,
+                                trace::tracePack(ph.consecFailures, dst)));
     } else if (ph.quarantined) {
         // A failed half-open probe re-arms the probation clock.
         ph.probeAt = ctx_.sim->now() + cfg_.params.hardening.probation;
@@ -630,7 +666,13 @@ GroupScheduler::peerSuccess(unsigned g, unsigned dst)
 {
     PeerHealth &ph = groups_[g].peers[dst];
     ph.consecFailures = 0;
-    ph.quarantined = false;
+    if (ph.quarantined) {
+        ph.quarantined = false;
+        ALTOC_TRACE_HOOK(ctx_.tracer,
+                         record(ctx_.sim->now(), g,
+                                trace::TraceKind::QuarantineRejoin,
+                                trace::tracePack(0, dst)));
+    }
 }
 
 std::size_t

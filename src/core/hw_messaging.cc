@@ -28,6 +28,7 @@
 #include "common/logging.hh"
 #include "common/annotations.hh"
 #include "sim/fault_injector.hh"
+#include "trace/trace.hh"
 
 namespace altoc::core {
 
@@ -211,6 +212,10 @@ HwMessaging::sendMigrate(unsigned src, unsigned dst,
     }
     ++stats_.migratesSent;
     stats_.descriptorsSent += n;
+    ALTOC_TRACE_HOOK(tracer_,
+                     record(sim_.now(), src, trace::TraceKind::MigrateSend,
+                            trace::tracePack(n, dst),
+                            static_cast<std::uint8_t>(attempt)));
 
     std::uint64_t seq = 0;
     Pending &p = allocPending(seq);
@@ -357,6 +362,10 @@ HwMessaging::deliverMigrate(std::uint64_t seq)
             box.mrInbound -= std::min(box.mrInbound, n);
         }
         stats_.descriptorsDelivered += n;
+        ALTOC_TRACE_HOOK(tracer_,
+                         record(sim_.now(), dst,
+                                trace::TraceKind::MigrateArrive,
+                                trace::tracePack(n, src)));
         for (net::Rpc *r : batch) {
             r->migrated = true;
             r->curGroup = static_cast<std::uint16_t>(dst);
@@ -402,6 +411,9 @@ HwMessaging::deliverAck(std::uint64_t seq)
     const unsigned n = p->count;
     freePending(seq);
     ++stats_.migratesAcked;
+    ALTOC_TRACE_HOOK(tracer_,
+                     record(sim_.now(), src, trace::TraceKind::MigrateAck,
+                            trace::tracePack(n, dst)));
     if (ackFn_)
         ackFn_(src, dst, n);
 }
@@ -420,6 +432,9 @@ HwMessaging::deliverNack(std::uint64_t seq)
     stats_.descriptorsReturned += p->reqs.size();
     const unsigned src = p->src;
     const unsigned dst = p->dst;
+    ALTOC_TRACE_HOOK(tracer_,
+                     record(sim_.now(), src, trace::TraceKind::MigrateNack,
+                            trace::tracePack(p->count, dst)));
     // Swap the batch into the return-staging buffer so the slot can
     // retire (and be reused by anything the callback triggers)
     // before the callback observes the descriptors. The swap trades
@@ -444,6 +459,11 @@ HwMessaging::onAckTimeout(std::uint64_t seq)
     }
     releaseStaging(*p);
     ++stats_.migratesTimedOut;
+    ALTOC_TRACE_HOOK(tracer_,
+                     record(sim_.now(), p->src,
+                            trace::TraceKind::MigrateTimeout,
+                            trace::tracePack(p->count, p->dst),
+                            static_cast<std::uint8_t>(p->attempt)));
     // The reclaimed batch is empty when state reached Delivered: the
     // requests live at the destination and must not be reclaimed
     // here. Timeouts only fire under fault injection, so moving the

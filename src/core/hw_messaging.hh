@@ -49,6 +49,10 @@ namespace altoc::sim {
 class FaultInjector;
 } // namespace altoc::sim
 
+namespace altoc::trace {
+class Tracer;
+} // namespace altoc::trace
+
 namespace altoc::core {
 
 /** Aggregate counters for migration-traffic accounting (Sec. VIII-E). */
@@ -129,6 +133,12 @@ class HwMessaging
 
     /** Attach the run's fault injector (null = pristine VN). */
     void setFaults(sim::FaultInjector *faults) { faults_ = faults; }
+
+    /** Attach the run's event tracer (null = untraced). MIGRATE
+     *  protocol legs (send, arrival, ACK, NACK, timeout) are recorded
+     *  on the involved manager's ring; recording is memory-only and
+     *  never alters protocol behavior. */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
 
     /**
      * Issue a MIGRATE carrying @p reqs from manager @p src to
@@ -302,6 +312,7 @@ class HwMessaging
      *  retire before the return callback runs. */
     std::vector<net::Rpc *> returnScratch_;
     sim::FaultInjector *faults_ = nullptr;
+    trace::Tracer *tracer_ = nullptr;
     MigrateInFn migrateIn_;
     UpdateFn update_;
     ReturnFn returnFn_;

@@ -33,6 +33,10 @@ namespace altoc::sim {
 class FaultInjector;
 } // namespace altoc::sim
 
+namespace altoc::trace {
+class Tracer;
+} // namespace altoc::trace
+
 namespace altoc::sched {
 
 /** Receives fully processed RPCs for latency accounting / disposal. */
@@ -67,6 +71,12 @@ struct SchedContext
      *  set, keeping the no-fault path bit-identical to the paper's
      *  lossless model. Not owned. */
     sim::FaultInjector *faults = nullptr;
+
+    /** Binary event tracer recording migration/quarantine/threshold
+     *  transitions, or null for an untraced run (trace builds only;
+     *  the hooks compile away otherwise). Recording never schedules
+     *  events, so tracing cannot perturb the simulation. Not owned. */
+    trace::Tracer *tracer = nullptr;
 };
 
 /**

@@ -5,6 +5,8 @@
 
 #include "sim/fault_injector.hh"
 
+#include "trace/trace.hh"
+
 namespace altoc::sim {
 
 namespace {
@@ -69,6 +71,9 @@ FaultInjector::note(Kind kind, Tick now, unsigned a, unsigned b)
         ++c_.coreFreezes;
         break;
     }
+    ALTOC_TRACE_HOOK(tracer_,
+                     record(now, a, trace::TraceKind::FaultInject, b,
+                            static_cast<std::uint8_t>(kind)));
     if (hook_)
         hook_(kind, now, a, b);
 }

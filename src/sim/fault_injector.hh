@@ -30,6 +30,10 @@
 #include "common/units.hh"
 #include "sim/fault_spec.hh"
 
+namespace altoc::trace {
+class Tracer;
+} // namespace altoc::trace
+
 namespace altoc::sim {
 
 /**
@@ -131,6 +135,11 @@ class FaultInjector
 
     void setEventHook(EventHook fn) { hook_ = std::move(fn); }
 
+    /** Attach the run's event tracer (null = untraced): every
+     *  injected fault funnels through note() and lands on ring @p a
+     *  (the afflicted manager/core) as a FaultInject record. */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
     /** Test support: script the next message fates ahead of any
      *  random draw (consumed FIFO). */
     void pushFate(MsgFate fate) { scripted_.push_back(fate); }
@@ -154,6 +163,7 @@ class FaultInjector
     bool explicitStallSeen_ = false;
     Counters c_;
     EventHook hook_;
+    trace::Tracer *tracer_ = nullptr;
 };
 
 } // namespace altoc::sim

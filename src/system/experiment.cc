@@ -188,7 +188,8 @@ std::unique_ptr<Server>
 makeServer(const DesignConfig &cfg, Tick mean_service,
            const std::string &dist_name, Tick slo_target,
            std::uint64_t warmup, std::uint64_t seed,
-           const sim::FaultSpec &faults, bool log_latency_histogram)
+           const sim::FaultSpec &faults, bool log_latency_histogram,
+           const trace::TraceConfig &tracing)
 {
     Server::Config scfg;
     scfg.cores = cfg.cores;
@@ -198,6 +199,7 @@ makeServer(const DesignConfig &cfg, Tick mean_service,
     scfg.seed = seed;
     scfg.faults = faults;
     scfg.logLatencyHistogram = log_latency_histogram;
+    scfg.trace = tracing;
     return std::make_unique<Server>(
         scfg, makeScheduler(cfg, mean_service, dist_name));
 }
@@ -297,7 +299,8 @@ runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
 
     auto server = makeServer(cfg, static_cast<Tick>(mean_service),
                              dist_name, slo, warmup, spec.seed,
-                             spec.faults, spec.logLatencyHistogram);
+                             spec.faults, spec.logLatencyHistogram,
+                             spec.tracing);
     // Pre-size the descriptor pool and latency store so the measured
     // run performs no slab growth or sample-vector reallocation.
     server->reserveFor(total);
@@ -377,6 +380,14 @@ runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
     }
     if (const sim::FaultInjector *fi = server->faultInjector())
         result.faultsInjected = fi->counters().total();
+    if (const trace::Tracer *tr = server->tracer()) {
+        result.traceRecords = tr->totalWritten();
+        result.traceDropped = tr->totalDropped();
+        if (!spec.tracing.file.empty()) {
+            altoc_assert(server->writeTrace(),
+                         "failed to write trace file");
+        }
+    }
     return result;
 }
 

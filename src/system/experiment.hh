@@ -147,6 +147,16 @@ struct WorkloadSpec
      */
     Tick timeLimit = kTickInf;
 
+    /**
+     * Binary event tracing (trace/trace.hh). When enabled the run
+     * records migration/quarantine/threshold transitions into
+     * per-core rings and, if `tracing.file` is set, serializes them
+     * after the run. Purely observational: fingerprints and latency
+     * results are bit-identical with tracing on or off. (Named
+     * `tracing` because `trace` is the replayed workload trace.)
+     */
+    trace::TraceConfig tracing;
+
     std::uint64_t seed = 1;
 };
 
@@ -185,6 +195,11 @@ struct RunResult
     std::uint64_t migratesTimedOut = 0;
     std::uint64_t peersQuarantined = 0;
     std::uint64_t faultsInjected = 0;
+
+    /** Tracing extras (nonzero only when WorkloadSpec::tracing is
+     *  enabled): records pushed to / evicted from the trace rings. */
+    std::uint64_t traceRecords = 0;
+    std::uint64_t traceDropped = 0;
 
     /**
      * Order-sensitive digest of the completion stream: every
@@ -229,7 +244,8 @@ makeServer(const DesignConfig &cfg, Tick mean_service,
            const std::string &dist_name, Tick slo_target,
            std::uint64_t warmup, std::uint64_t seed,
            const sim::FaultSpec &faults = {},
-           bool log_latency_histogram = false);
+           bool log_latency_histogram = false,
+           const trace::TraceConfig &tracing = {});
 
 /**
  * Open-loop load generator: injects sampled or trace-replayed

@@ -31,8 +31,14 @@ Server::Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched)
     for (unsigned i = 0; i < cfg_.cores; ++i)
         cores_.push_back(std::make_unique<cpu::Core>(sim_, i, i));
 
+    if (cfg_.trace.enabled) {
+        tracer_ = std::make_unique<trace::Tracer>(cfg_.cores,
+                                                  cfg_.trace.ringSlots);
+    }
+
     if (cfg_.faults.enabled()) {
         faults_ = std::make_unique<sim::FaultInjector>(cfg_.faults);
+        faults_->setTracer(tracer_.get());
         sim::FaultInjector *fi = faults_.get();
         // Scheduling-VN messages can arrive late; data/request
         // traffic is out of the fault model's scope.
@@ -53,6 +59,7 @@ Server::Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched)
     ctx.sim = &sim_;
     ctx.auditor = auditor_.get();
     ctx.faults = faults_.get();
+    ctx.tracer = tracer_.get();
     ctx.mesh = mesh_.get();
     for (auto &core : cores_)
         ctx.cores.push_back(core.get());
@@ -150,6 +157,17 @@ Server::run(Tick until)
     return end;
 }
 
+bool
+Server::writeTrace(const std::string &path) const
+{
+    if (!tracer_)
+        return false;
+    const std::string &target = path.empty() ? cfg_.trace.file : path;
+    if (target.empty())
+        return false;
+    return tracer_->writeFile(target);
+}
+
 void
 Server::dumpStats(std::FILE *out) const
 {
@@ -220,6 +238,12 @@ Server::dumpStats(std::FILE *out) const
         line("faults.coreStraggles",
              static_cast<double>(fc.coreStraggles));
         line("faults.coreFreezes", static_cast<double>(fc.coreFreezes));
+    }
+    if (tracer_) {
+        line("trace.recorded",
+             static_cast<double>(tracer_->totalWritten()));
+        line("trace.dropped",
+             static_cast<double>(tracer_->totalDropped()));
     }
     std::fprintf(out, "---------- End Simulation Statistics ----------\n");
 }

@@ -32,6 +32,7 @@
 #include "sim/fault_spec.hh"
 #include "sim/simulator.hh"
 #include "stats/slo.hh"
+#include "trace/trace.hh"
 
 namespace altoc::sim {
 class FaultInjector;
@@ -100,6 +101,16 @@ class Server : public sched::CompletionSink
          * the pristine event stream is reproduced bit-for-bit.
          */
         sim::FaultSpec faults;
+
+        /**
+         * Binary event tracing for this run (trace/trace.hh). When
+         * enabled, a per-core ring tracer is attached to the
+         * scheduler, the messaging layer and the fault injector;
+         * recording is memory-only, so the event stream (and thus
+         * every fingerprint and golden) is bit-identical with
+         * tracing on or off. Default-constructed = no tracer.
+         */
+        trace::TraceConfig trace;
     };
 
     Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched);
@@ -196,6 +207,16 @@ class Server : public sched::CompletionSink
     /** The fault injector, or null for a pristine run. */
     sim::FaultInjector *faultInjector() const { return faults_.get(); }
 
+    /** The event tracer, or null for an untraced run. */
+    trace::Tracer *tracer() const { return tracer_.get(); }
+
+    /**
+     * Serialize the trace rings to @p path (or, with no argument, to
+     * the configured trace file). Returns false when tracing is off,
+     * no path is known, or the write failed.
+     */
+    bool writeTrace(const std::string &path = {}) const;
+
     /**
      * gem5-style end-of-run statistics dump: one line per counter
      * across every component (simulator, NIC, NoC, cores, scheduler
@@ -209,6 +230,7 @@ class Server : public sched::CompletionSink
     Rng rng_;
     std::unique_ptr<noc::Mesh> mesh_;
     std::unique_ptr<sim::FaultInjector> faults_;
+    std::unique_ptr<trace::Tracer> tracer_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::unique_ptr<sched::Scheduler> sched_;
     std::unique_ptr<net::Nic> nic_;

@@ -1,0 +1,326 @@
+#include "trace/reader.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace altoc::trace {
+
+namespace {
+
+/** fopen wrapper that closes on scope exit (decoder error paths). */
+struct File
+{
+    explicit File(const std::string &path)
+        : fp(std::fopen(path.c_str(), "rb"))
+    {
+    }
+
+    ~File()
+    {
+        if (fp != nullptr)
+            std::fclose(fp);
+    }
+
+    File(const File &) = delete;
+    File &operator=(const File &) = delete;
+
+    bool
+    get(void *data, std::size_t bytes)
+    {
+        return std::fread(data, 1, bytes, fp) == bytes;
+    }
+
+    std::FILE *fp;
+};
+
+bool
+validKind(std::uint8_t kind)
+{
+    return kind > 0 && kind < kTraceKindCount;
+}
+
+/** True for kinds whose arg packs (count, peer). */
+bool
+pairKind(TraceKind kind)
+{
+    switch (kind) {
+    case TraceKind::MigrateSend:
+    case TraceKind::MigrateArrive:
+    case TraceKind::MigrateAck:
+    case TraceKind::MigrateNack:
+    case TraceKind::MigrateTimeout:
+    case TraceKind::MigrateRetry:
+    case TraceKind::QuarantineEnter:
+    case TraceKind::QuarantineProbe:
+    case TraceKind::QuarantineRejoin:
+        return true;
+    default:
+        return false;
+    }
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    char buf[160];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return std::string(buf);
+}
+
+/** Running per-(src, dst) MIGRATE ledger for validateTimeline. */
+struct PairState
+{
+    std::uint64_t sends = 0;
+    std::uint64_t arrives = 0;
+    std::uint64_t resolutions = 0; //!< ack + nack + timeout
+};
+
+} // namespace
+
+const char *
+traceReadStatusName(TraceReadStatus status)
+{
+    switch (status) {
+    case TraceReadStatus::Ok:
+        return "Ok";
+    case TraceReadStatus::OpenFailed:
+        return "OpenFailed";
+    case TraceReadStatus::BadMagic:
+        return "BadMagic";
+    case TraceReadStatus::BadVersion:
+        return "BadVersion";
+    case TraceReadStatus::BadRecord:
+        return "BadRecord";
+    case TraceReadStatus::Truncated:
+        return "Truncated";
+    }
+    return "?";
+}
+
+std::uint64_t
+TraceFileImage::totalWritten() const
+{
+    std::uint64_t sum = 0;
+    for (const TraceRingImage &r : rings)
+        sum += r.written;
+    return sum;
+}
+
+std::uint64_t
+TraceFileImage::totalDropped() const
+{
+    std::uint64_t sum = 0;
+    for (const TraceRingImage &r : rings)
+        sum += r.dropped;
+    return sum;
+}
+
+TraceReadStatus
+readTraceFile(const std::string &path, TraceFileImage &out)
+{
+    out.rings.clear();
+
+    File f(path);
+    if (f.fp == nullptr)
+        return TraceReadStatus::OpenFailed;
+
+    TraceFileHeader hdr;
+    if (!f.get(&hdr, sizeof(hdr)))
+        return TraceReadStatus::Truncated;
+    if (hdr.magic != kTraceMagic)
+        return TraceReadStatus::BadMagic;
+    if (hdr.version != kTraceVersion ||
+        hdr.recordSize != sizeof(TraceRecord))
+        return TraceReadStatus::BadVersion;
+
+    TraceFileImage image;
+    image.rings.reserve(hdr.ringCount);
+    for (std::uint32_t i = 0; i < hdr.ringCount; ++i) {
+        TraceRingHeader rh;
+        if (!f.get(&rh, sizeof(rh)))
+            return TraceReadStatus::Truncated;
+        // The writer stores min(written, capacity) records; a header
+        // claiming more live records than were ever written (or a
+        // dropped count inconsistent with both) is corrupt.
+        if (rh.stored > rh.written ||
+            rh.dropped != rh.written - rh.stored)
+            return TraceReadStatus::BadRecord;
+
+        TraceRingImage ring;
+        ring.core = rh.core;
+        ring.written = rh.written;
+        ring.dropped = rh.dropped;
+        ring.records.resize(rh.stored);
+        if (rh.stored > 0 &&
+            !f.get(ring.records.data(),
+                   std::size_t{rh.stored} * sizeof(TraceRecord)))
+            return TraceReadStatus::Truncated;
+        for (const TraceRecord &rec : ring.records) {
+            if (!validKind(rec.kind))
+                return TraceReadStatus::BadRecord;
+        }
+        image.rings.push_back(std::move(ring));
+    }
+
+    // Trailing garbage means the file was not produced by writeFile.
+    char extra = 0;
+    if (std::fread(&extra, 1, 1, f.fp) != 0)
+        return TraceReadStatus::BadRecord;
+
+    out = std::move(image);
+    return TraceReadStatus::Ok;
+}
+
+std::vector<TraceRecord>
+mergeTimeline(const TraceFileImage &image)
+{
+    std::vector<TraceRecord> out;
+    std::size_t total = 0;
+    for (const TraceRingImage &r : image.rings)
+        total += r.records.size();
+    out.reserve(total);
+
+    // K-way merge keyed (tick, ring core, position): within a ring,
+    // records already sit in write order (non-decreasing ticks from a
+    // monotone simulator), and cross-ring ties break on the smaller
+    // core id. Ring count is small, so a linear scan per pop beats a
+    // heap in both simplicity and constant factor.
+    std::vector<std::size_t> pos(image.rings.size(), 0);
+    for (std::size_t done = 0; done < total; ++done) {
+        std::size_t best = image.rings.size();
+        for (std::size_t i = 0; i < image.rings.size(); ++i) {
+            if (pos[i] >= image.rings[i].records.size())
+                continue;
+            if (best == image.rings.size() ||
+                image.rings[i].records[pos[i]].tick <
+                    image.rings[best].records[pos[best]].tick)
+                best = i;
+        }
+        out.push_back(image.rings[best].records[pos[best]]);
+        ++pos[best];
+    }
+    return out;
+}
+
+std::vector<TraceKindSummary>
+summarize(const std::vector<TraceRecord> &timeline)
+{
+    std::vector<TraceKindSummary> out(kTraceKindCount);
+    for (const TraceRecord &rec : timeline) {
+        if (rec.kind >= kTraceKindCount)
+            continue;
+        TraceKindSummary &s = out[rec.kind];
+        if (s.count == 0)
+            s.first = rec.tick;
+        s.last = rec.tick;
+        ++s.count;
+    }
+    return out;
+}
+
+bool
+validateTimeline(const std::vector<TraceRecord> &timeline,
+                 std::vector<std::string> &errors)
+{
+    constexpr std::size_t kMaxErrors = 32;
+    const std::size_t before = errors.size();
+    const auto fail = [&](std::string msg) {
+        if (errors.size() - before < kMaxErrors)
+            errors.push_back(std::move(msg));
+    };
+
+    const auto pairKey = [](std::uint32_t src, std::uint32_t dst) {
+        return (std::uint64_t{src} << 32) | dst;
+    };
+
+    std::map<std::uint64_t, PairState> migrate;
+    std::map<std::uint64_t, std::uint64_t> quarantined;
+    Tick prev = 0;
+    for (std::size_t i = 0; i < timeline.size(); ++i) {
+        const TraceRecord &rec = timeline[i];
+        const auto kind = static_cast<TraceKind>(rec.kind);
+        if (rec.tick < prev)
+            fail(format("record %zu: tick %llu after %llu "
+                        "(timeline not merged?)",
+                        i, (unsigned long long)rec.tick,
+                        (unsigned long long)prev));
+        prev = rec.tick;
+
+        const std::uint32_t peer = tracePeer(rec.arg);
+        switch (kind) {
+        case TraceKind::MigrateSend:
+            ++migrate[pairKey(rec.core, peer)].sends;
+            break;
+        case TraceKind::MigrateArrive: {
+            // Arrival is logged on the destination ring; the pair is
+            // (peer -> this core).
+            PairState &p = migrate[pairKey(peer, rec.core)];
+            ++p.arrives;
+            if (p.arrives > p.sends)
+                fail(format("record %zu: MIGRATE %u->%u arrive #%llu "
+                            "precedes its send",
+                            i, peer, rec.core,
+                            (unsigned long long)p.arrives));
+            break;
+        }
+        case TraceKind::MigrateAck:
+        case TraceKind::MigrateNack:
+        case TraceKind::MigrateTimeout: {
+            PairState &p = migrate[pairKey(rec.core, peer)];
+            ++p.resolutions;
+            if (p.resolutions > p.sends)
+                fail(format("record %zu: MIGRATE %u->%u %s #%llu "
+                            "precedes its send",
+                            i, rec.core, peer, traceKindName(kind),
+                            (unsigned long long)p.resolutions));
+            break;
+        }
+        case TraceKind::QuarantineEnter:
+            ++quarantined[pairKey(rec.core, peer)];
+            break;
+        case TraceKind::QuarantineProbe:
+        case TraceKind::QuarantineRejoin:
+            if (quarantined[pairKey(rec.core, peer)] == 0)
+                fail(format("record %zu: %s of peer %u on core %u "
+                            "without a prior QuarantineEnter",
+                            i, traceKindName(kind), peer, rec.core));
+            break;
+        default:
+            break;
+        }
+    }
+    return errors.size() == before;
+}
+
+std::string
+formatRecord(const TraceRecord &rec)
+{
+    const auto kind = static_cast<TraceKind>(rec.kind);
+    std::string line =
+        format("%12llu  core=%-3u %-18s",
+               (unsigned long long)rec.tick, rec.core,
+               traceKindName(kind));
+    if (pairKind(kind)) {
+        line += format(" peer=%-3u count=%u", tracePeer(rec.arg),
+                       traceCount(rec.arg));
+        if (rec.aux != 0)
+            line += format(" attempt=%u", rec.aux);
+    } else if (kind == TraceKind::ThresholdRecompute) {
+        line += format(" threshold=%u", rec.arg);
+    } else if (kind == TraceKind::ManagerStall) {
+        line += format(" remaining_ns=%u", rec.arg);
+    } else if (kind == TraceKind::FaultInject) {
+        line += format(" fault=%u a=%u b=%u", rec.aux, rec.core,
+                       rec.arg);
+    } else {
+        line += format(" arg=%u aux=%u", rec.arg, rec.aux);
+    }
+    return line;
+}
+
+} // namespace altoc::trace

@@ -11,11 +11,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/group.hh"
 #include "sim/fault_spec.hh"
 #include "system/experiment.hh"
+#include "trace/reader.hh"
+#include "trace/trace.hh"
 #include "workload/distributions.hh"
 
 using namespace altoc;
@@ -266,3 +271,235 @@ TEST(Chaos, AuditorHoldsUnderStallAndRetry)
     GTEST_SKIP() << "build has ALTOC_AUDIT off; run the Debug config";
 #endif
 }
+
+// ---------------------------------------------------------------------
+// Trace semantics under chaos: the binary event trace of a seeded
+// chaos run must decode into a causally ordered timeline whose
+// event counts agree with the scheduler's own counters.
+// ---------------------------------------------------------------------
+
+#if ALTOC_TRACE_ENABLED
+
+namespace {
+
+/** Count timeline records of one kind. */
+std::uint64_t
+countKind(const std::vector<trace::TraceRecord> &timeline,
+          trace::TraceKind kind)
+{
+    std::uint64_t n = 0;
+    for (const trace::TraceRecord &rec : timeline) {
+        if (static_cast<trace::TraceKind>(rec.kind) == kind)
+            ++n;
+    }
+    return n;
+}
+
+/** First timeline position of @p kind, or timeline.size() if absent. */
+std::size_t
+firstOf(const std::vector<trace::TraceRecord> &timeline,
+        trace::TraceKind kind)
+{
+    for (std::size_t i = 0; i < timeline.size(); ++i) {
+        if (static_cast<trace::TraceKind>(timeline[i].kind) == kind)
+            return i;
+    }
+    return timeline.size();
+}
+
+/** Chaos workload with in-memory tracing attached. Rings are sized
+ *  so nothing is evicted (ThresholdRecompute alone logs ~12.5k
+ *  records per manager over the ~2.5 ms run). */
+WorkloadSpec
+tracedChaosWorkload(std::uint64_t fault_seed)
+{
+    WorkloadSpec spec = chaosWorkload(fault_seed);
+    spec.tracing.enabled = true;
+    spec.tracing.ringSlots = std::size_t{1} << 15;
+    return spec;
+}
+
+} // namespace
+
+/**
+ * A traced chaos run reconstructs a causally ordered timeline:
+ * non-decreasing ticks, MIGRATE resolutions never ahead of their
+ * sends, quarantine probes/rejoins only after an enter -- verified by
+ * the same validator `altoc-trace --check` runs.
+ */
+TEST(ChaosTrace, TimelineIsCausallyOrdered)
+{
+    const std::string path =
+        ::testing::TempDir() + "altoc_chaos_causal.trace";
+    WorkloadSpec spec = tracedChaosWorkload(chaosSeedBase());
+    spec.tracing.file = path;
+    const RunResult res =
+        runExperiment(chaosConfig(Design::AcRss), spec);
+    EXPECT_EQ(res.completed, 15000u);
+    ASSERT_GT(res.traceRecords, 0u);
+    // Nothing evicted, so causal gaps cannot be ring artifacts.
+    ASSERT_EQ(res.traceDropped, 0u);
+
+    trace::TraceFileImage image;
+    ASSERT_EQ(trace::readTraceFile(path, image),
+              trace::TraceReadStatus::Ok);
+    EXPECT_EQ(image.totalWritten(), res.traceRecords);
+
+    const std::vector<trace::TraceRecord> timeline =
+        trace::mergeTimeline(image);
+    EXPECT_EQ(timeline.size(), res.traceRecords);
+
+    std::vector<std::string> errors;
+    EXPECT_TRUE(trace::validateTimeline(timeline, errors))
+        << errors.front();
+
+    // The protocol engaged under chaos, and the first send precedes
+    // the first resolution of any kind.
+    const std::size_t send =
+        firstOf(timeline, trace::TraceKind::MigrateSend);
+    ASSERT_LT(send, timeline.size());
+    EXPECT_LT(send, firstOf(timeline, trace::TraceKind::MigrateAck));
+    EXPECT_LT(send,
+              firstOf(timeline, trace::TraceKind::MigrateTimeout));
+    std::remove(path.c_str());
+}
+
+/**
+ * Trace counts are not merely plausible, they equal the scheduler's
+ * counters: every retry, timeout and quarantine entry the RunResult
+ * reports has exactly one record in the trace.
+ */
+TEST(ChaosTrace, EventCountsMatchSchedulerCounters)
+{
+    const std::string path =
+        ::testing::TempDir() + "altoc_chaos_counts.trace";
+    WorkloadSpec spec = tracedChaosWorkload(chaosSeedBase());
+    spec.tracing.file = path;
+    // Four groups: a timed-out batch has an alternate destination
+    // (with two, source and failed peer exhaust the group set and
+    // every timeout reclaims locally -- no retries would ever fire).
+    DesignConfig cfg = chaosConfig(Design::AcRss);
+    cfg.groups = 4;
+    const RunResult res = runExperiment(cfg, spec);
+    ASSERT_EQ(res.traceDropped, 0u);
+
+    trace::TraceFileImage image;
+    ASSERT_EQ(trace::readTraceFile(path, image),
+              trace::TraceReadStatus::Ok);
+    const std::vector<trace::TraceRecord> timeline =
+        trace::mergeTimeline(image);
+
+    EXPECT_EQ(countKind(timeline, trace::TraceKind::MigrateRetry),
+              res.migratesRetried);
+    EXPECT_EQ(countKind(timeline, trace::TraceKind::MigrateTimeout),
+              res.migratesTimedOut);
+    EXPECT_EQ(countKind(timeline, trace::TraceKind::QuarantineEnter),
+              res.peersQuarantined);
+    EXPECT_EQ(countKind(timeline, trace::TraceKind::MigrateSend),
+              res.messaging.migratesSent);
+    EXPECT_EQ(countKind(timeline, trace::TraceKind::MigrateAck),
+              res.messaging.migratesAcked);
+    EXPECT_EQ(countKind(timeline, trace::TraceKind::MigrateNack),
+              res.messaging.migratesNacked);
+    EXPECT_EQ(countKind(timeline, trace::TraceKind::FaultInject),
+              res.faultsInjected);
+    // This chaos spec drops messages, so the hardened path retried.
+    EXPECT_GT(res.migratesRetried, 0u);
+    std::remove(path.c_str());
+}
+
+/**
+ * The stall-recovery scenario leaves its full arc in the trace:
+ * the scripted stall, the quarantine it provokes, the half-open
+ * probe after probation and the rejoin -- in that causal order.
+ */
+TEST(ChaosTrace, StallQuarantineRejoinArcIsRecorded)
+{
+    DesignConfig cfg;
+    cfg.design = Design::AcRss;
+    cfg.cores = 16;
+    cfg.groups = 4;
+    cfg.params.hardening.quarantineAfter = 2;
+    cfg.params.hardening.probation = 50 * kUs;
+
+    WorkloadSpec spec;
+    spec.service = workload::makeFixed(1 * kUs);
+    spec.rateMrps = 8.0;
+    spec.requests = 20000;
+    spec.connections = 8;
+    spec.seed = 42;
+    spec.faults = FaultSpec::parse("stall=1@200000+1000000");
+    spec.timeLimit = 500 * kMs;
+    spec.tracing.enabled = true;
+    spec.tracing.ringSlots = std::size_t{1} << 15;
+    const std::string path =
+        ::testing::TempDir() + "altoc_chaos_stall.trace";
+    spec.tracing.file = path;
+
+    const RunResult res = runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 20000u);
+    ASSERT_EQ(res.traceDropped, 0u);
+
+    trace::TraceFileImage image;
+    ASSERT_EQ(trace::readTraceFile(path, image),
+              trace::TraceReadStatus::Ok);
+    const std::vector<trace::TraceRecord> timeline =
+        trace::mergeTimeline(image);
+    std::vector<std::string> errors;
+    EXPECT_TRUE(trace::validateTimeline(timeline, errors))
+        << errors.front();
+
+    // The scripted fault is the first domino: it appears exactly
+    // once, before any quarantine entry.
+    EXPECT_EQ(countKind(timeline, trace::TraceKind::FaultInject), 1u);
+    const std::size_t fault =
+        firstOf(timeline, trace::TraceKind::FaultInject);
+    const std::size_t enter =
+        firstOf(timeline, trace::TraceKind::QuarantineEnter);
+    const std::size_t probe =
+        firstOf(timeline, trace::TraceKind::QuarantineProbe);
+    const std::size_t rejoin =
+        firstOf(timeline, trace::TraceKind::QuarantineRejoin);
+    ASSERT_LT(enter, timeline.size());
+    ASSERT_LT(probe, timeline.size());
+    ASSERT_LT(rejoin, timeline.size());
+    EXPECT_LT(fault, enter);
+    EXPECT_LT(enter, probe);
+    EXPECT_LT(probe, rejoin);
+    // The stalled manager also logged its own stall window.
+    EXPECT_GE(countKind(timeline, trace::TraceKind::ManagerStall), 1u);
+    // Thresholds kept being recomputed throughout.
+    EXPECT_GT(countKind(timeline,
+                        trace::TraceKind::ThresholdRecompute), 0u);
+    std::remove(path.c_str());
+}
+
+/**
+ * Tracing observes without perturbing: the same chaos run with
+ * tracing on and off produces bit-identical fingerprints and
+ * counters. (The determinism suite covers the parallel engine; this
+ * covers the chaos path specifically.)
+ */
+TEST(ChaosTrace, TracingDoesNotPerturbTheRun)
+{
+    const DesignConfig cfg = chaosConfig(Design::AcRss);
+    const RunResult off =
+        runExperiment(cfg, chaosWorkload(chaosSeedBase()));
+    const RunResult on =
+        runExperiment(cfg, tracedChaosWorkload(chaosSeedBase()));
+    EXPECT_EQ(off.fingerprint, on.fingerprint);
+    EXPECT_EQ(off.fingerprintEvents, on.fingerprintEvents);
+    EXPECT_EQ(off.completed, on.completed);
+    EXPECT_EQ(off.migratesRetried, on.migratesRetried);
+    EXPECT_EQ(off.migratesTimedOut, on.migratesTimedOut);
+    EXPECT_EQ(off.peersQuarantined, on.peersQuarantined);
+    EXPECT_EQ(off.latency.p99, on.latency.p99);
+    EXPECT_EQ(off.traceRecords, 0u);
+    EXPECT_GT(on.traceRecords, 0u);
+}
+
+#else // !ALTOC_TRACE_ENABLED
+
+TEST(ChaosTrace, DISABLED_TraceHooksCompiledOut) {}
+
+#endif // ALTOC_TRACE_ENABLED

@@ -105,3 +105,125 @@ INSTANTIATE_TEST_SUITE_P(
                    system::designName(std::get<0>(info.param))) +
                "_seed" + std::to_string(std::get<1>(info.param));
     });
+
+// ---------------------------------------------------------------------
+// Trace determinism (telemetry issue): trace FILES are part of the
+// determinism contract. The same scheduler matrix (4 designs x 3
+// seeds) must serialize bit-identical traces whether the batch runs
+// serially or across pool workers, and attaching the tracer must not
+// move a single completion.
+// ---------------------------------------------------------------------
+
+#if ALTOC_TRACE_ENABLED
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "system/parallel_run.hh"
+
+namespace {
+
+std::vector<char>
+slurpFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+/** The scheduler-matrix scenario of runScenario, expressed as a
+ *  RunJob with tracing attached (rings sized to hold everything the
+ *  ~500 us run logs). */
+system::RunJob
+tracedJob(Design design, std::uint64_t seed, const std::string &file)
+{
+    system::RunJob job;
+    job.cfg.design = design;
+    job.cfg.cores = 16;
+    job.cfg.groups = 2;
+    job.spec.service = workload::makeExponential(1 * kUs);
+    job.spec.rateMrps = 8.0;
+    job.spec.requests = 4000;
+    job.spec.connections = 8;
+    job.spec.seed = seed;
+    job.spec.tracing.enabled = true;
+    job.spec.tracing.ringSlots = std::size_t{1} << 13;
+    job.spec.tracing.file = file;
+    return job;
+}
+
+constexpr Design kTraceDesigns[] = {Design::Rss, Design::ZygOs,
+                                    Design::AcInt, Design::AcRss};
+constexpr std::uint64_t kTraceSeeds[] = {1, 7, 42};
+
+} // namespace
+
+TEST(TraceDeterminism, TraceFilesBitIdenticalAcrossJobCounts)
+{
+    std::vector<system::RunJob> serial;
+    std::vector<system::RunJob> pooled;
+    std::vector<std::string> serialFiles;
+    std::vector<std::string> pooledFiles;
+    for (const Design d : kTraceDesigns) {
+        for (const std::uint64_t seed : kTraceSeeds) {
+            const std::string stem = ::testing::TempDir() +
+                                     "altoc_det_" +
+                                     system::designName(d) + "_s" +
+                                     std::to_string(seed);
+            serialFiles.push_back(stem + "_j1.trace");
+            pooledFiles.push_back(stem + "_j4.trace");
+            serial.push_back(tracedJob(d, seed, serialFiles.back()));
+            pooled.push_back(tracedJob(d, seed, pooledFiles.back()));
+        }
+    }
+
+    const std::vector<system::RunResult> a = system::runMany(serial, 1);
+    const std::vector<system::RunResult> b = system::runMany(pooled, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].fingerprint, b[i].fingerprint) << "job " << i;
+        EXPECT_EQ(a[i].traceRecords, b[i].traceRecords) << "job " << i;
+        const std::vector<char> fa = slurpFile(serialFiles[i]);
+        const std::vector<char> fb = slurpFile(pooledFiles[i]);
+        ASSERT_FALSE(fa.empty()) << serialFiles[i];
+        EXPECT_EQ(fa, fb)
+            << "trace file diverged between --jobs 1 and --jobs 4: "
+            << serialFiles[i];
+        std::remove(serialFiles[i].c_str());
+        std::remove(pooledFiles[i].c_str());
+    }
+}
+
+TEST(TraceDeterminism, TracingLeavesCompletionStreamUntouched)
+{
+    // Tracing records into memory and serializes after the run; it
+    // must not schedule events or perturb any RNG. Fingerprints with
+    // tracing on and off are therefore bit-identical -- which is also
+    // what keeps tests/golden/*.txt valid in traced builds.
+    for (const Design d : kTraceDesigns) {
+        const std::uint64_t seed = 42;
+        system::RunJob job = tracedJob(d, seed, "");
+
+        system::RunJob plainJob = job;
+        plainJob.spec.tracing = {};
+        const system::RunResult plain =
+            system::runExperiment(plainJob.cfg, plainJob.spec);
+        const system::RunResult traced =
+            system::runExperiment(job.cfg, job.spec);
+
+        EXPECT_EQ(traced.fingerprint, plain.fingerprint)
+            << system::designName(d);
+        EXPECT_EQ(traced.fingerprintEvents, plain.fingerprintEvents)
+            << system::designName(d);
+        EXPECT_EQ(traced.latency.p99, plain.latency.p99)
+            << system::designName(d);
+        EXPECT_EQ(plain.traceRecords, 0u);
+    }
+}
+
+#else // !ALTOC_TRACE_ENABLED
+
+TEST(TraceDeterminism, DISABLED_TraceHooksCompiledOut) {}
+
+#endif // ALTOC_TRACE_ENABLED

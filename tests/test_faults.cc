@@ -15,6 +15,7 @@
 #include "sim/fault_spec.hh"
 #include "sim/simulator.hh"
 #include "system/experiment.hh"
+#include "trace/trace.hh"
 #include "workload/distributions.hh"
 
 using namespace altoc;
@@ -424,3 +425,142 @@ TEST(FaultWiring, FaultScheduleIsReproducible)
     EXPECT_TRUE(c.fingerprint != a.fingerprint ||
                 c.faultsInjected != a.faultsInjected);
 }
+
+// ---------------------------------------------------------------------
+// Protocol-level trace records: the messaging layer logs each MIGRATE
+// transition on the right ring with the right payload, under the same
+// scripted fates the hardened-protocol tests use.
+// ---------------------------------------------------------------------
+
+#if ALTOC_TRACE_ENABLED
+
+namespace {
+
+using trace::TraceKind;
+using trace::TraceRecord;
+
+std::vector<TraceKind>
+kindsOf(const std::vector<TraceRecord> &records)
+{
+    std::vector<TraceKind> kinds;
+    for (const TraceRecord &rec : records)
+        kinds.push_back(static_cast<TraceKind>(rec.kind));
+    return kinds;
+}
+
+} // namespace
+
+TEST(ProtocolTrace, DroppedMigrateLogsSendThenTimeout)
+{
+    FaultedMsgHarness h;
+    trace::Tracer tr(4, 64);
+    h.msg->setTracer(&tr);
+    h.faults.pushFate(FaultInjector::MsgFate::Drop);
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(4), 0));
+    h.sim.run();
+
+    // The source ring shows the whole story: a send that was never
+    // resolved by an ACK, then the timeout reclaiming it.
+    const auto src = tr.snapshot(0);
+    ASSERT_EQ(kindsOf(src),
+              (std::vector<TraceKind>{TraceKind::MigrateSend,
+                                      TraceKind::MigrateTimeout}));
+    EXPECT_EQ(trace::traceCount(src[0].arg), 4u);
+    EXPECT_EQ(trace::tracePeer(src[0].arg), 1u);
+    EXPECT_EQ(src[0].aux, 0u); // first attempt
+    EXPECT_EQ(trace::traceCount(src[1].arg), 4u);
+    EXPECT_EQ(trace::tracePeer(src[1].arg), 1u);
+    EXPECT_LT(src[0].tick, src[1].tick);
+    // The message never arrived, so the destination ring is silent.
+    EXPECT_EQ(tr.written(1), 0u);
+}
+
+TEST(ProtocolTrace, CleanMigrateLogsSendArriveAck)
+{
+    FaultedMsgHarness h;
+    trace::Tracer tr(4, 64);
+    h.msg->setTracer(&tr);
+    h.faults.pushFate(FaultInjector::MsgFate::Deliver); // MIGRATE
+    h.faults.pushFate(FaultInjector::MsgFate::Deliver); // ACK
+    EXPECT_TRUE(h.msg->sendMigrate(0, 2, h.batch(5)));
+    h.sim.run();
+
+    const auto src = tr.snapshot(0);
+    ASSERT_EQ(kindsOf(src),
+              (std::vector<TraceKind>{TraceKind::MigrateSend,
+                                      TraceKind::MigrateAck}));
+    const auto dst = tr.snapshot(2);
+    ASSERT_EQ(kindsOf(dst),
+              (std::vector<TraceKind>{TraceKind::MigrateArrive}));
+    // The arrival is logged on the DESTINATION ring with the source
+    // as peer -- that reversal is what the timeline validator keys on.
+    EXPECT_EQ(trace::tracePeer(dst[0].arg), 0u);
+    EXPECT_EQ(trace::traceCount(dst[0].arg), 5u);
+    // send -> arrive -> ack in simulated time.
+    EXPECT_LT(src[0].tick, dst[0].tick);
+    EXPECT_LT(dst[0].tick, src[1].tick);
+}
+
+TEST(ProtocolTrace, LostAckLogsArriveButTimesOutAtSource)
+{
+    FaultedMsgHarness h;
+    trace::Tracer tr(4, 64);
+    h.msg->setTracer(&tr);
+    h.faults.pushFate(FaultInjector::MsgFate::Deliver); // MIGRATE
+    h.faults.pushFate(FaultInjector::MsgFate::Drop);    // ACK
+    EXPECT_TRUE(h.msg->sendMigrate(0, 2, h.batch(5), 1));
+    h.sim.run();
+
+    const auto src = tr.snapshot(0);
+    ASSERT_EQ(kindsOf(src),
+              (std::vector<TraceKind>{TraceKind::MigrateSend,
+                                      TraceKind::MigrateTimeout}));
+    EXPECT_EQ(src[1].aux, 1u); // timeout carries the attempt number
+    // The batch DID land -- the trace distinguishes a lost MIGRATE
+    // (no arrival) from a lost ACK (arrival then timeout).
+    const auto dst = tr.snapshot(2);
+    ASSERT_EQ(kindsOf(dst),
+              (std::vector<TraceKind>{TraceKind::MigrateArrive}));
+}
+
+TEST(ProtocolTrace, ExhaustionNackIsLoggedAtTheSource)
+{
+    FaultedMsgHarness h;
+    h.faults = FaultInjector(FaultSpec::parse("exhaust=1:1000000"));
+    h.msg->setFaults(&h.faults);
+    trace::Tracer tr(4, 64);
+    h.msg->setTracer(&tr);
+    EXPECT_TRUE(h.msg->sendMigrate(0, 1, h.batch(4)));
+    h.sim.run();
+
+    const auto src = tr.snapshot(0);
+    ASSERT_EQ(kindsOf(src),
+              (std::vector<TraceKind>{TraceKind::MigrateSend,
+                                      TraceKind::MigrateNack}));
+    EXPECT_EQ(trace::traceCount(src[1].arg), 4u);
+    EXPECT_EQ(trace::tracePeer(src[1].arg), 1u);
+    EXPECT_EQ(tr.written(1), 0u); // rejected before delivery
+}
+
+TEST(ProtocolTrace, FaultInjectorLogsScriptedStall)
+{
+    FaultInjector fi(FaultSpec::parse("stall=1@1000+500"));
+    trace::Tracer tr(4, 16);
+    fi.setTracer(&tr);
+    // Querying inside the window injects (and logs) the stall once.
+    EXPECT_EQ(fi.managerStalledUntil(1, 1200), 1500u);
+    EXPECT_EQ(fi.managerStalledUntil(1, 1300), 1500u);
+    const auto ring = tr.snapshot(1);
+    ASSERT_EQ(ring.size(), 1u);
+    EXPECT_EQ(static_cast<TraceKind>(ring[0].kind),
+              TraceKind::FaultInject);
+    EXPECT_EQ(ring[0].aux,
+              static_cast<std::uint8_t>(
+                  FaultInjector::Kind::MgrStall));
+}
+
+#else // !ALTOC_TRACE_ENABLED
+
+TEST(ProtocolTrace, DISABLED_TraceHooksCompiledOut) {}
+
+#endif // ALTOC_TRACE_ENABLED
