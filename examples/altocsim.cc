@@ -53,6 +53,7 @@ struct Options
     std::uint64_t seed = 1;
     bool csv = false;
     bool stats = false;
+    double time_limit_ms = 500.0;
     std::string fault_spec;
     bool trace = false;
     std::string trace_file;
@@ -89,6 +90,9 @@ usage(int code)
         "  --stats            dump per-component statistics\n"
         "  --fault-spec S     fault schedule (sim/fault_spec.hh\n"
         "                     grammar, e.g. drop=0.05,dup=0.03)\n"
+        "  --time-limit-ms M  bound a faulted run to M ms of sim\n"
+        "                     time (kill specs shed, so completions\n"
+        "                     alone may never end the run)  [500]\n"
         "  --trace[=FILE]     record the binary event trace; with\n"
         "                     =FILE, write it for altoc-trace\n"
         "  --trace-slots N    per-core trace ring slots  [4096]\n");
@@ -179,6 +183,8 @@ parse(int argc, char **argv)
             opt.stats = true;
         else if (!std::strcmp(arg, "--fault-spec"))
             opt.fault_spec = need(i);
+        else if (!std::strcmp(arg, "--time-limit-ms"))
+            opt.time_limit_ms = std::atof(need(i));
         else if (!std::strcmp(arg, "--trace"))
             opt.trace = true;
         else if (!std::strncmp(arg, "--trace=", 8)) {
@@ -250,7 +256,11 @@ main(int argc, char **argv)
         spec.faults.seed = opt.seed;
         // A faulted run can lose completions for good; bound it so
         // the periodic runtime cannot spin forever (see WorkloadSpec).
-        spec.timeLimit = 500 * kMs;
+        // Kill specs shed at admission, so they *always* end here --
+        // tighten the bound when tracing so the periodic records of
+        // the post-drain tail cannot evict the crash arc.
+        spec.timeLimit =
+            static_cast<Tick>(opt.time_limit_ms * static_cast<double>(kMs));
     }
     spec.tracing.enabled = opt.trace;
     spec.tracing.file = opt.trace_file;

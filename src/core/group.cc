@@ -88,6 +88,7 @@ GroupScheduler::onAttach()
         grp.qView.assign(cfg_.numGroups, 0);
         grp.estimator.emplace(cfg_.meanService);
         grp.peers.assign(cfg_.numGroups, PeerHealth{});
+        grp.workerDead.assign(cfg_.workersPerGroup, 0);
         manager_tiles.push_back(ctx_.cores[base]->tile());
     }
 
@@ -136,6 +137,12 @@ ALTOC_HOT void
 GroupScheduler::deliver(net::Rpc *r, unsigned queue)
 {
     altoc_assert(queue < groups_.size(), "group %u out of range", queue);
+    if (groups_[queue].dead) {
+        // The NIC's steering table was rewritten at failover: flows
+        // of the dead group land at its successor. A plain redirect,
+        // not a rescue -- the request never reached the dead group.
+        queue = successorOf(queue);
+    }
     Group &grp = groups_[queue];
     r->curGroup = static_cast<std::uint16_t>(queue);
     grp.rx.enqueue(r, ctx_.sim->now());
@@ -178,7 +185,7 @@ GroupScheduler::pickWorker(const Group &grp) const
     int best = -1;
     unsigned best_occ = cfg_.localDepth;
     for (unsigned w = 0; w < grp.occupancy.size(); ++w) {
-        if (grp.occupancy[w] < best_occ) {
+        if (grp.workerDead[w] == 0 && grp.occupancy[w] < best_occ) {
             best_occ = grp.occupancy[w];
             best = static_cast<int>(w);
         }
@@ -199,6 +206,8 @@ ALTOC_HOT void
 GroupScheduler::pumpInt(unsigned g)
 {
     Group &grp = groups_[g];
+    if (grp.dead)
+        return;
     // Hardware JBSQ: push NetRX heads toward under-occupied workers
     // with no manager involvement.
     for (;;) {
@@ -227,8 +236,10 @@ void
 GroupScheduler::pumpRss(unsigned g)
 {
     Group &grp = groups_[g];
-    if (grp.dispatchPending || grp.rx.empty() || pickWorker(grp) < 0)
+    if (grp.dead || grp.dispatchPending || grp.rx.empty() ||
+        pickWorker(grp) < 0) {
         return;
+    }
     // The manager core is a serial resource: one hand-off per
     // rssDispatchCost, shared with runtime invocations.
     grp.dispatchPending = true;
@@ -257,6 +268,21 @@ void
 GroupScheduler::arriveWorker(unsigned g, unsigned w, net::Rpc *r)
 {
     Group &grp = groups_[g];
+    if (grp.workerDead[w] != 0) {
+        // The worker died while this descriptor crossed the NoC:
+        // rescue it into a live queue instead of a dead mailbox.
+        altoc_assert(grp.occupancy[w] > 0, "occupancy underflow");
+        occupancyDec(grp, w);
+        const unsigned tgt = grp.dead ? successorOf(g) : g;
+        rescueInto(tgt, r);
+        ++requestsRescued_;
+        ALTOC_TRACE_HOOK(ctx_.tracer,
+                         record(ctx_.sim->now(), tgt,
+                                trace::TraceKind::DescriptorRescue,
+                                trace::tracePack(1, grp.workerCores[w])));
+        pump(tgt);
+        return;
+    }
     r->enqueued = ctx_.sim->now();
     grp.local[w].push_back(r);
     tryRunWorker(g, w);
@@ -267,7 +293,7 @@ GroupScheduler::tryRunWorker(unsigned g, unsigned w)
 {
     Group &grp = groups_[g];
     cpu::Core *core = ctx_.cores[grp.workerCores[w]];
-    if (core->busy() || grp.local[w].empty())
+    if (core->dead() || core->busy() || grp.local[w].empty())
         return;
     net::Rpc *r = grp.local[w].front();
     grp.local[w].pop_front();
@@ -343,6 +369,11 @@ GroupScheduler::runtimeTick(unsigned g)
 {
     Group &grp = groups_[g];
 
+    // Failover retired this manager: the runtime loop stops here and
+    // never re-arms (the successor already adopted the group's work).
+    if (grp.dead)
+        return;
+
     // Injected manager stall: the runtime loop simply does not run
     // until the stall lifts (peers see the silence as timeouts and
     // NACKs and route around this group).
@@ -368,28 +399,32 @@ GroupScheduler::runtimeTick(unsigned g)
     msg_->broadcastUpdate(g, grp.qView[g]);
     ALTOC_AUDIT_HOOK(audit_, onQueueSample(g, grp.qView[g]));
 
-    // Line 3: recompute the threshold from the current load.
+    // Line 3: recompute the threshold from the current load. A group
+    // that lost workers to fail-stops solves the Erlang-C model for
+    // its shrunk worker set (modelFor), so the threshold reflects the
+    // capacity it actually has left.
+    const ThresholdModel &model = modelFor(grp);
     const double load =
         cfg_.params.loadOverride >= 0.0
-            ? cfg_.params.loadOverride * cfg_.workersPerGroup
+            ? cfg_.params.loadOverride * model.k()
             : grp.estimator->offeredLoad(ctx_.sim->now());
     unsigned threshold;
     switch (cfg_.params.thresholdMode) {
       case ThresholdMode::UpperBound:
         // k*L + 1: every migration is justified, many violators are
         // missed (maximal precision, Sec. IV-A).
-        threshold = model_->upperBound();
+        threshold = model.upperBound();
         break;
       case ThresholdMode::LowerBound:
         // First-violation queue length from offline profiling:
         // saves every violator at the cost of extra traffic.
         threshold = cfg_.params.lowerBoundThreshold > 0
                         ? cfg_.params.lowerBoundThreshold
-                        : model_->threshold(load);
+                        : model.threshold(load);
         break;
       case ThresholdMode::Model:
       default:
-        threshold = model_->threshold(load);
+        threshold = model.threshold(load);
         break;
     }
     lastThreshold_ = threshold;
@@ -509,6 +544,24 @@ void
 GroupScheduler::onMigrateIn(unsigned g, const std::vector<net::Rpc *> &reqs)
 {
     Group &grp = groups_[g];
+    if (grp.dead) {
+        // The batch landed in the MR bank just as (or just before)
+        // the manager died: salvage it into the successor's queue.
+        const unsigned succ = successorOf(g);
+        for (net::Rpc *r : reqs) {
+            ALTOC_AUDIT_HOOK(audit_, onMigrateIn(*r, g));
+            rescueInto(succ, r);
+        }
+        requestsRescued_ += reqs.size();
+        ALTOC_TRACE_HOOK(
+            ctx_.tracer,
+            record(ctx_.sim->now(), succ,
+                   trace::TraceKind::DescriptorRescue,
+                   trace::tracePack(static_cast<unsigned>(reqs.size()),
+                                    groups_[g].managerCore)));
+        pump(succ);
+        return;
+    }
     for (net::Rpc *r : reqs) {
         ALTOC_AUDIT_HOOK(audit_, onMigrateIn(*r, g));
         grp.rx.enqueue(r, ctx_.sim->now());
@@ -530,6 +583,12 @@ GroupScheduler::onReturn(unsigned g, unsigned dst,
     // resync the local view entry the same tick, so any decision
     // taken before the next period's refresh sees the true length.
     Group &grp = groups_[g];
+    if (grp.dead) {
+        // The source manager died while the NACK was in flight; its
+        // successor adopts the returned batch.
+        rescueReturned(g, reqs);
+        return;
+    }
     for (net::Rpc *r : reqs)
         grp.rx.enqueue(r, ctx_.sim->now());
     grp.qView[g] = grp.rx.length();
@@ -555,6 +614,13 @@ GroupScheduler::onMigrateTimeout(unsigned g, unsigned dst,
     // Timeouts only ever fire under fault injection (the messaging
     // layer arms no deadline on a lossless VN).
     ++migratesTimedOut_;
+    if (groups_[g].dead) {
+        // The source manager died with this MIGRATE outstanding; any
+        // undelivered requests go to its successor.
+        if (!reqs.empty())
+            rescueReturned(g, reqs);
+        return;
+    }
     peerFailure(g, dst);
     if (reqs.empty()) {
         // The batch was delivered and only the ACK was lost: the
@@ -579,6 +645,11 @@ GroupScheduler::retryMigrate(unsigned g, unsigned avoid,
                              unsigned attempt)
 {
     Group &grp = groups_[g];
+    if (grp.dead) {
+        // The source died during the retry backoff.
+        rescueReturned(g, reqs);
+        return;
+    }
     const unsigned n = static_cast<unsigned>(reqs.size());
 
     // Shortest usable peer, excluding the one that just failed us.
@@ -626,6 +697,7 @@ GroupScheduler::reclaimLocal(unsigned g, std::vector<net::Rpc *> reqs)
     // Graceful degradation: fold the batch back into the local
     // c-FCFS queue exactly once, and let the auditor hold us to it.
     Group &grp = groups_[g];
+    altoc_assert(!grp.dead, "reclaim into dead group %u", g);
     for (net::Rpc *r : reqs) {
         ALTOC_AUDIT_HOOK(audit_, onReclaim(*r, g));
         grp.rx.enqueue(r, ctx_.sim->now());
@@ -638,6 +710,8 @@ bool
 GroupScheduler::peerMasked(const Group &grp, unsigned dst) const
 {
     const PeerHealth &ph = grp.peers[dst];
+    if (ph.deadDeclared)
+        return true;
     return ph.quarantined && ctx_.sim->now() < ph.probeAt;
 }
 
@@ -645,6 +719,8 @@ void
 GroupScheduler::peerFailure(unsigned g, unsigned dst)
 {
     PeerHealth &ph = groups_[g].peers[dst];
+    if (ph.deadDeclared)
+        return;
     ++ph.consecFailures;
     if (!ph.quarantined &&
         ph.consecFailures >= cfg_.params.hardening.quarantineAfter) {
@@ -656,8 +732,26 @@ GroupScheduler::peerFailure(unsigned g, unsigned dst)
                                 trace::TraceKind::QuarantineEnter,
                                 trace::tracePack(ph.consecFailures, dst)));
     } else if (ph.quarantined) {
-        // A failed half-open probe re-arms the probation clock.
-        ph.probeAt = ctx_.sim->now() + cfg_.params.hardening.probation;
+        // A failed half-open probe counts exactly once and backs the
+        // probation clock off exponentially (a probe unlucky enough
+        // to land in a scripted stall window must not silently reset
+        // the peer to a fresh quarantine). Enough failed probes and
+        // the verdict escalates from quarantined to declared dead:
+        // the peer is masked permanently and never probed again.
+        ++ph.probeFailures;
+        if (ph.probeFailures >= cfg_.params.hardening.deadAfterProbes) {
+            ph.deadDeclared = true;
+            ++peersDeadDeclared_;
+            ALTOC_TRACE_HOOK(
+                ctx_.tracer,
+                record(ctx_.sim->now(), g,
+                       trace::TraceKind::PeerDeadDeclared,
+                       trace::tracePack(ph.probeFailures, dst)));
+        } else {
+            const unsigned shift = std::min(ph.probeFailures - 1, 7u);
+            ph.probeAt = ctx_.sim->now() +
+                         (cfg_.params.hardening.probation << shift);
+        }
     }
 }
 
@@ -665,7 +759,13 @@ void
 GroupScheduler::peerSuccess(unsigned g, unsigned dst)
 {
     PeerHealth &ph = groups_[g].peers[dst];
+    if (ph.deadDeclared) {
+        // Declared-dead is final: a stray late ACK from before the
+        // verdict must not resurrect the peer.
+        return;
+    }
     ph.consecFailures = 0;
+    ph.probeFailures = 0;
     if (ph.quarantined) {
         ph.quarantined = false;
         ALTOC_TRACE_HOOK(ctx_.tracer,
@@ -686,6 +786,190 @@ GroupScheduler::quarantinedNow() const
         }
     }
     return n;
+}
+
+// ---------------------------------------------------------------------
+// Fail-stop recovery
+// ---------------------------------------------------------------------
+
+void
+GroupScheduler::onCoreDeath(unsigned core_id, net::Rpc *orphan)
+{
+    altoc_assert(core_id < ctx_.cores.size(), "core %u out of range",
+                 core_id);
+    ++coresDead_;
+    const unsigned g = groupOfCore(core_id);
+    if (!isWorkerCore(core_id)) {
+        // Manager cores never execute request handlers in either
+        // variant (Rss dispatch is modeled as occupancy of the
+        // manager's time, not a Core::run), so a dying manager can
+        // hold no orphan.
+        altoc_assert(orphan == nullptr,
+                     "manager core %u died holding a request", core_id);
+        if (!groups_[g].dead)
+            failOverGroup(g);
+        return;
+    }
+    killWorker(g, core_id - groups_[g].managerCore - 1, orphan);
+}
+
+void
+GroupScheduler::killWorker(unsigned g, unsigned w, net::Rpc *orphan)
+{
+    Group &grp = groups_[g];
+    altoc_assert(grp.workerDead[w] == 0,
+                 "worker %u of group %u killed twice", w, g);
+    grp.workerDead[w] = 1;
+    // The dead worker's idle bit clears permanently; occupancyDec
+    // never re-sets it for a dead slot.
+    if (idleMaskUsable_)
+        grp.idleMask &= ~(std::uint64_t{1} << w);
+
+    // Rescue the interrupted request and the local backlog into the
+    // group's NetRX -- or, when this worker was stranded in a group
+    // that already failed over, straight into the successor's.
+    // Descriptors still crossing the NoC toward this worker are
+    // rescued on arrival (arriveWorker); their occupancy stays
+    // charged until then.
+    const unsigned tgt = grp.dead ? successorOf(g) : g;
+    unsigned rescued = 0;
+    if (orphan != nullptr) {
+        altoc_assert(grp.occupancy[w] > 0, "occupancy underflow");
+        occupancyDec(grp, w);
+        rescueInto(tgt, orphan);
+        ++rescued;
+    }
+    while (!grp.local[w].empty()) {
+        net::Rpc *r = grp.local[w].front();
+        grp.local[w].pop_front();
+        altoc_assert(grp.occupancy[w] > 0, "occupancy underflow");
+        occupancyDec(grp, w);
+        rescueInto(tgt, r);
+        ++rescued;
+    }
+    requestsRescued_ += rescued;
+    if (rescued > 0) {
+        ALTOC_TRACE_HOOK(ctx_.tracer,
+                         record(ctx_.sim->now(), tgt,
+                                trace::TraceKind::DescriptorRescue,
+                                trace::tracePack(rescued,
+                                                 grp.workerCores[w])));
+    }
+    if (grp.dead) {
+        pump(tgt);
+        return;
+    }
+    grp.qView[g] = grp.rx.length();
+
+    // Re-solve the Erlang-C model for the shrunk worker set; the next
+    // runtime period picks the new threshold up via modelFor().
+    unsigned live = 0;
+    for (const std::uint8_t d : grp.workerDead) {
+        if (d == 0)
+            ++live;
+    }
+    if (live == 0) {
+        // Every worker of the group is gone: the group can serve
+        // nothing, so it retires entirely and its work and flows move
+        // to the successor, exactly as if the manager had died.
+        failOverGroup(g);
+        return;
+    }
+    grp.shrunkModel = std::make_unique<ThresholdModel>(
+        live, cfg_.params.sloFactor, defaultConstants(cfg_.distName));
+    pump(g);
+}
+
+void
+GroupScheduler::failOverGroup(unsigned g)
+{
+    Group &grp = groups_[g];
+    altoc_assert(!grp.dead, "group %u failed over twice", g);
+    grp.dead = true;
+    // Messages addressed to the dead manager now vanish (MIGRATE) or
+    // are discarded (UPDATE) at the messaging layer.
+    msg_->setManagerDead(g);
+    // Failover is a global control-plane action: every surviving
+    // manager learns the verdict immediately, so nobody wastes
+    // probes on a group that is known to be gone.
+    for (unsigned h = 0; h < cfg_.numGroups; ++h) {
+        if (h == g || groups_[h].dead)
+            continue;
+        PeerHealth &ph = groups_[h].peers[g];
+        ph.quarantined = true;
+        ph.deadDeclared = true;
+    }
+
+    const unsigned succ = successorOf(g);
+    Group &sgrp = groups_[succ];
+
+    // The successor adopts the dead group's pending arrivals; its
+    // own queue-depth view refreshes the same tick so the very next
+    // decision sees the adopted load.
+    unsigned rescued = 0;
+    while (net::Rpc *r = grp.rx.dequeueHead()) {
+        rescueInto(succ, r);
+        ++rescued;
+    }
+    requestsRescued_ += rescued;
+    ++managersFailedOver_;
+    grp.qView[g] = 0;
+    sgrp.qView[succ] = sgrp.rx.length();
+    ALTOC_TRACE_HOOK(ctx_.tracer,
+                     record(ctx_.sim->now(), succ,
+                            trace::TraceKind::ManagerFailover,
+                            trace::tracePack(rescued, g)));
+    pump(succ);
+}
+
+unsigned
+GroupScheduler::successorOf(unsigned g) const
+{
+    for (unsigned i = 1; i < cfg_.numGroups; ++i) {
+        const unsigned d = (g + i) % cfg_.numGroups;
+        if (!groups_[d].dead)
+            return d;
+    }
+    panic("group %u has no live successor: every group is dead", g);
+}
+
+void
+GroupScheduler::rescueInto(unsigned g, net::Rpc *r)
+{
+    ALTOC_AUDIT_HOOK(audit_, onRescue(*r, g));
+    r->curGroup = static_cast<std::uint16_t>(g);
+    groups_[g].rx.enqueue(r, ctx_.sim->now());
+}
+
+void
+GroupScheduler::rescueReturned(unsigned g,
+                               const std::vector<net::Rpc *> &reqs)
+{
+    const unsigned succ = successorOf(g);
+    for (net::Rpc *r : reqs)
+        rescueInto(succ, r);
+    requestsRescued_ += reqs.size();
+    ALTOC_TRACE_HOOK(
+        ctx_.tracer,
+        record(ctx_.sim->now(), succ, trace::TraceKind::DescriptorRescue,
+               trace::tracePack(static_cast<unsigned>(reqs.size()),
+                                groups_[g].managerCore)));
+    pump(succ);
+}
+
+unsigned
+GroupScheduler::liveWorkerCores() const
+{
+    unsigned live = 0;
+    for (const Group &grp : groups_) {
+        if (grp.dead)
+            continue;
+        for (const std::uint8_t d : grp.workerDead) {
+            if (d == 0)
+                ++live;
+        }
+    }
+    return live;
 }
 
 } // namespace altoc::core

@@ -160,6 +160,31 @@ class GroupScheduler : public sched::Scheduler
     /** (observer, peer) pairs currently masked out by quarantine. */
     std::size_t quarantinedNow() const;
 
+    /** (observer, peer) verdicts escalated to declared-dead. */
+    std::uint64_t peersDeadDeclared() const { return peersDeadDeclared_; }
+
+    /**
+     * Fail-stop recovery (Sec. "failure domains" in DESIGN.md): a
+     * dead worker's local queue and in-flight descriptor are rescued
+     * into the group's NetRX; a dead manager's group fails over to a
+     * deterministic live successor that adopts its pending arrivals
+     * and keeps serving its flows.
+     */
+    void onCoreDeath(unsigned core_id, net::Rpc *orphan) override;
+
+    /** Manager core of group @p mgr (killm target). */
+    int
+    managerCore(unsigned mgr) const override
+    {
+        if (mgr >= cfg_.numGroups)
+            return -1;
+        return static_cast<int>(mgr * (cfg_.workersPerGroup + 1));
+    }
+
+    /** Dead workers and workers stranded in failed-over groups are
+     *  not schedulable. */
+    unsigned liveWorkerCores() const override;
+
   protected:
     void onAttach() override;
     void onCompletion(cpu::Core &core, net::Rpc *r) override;
@@ -179,6 +204,13 @@ class GroupScheduler : public sched::Scheduler
         bool quarantined = false;
         /** Masked until this tick; past it the peer is half-open. */
         Tick probeAt = 0;
+        /** Half-open probes that failed while quarantined. Each one
+         *  backs the probation clock off exponentially; reaching
+         *  HardeningParams::deadAfterProbes escalates to dead. */
+        unsigned probeFailures = 0;
+        /** Verdict escalated to declared-dead: permanently masked,
+         *  never probed or rejoined again. */
+        bool deadDeclared = false;
     };
 
     struct Group
@@ -202,6 +234,16 @@ class GroupScheduler : public sched::Scheduler
         std::optional<LoadEstimator> estimator;
         /** This manager's health view of every peer group. */
         std::vector<PeerHealth> peers;
+        /** Manager core fail-stopped: the group no longer runs the
+         *  runtime or accepts arrivals; its surviving workers drain
+         *  their local backlog and then idle. */
+        bool dead = false;
+        /** Per-worker fail-stop flags (workerDead[w] != 0). */
+        std::vector<std::uint8_t> workerDead;
+        /** Erlang-C model recomputed for the shrunk worker set after
+         *  a worker death; null while all workers live (the shared
+         *  model_ applies). */
+        std::unique_ptr<ThresholdModel> shrunkModel;
     };
 
     unsigned groupOfCore(unsigned core) const { return coreGroup_[core]; }
@@ -230,8 +272,10 @@ class GroupScheduler : public sched::Scheduler
     void
     occupancyDec(Group &grp, unsigned w)
     {
-        if (--grp.occupancy[w] == 0 && idleMaskUsable_)
+        if (--grp.occupancy[w] == 0 && idleMaskUsable_ &&
+            grp.workerDead[w] == 0) {
             grp.idleMask |= std::uint64_t{1} << w;
+        }
     }
 
     /** Periodic Algorithm 1 invocation for manager @p g. */
@@ -271,6 +315,29 @@ class GroupScheduler : public sched::Scheduler
     void peerFailure(unsigned g, unsigned dst);
     void peerSuccess(unsigned g, unsigned dst);
 
+    /** Fail-stop handlers, split by the dead core's role. */
+    void killWorker(unsigned g, unsigned w, net::Rpc *orphan);
+    void failOverGroup(unsigned g);
+
+    /** Next live group after @p g cyclically; the failover successor
+     *  and the redirect target for arrivals steered at dead groups. */
+    unsigned successorOf(unsigned g) const;
+
+    /** Move @p r into group @p g's NetRX as a rescued descriptor
+     *  (audited, counted, traced by the caller). */
+    void rescueInto(unsigned g, net::Rpc *r);
+
+    /** A batch bounced back (NACK return, timeout reclaim, failed
+     *  retry) to dead group @p g: rescue it into the successor. */
+    void rescueReturned(unsigned g, const std::vector<net::Rpc *> &reqs);
+
+    /** The threshold model governing group @p g (shrunk-set override
+     *  after a worker death, shared model otherwise). */
+    const ThresholdModel &modelFor(const Group &grp) const
+    {
+        return grp.shrunkModel ? *grp.shrunkModel : *model_;
+    }
+
     Config cfg_;
     /** pickWorker may use Group::idleMask (see there). */
     bool idleMaskUsable_ = false;
@@ -287,6 +354,7 @@ class GroupScheduler : public sched::Scheduler
     std::uint64_t migratesRetried_ = 0;
     std::uint64_t migratesTimedOut_ = 0;
     std::uint64_t peersQuarantined_ = 0;
+    std::uint64_t peersDeadDeclared_ = 0;
     std::array<std::uint64_t, 4> patternCounts_{};
     unsigned lastThreshold_ = 0;
 

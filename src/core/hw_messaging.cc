@@ -56,6 +56,7 @@ HwMessaging::HwMessaging(sim::Simulator &sim, noc::Mesh &mesh,
     altoc_assert(!tiles_.empty(), "messaging needs at least one manager");
     boxes_.assign(tiles_.size(), Mailbox{});
     updates_.assign(tiles_.size() * tiles_.size(), UpdateChannel{});
+    deadMgr_.assign(tiles_.size(), 0);
     // Concurrency cap of the hardware protocol: each outstanding
     // MIGRATE stages at least one MR entry at its source, so the
     // table can never exceed managers x MR entries live slots.
@@ -296,6 +297,15 @@ HwMessaging::deliverMigrate(std::uint64_t seq)
     // The send FIFO drains once the message is on the wire.
     drainSendFifo(seq);
 
+    if (deadMgr_[dst] != 0) {
+        // The destination tile fail-stopped: the message vanishes
+        // into its dead receive path. No NACK comes back; the
+        // source's ACK timeout (always armed when kills are possible)
+        // resolves the exchange and reclaims the batch.
+        ++stats_.migratesToDead;
+        return;
+    }
+
     Mailbox &dbox = boxes_[dst];
     bool room =
         !cfg_.hardware ||
@@ -362,14 +372,26 @@ HwMessaging::deliverMigrate(std::uint64_t seq)
             box.mrInbound -= std::min(box.mrInbound, n);
         }
         stats_.descriptorsDelivered += n;
-        ALTOC_TRACE_HOOK(tracer_,
-                         record(sim_.now(), dst,
-                                trace::TraceKind::MigrateArrive,
-                                trace::tracePack(n, src)));
         for (net::Rpc *r : batch) {
             r->migrated = true;
             r->curGroup = static_cast<std::uint16_t>(dst);
         }
+        if (deadMgr_[dst] != 0) {
+            // The manager died while the migrator was draining this
+            // batch into the MR bank. The descriptors survive in the
+            // bank and are handed to the scheduler for rescue, but
+            // the dead tile records no arrival and returns no ACK --
+            // the source's timeout resolves the exchange (with an
+            // empty batch: ownership transferred at delivery).
+            if (migrateIn_)
+                migrateIn_(dst, batch);
+            recycleBatch(std::move(batch));
+            return;
+        }
+        ALTOC_TRACE_HOOK(tracer_,
+                         record(sim_.now(), dst,
+                                trace::TraceKind::MigrateArrive,
+                                trace::tracePack(n, src)));
         if (migrateIn_)
             migrateIn_(dst, batch);
         const Tick flight = transit(dst, src, hw::kHeaderBytes);
@@ -479,10 +501,17 @@ HwMessaging::onAckTimeout(std::uint64_t seq)
 }
 
 void
+HwMessaging::setManagerDead(unsigned mgr)
+{
+    altoc_assert(mgr < deadMgr_.size(), "manager id out of range");
+    deadMgr_[mgr] = 1;
+}
+
+void
 HwMessaging::broadcastUpdate(unsigned src, std::size_t qlen)
 {
     for (unsigned dst = 0; dst < numManagers(); ++dst) {
-        if (dst == src)
+        if (dst == src || deadMgr_[dst] != 0)
             continue;
         UpdateChannel &chan = updates_[src * numManagers() + dst];
         if (chan.inFlight) {
@@ -505,7 +534,7 @@ HwMessaging::launchUpdate(unsigned src, unsigned dst, std::size_t qlen)
                             ? transit(src, dst, hw::kHeaderBytes)
                             : hw::kSwUpdateNs;
     sim_.after(hw::kControllerNs + flight, [this, src, dst, qlen] {
-        if (update_)
+        if (update_ && deadMgr_[dst] == 0)
             update_(dst, src, qlen);
         UpdateChannel &ch = updates_[src * numManagers() + dst];
         ch.inFlight = false;

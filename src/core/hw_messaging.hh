@@ -69,6 +69,9 @@ struct MessagingStats
     std::uint64_t updatesSent = 0;
     std::uint64_t sendsRefused = 0;
     std::uint64_t bytesOnNoc = 0;
+    /** MIGRATEs swallowed by a fail-stopped manager's receive path
+     *  (no NACK; the source's ACK timeout is the failure signal). */
+    std::uint64_t migratesToDead = 0;
 };
 
 /**
@@ -133,6 +136,22 @@ class HwMessaging
 
     /** Attach the run's fault injector (null = pristine VN). */
     void setFaults(sim::FaultInjector *faults) { faults_ = faults; }
+
+    /**
+     * Mark manager @p mgr fail-stopped: a MIGRATE arriving at it
+     * vanishes into the dead receive path (no NACK -- the source's
+     * ACK timeout is the only failure signal, exactly like a real
+     * crashed tile), in-flight UPDATEs to it are discarded and
+     * future broadcasts skip it. Only ever called under fault
+     * injection, so the pristine path is untouched.
+     */
+    void setManagerDead(unsigned mgr);
+
+    /** True when setManagerDead(mgr) was called. */
+    bool managerDead(unsigned mgr) const
+    {
+        return mgr < deadMgr_.size() && deadMgr_[mgr] != 0;
+    }
 
     /** Attach the run's event tracer (null = untraced). MIGRATE
      *  protocol legs (send, arrival, ACK, NACK, timeout) are recorded
@@ -311,6 +330,8 @@ class HwMessaging
     /** NACK-return staging: the batch swaps out here so the slot can
      *  retire before the return callback runs. */
     std::vector<net::Rpc *> returnScratch_;
+    /** deadMgr_[m] != 0 once manager m fail-stopped. */
+    std::vector<std::uint8_t> deadMgr_;
     sim::FaultInjector *faults_ = nullptr;
     trace::Tracer *tracer_ = nullptr;
     MigrateInFn migrateIn_;

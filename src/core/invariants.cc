@@ -72,19 +72,53 @@ InvariantAuditor::onQueueSample(unsigned queue, std::size_t len)
 }
 
 void
+InvariantAuditor::onShed(const net::Rpc &r)
+{
+    ++c_.shed;
+    // A shed descriptor entered through the NIC hook (onInject) and
+    // leaves here, never executing; it must be live exactly once.
+    if (live_.erase(&r) == 0) {
+        violate("descriptor-conservation",
+                detail::vformat("request %llu shed at admission but "
+                                "was never injected (or already "
+                                "completed)",
+                                static_cast<unsigned long long>(r.id)));
+    }
+}
+
+void
+InvariantAuditor::onRescue(const net::Rpc &r, unsigned dst)
+{
+    ++c_.rescues;
+    // Rescue re-homes an orphan; the descriptor stays live and must
+    // complete later, so only its liveness is asserted here.
+    if (live_.find(&r) == live_.end()) {
+        violate("descriptor-conservation",
+                detail::vformat("request %llu rescued into %u while "
+                                "not live",
+                                static_cast<unsigned long long>(r.id),
+                                dst));
+    }
+}
+
+void
 InvariantAuditor::onDrain()
 {
-    if (c_.injected != c_.completed) {
+    if (c_.injected != c_.completed + c_.shed) {
         violate("descriptor-conservation",
                 detail::vformat("drained with injected=%llu != "
-                                "completed=%llu (dropped-completions="
-                                "%llu)",
+                                "completed=%llu + shed=%llu "
+                                "(dropped-completions=%llu, "
+                                "rescues=%llu)",
                                 static_cast<unsigned long long>(
                                     c_.injected),
                                 static_cast<unsigned long long>(
                                     c_.completed),
+                                static_cast<unsigned long long>(c_.shed),
                                 static_cast<unsigned long long>(
-                                    c_.droppedCompleted)));
+                                    c_.droppedCompleted),
+                                static_cast<unsigned long long>(
+                                    c_.rescues)));
     }
     if (!live_.empty()) {
         const net::Rpc *r = live_.begin()->first;

@@ -7,8 +7,12 @@
  * The properties audited are the ones the paper's claims rest on:
  *
  *  - descriptor-conservation: every descriptor injected through the
- *    NIC is completed (or drop-completed) exactly once; at drain
- *    injected == completed and nothing is still live.
+ *    NIC is completed (or drop-completed) exactly once, or -- under
+ *    fail-stop fault injection -- explicitly shed at admission; at
+ *    drain injected == completed + shed and nothing is still live.
+ *    Rescued descriptors (orphans of a dead core re-homed to a live
+ *    peer) stay live until they complete, so rescue never hides a
+ *    loss.
  *  - migrate-at-most-once: a request leaves its home NetRX via
  *    MIGRATE at most one time (Sec. V-B optimization 4). NACKed
  *    migrations never landed, so they do not count.
@@ -76,6 +80,8 @@ class InvariantAuditor : public sim::Auditor
         std::uint64_t decisionsChecked = 0;
         std::uint64_t reclaims = 0;
         std::uint64_t returnsChecked = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t rescues = 0;
     };
 
     // sim::Auditor hooks
@@ -83,6 +89,8 @@ class InvariantAuditor : public sim::Auditor
     void onComplete(const net::Rpc &r) override;
     void onMigrateIn(const net::Rpc &r, unsigned dst) override;
     void onQueueSample(unsigned queue, std::size_t len) override;
+    void onShed(const net::Rpc &r) override;
+    void onRescue(const net::Rpc &r, unsigned dst) override;
     void onDrain() override;
 
     /**

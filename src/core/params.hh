@@ -53,8 +53,18 @@ struct HardeningParams
     unsigned quarantineAfter = 3;
 
     /** Quarantine probation: time before the first half-open probe
-     *  (extended on every further failure). */
+     *  (backed off exponentially on every further probe failure). */
     Tick probation = 20 * kUs;
+
+    /**
+     * Failed half-open probes against a quarantined peer before the
+     * observer escalates the verdict from "quarantined" to
+     * "declared dead" (permanent mask, no further probes; a manager
+     * kill also triggers failover directly). Sized so a transient
+     * stall of a few probation periods never reaches it: with
+     * exponential backoff, 8 failures span 255x the base probation.
+     */
+    unsigned deadAfterProbes = 8;
 };
 
 /**

@@ -20,6 +20,7 @@ void
 Core::run(net::Rpc *r, Tick dispatch_delay, Tick quantum)
 {
     altoc_assert(!busy_, "core %u dispatched while busy", id_);
+    altoc_assert(!dead_, "core %u dispatched after fail-stop", id_);
     altoc_assert(r->remaining > 0, "dispatching a finished request");
     altoc_assert(quantum > 0, "zero quantum");
 
@@ -42,9 +43,25 @@ Core::run(net::Rpc *r, Tick dispatch_delay, Tick quantum)
     });
 }
 
+net::Rpc *
+Core::kill()
+{
+    altoc_assert(!dead_, "core %u killed twice", id_);
+    dead_ = true;
+    net::Rpc *orphan = current_;
+    // The pending finishSlice event (if any) still fires; the dead_
+    // guard there discards it, so the abandoned slice contributes
+    // neither busy time nor a completion/preemption callback.
+    busy_ = false;
+    current_ = nullptr;
+    return orphan;
+}
+
 void
 Core::finishSlice(net::Rpc *r, Tick slice)
 {
+    if (dead_)
+        return;
     busyNs_ += slice;
     r->remaining -= slice;
     busy_ = false;

@@ -48,6 +48,9 @@ class Core
 
     bool busy() const { return busy_; }
 
+    /** True once the core has fail-stopped (fault injection). */
+    bool dead() const { return dead_; }
+
     net::Rpc *current() const { return current_; }
 
     void setCompletion(CompletionFn fn) { onComplete_ = std::move(fn); }
@@ -71,6 +74,15 @@ class Core
      * preemption callback. The core must be idle.
      */
     void run(net::Rpc *r, Tick dispatch_delay, Tick quantum = kTickInf);
+
+    /**
+     * Fail-stop this core permanently. Any in-flight slice is
+     * abandoned (its completion event fires into a dead guard and is
+     * ignored -- no completion or preemption callback runs), and the
+     * orphaned request, if any, is returned for the scheduler to
+     * rescue. A dead core never accepts another dispatch.
+     */
+    net::Rpc *kill();
 
     /**
      * Execution-stretch hook: consulted once per slice with
@@ -102,6 +114,7 @@ class Core
     unsigned id_;
     unsigned tile_;
     bool busy_ = false;
+    bool dead_ = false;
     net::Rpc *current_ = nullptr;
     CompletionFn onComplete_;
     PreemptFn onPreempt_;

@@ -6,6 +6,8 @@
 #include "sched/dfcfs.hh"
 
 #include "common/logging.hh"
+#include "sim/auditor.hh"
+#include "trace/trace.hh"
 
 namespace altoc::sched {
 
@@ -37,6 +39,8 @@ void
 DFcfsScheduler::deliver(net::Rpc *r, unsigned queue)
 {
     altoc_assert(queue < queues_.size(), "queue %u out of range", queue);
+    if (ctx_.cores[queue]->dead())
+        queue = redirectTarget(queue);
     queues_[queue].enqueue(r, ctx_.sim->now());
     tryDispatch(queue);
 }
@@ -45,7 +49,7 @@ void
 DFcfsScheduler::tryDispatch(unsigned queue)
 {
     cpu::Core *core = ctx_.cores[queue];
-    if (core->busy())
+    if (core->dead() || core->busy())
         return;
     net::Rpc *r = queues_[queue].dequeueHead();
     if (r == nullptr)
@@ -58,6 +62,46 @@ DFcfsScheduler::onCompletion(cpu::Core &core, net::Rpc *r)
 {
     sink_->onRpcDone(core, r);
     tryDispatch(core.id());
+}
+
+unsigned
+DFcfsScheduler::redirectTarget(unsigned queue) const
+{
+    const unsigned n = static_cast<unsigned>(ctx_.cores.size());
+    for (unsigned i = 1; i < n; ++i) {
+        const unsigned c = (queue + i) % n;
+        if (!ctx_.cores[c]->dead())
+            return c;
+    }
+    panic("core %u has no live successor: every core is dead", queue);
+}
+
+void
+DFcfsScheduler::onCoreDeath(unsigned core_id, net::Rpc *orphan)
+{
+    altoc_assert(core_id < queues_.size(), "core %u out of range",
+                 core_id);
+    ++coresDead_;
+    const unsigned succ = redirectTarget(core_id);
+    unsigned rescued = 0;
+    if (orphan != nullptr) {
+        ALTOC_AUDIT_HOOK(ctx_.auditor, onRescue(*orphan, succ));
+        queues_[succ].enqueue(orphan, ctx_.sim->now());
+        ++rescued;
+    }
+    while (net::Rpc *r = queues_[core_id].dequeueHead()) {
+        ALTOC_AUDIT_HOOK(ctx_.auditor, onRescue(*r, succ));
+        queues_[succ].enqueue(r, ctx_.sim->now());
+        ++rescued;
+    }
+    requestsRescued_ += rescued;
+    if (rescued > 0) {
+        ALTOC_TRACE_HOOK(ctx_.tracer,
+                         record(ctx_.sim->now(), succ,
+                                trace::TraceKind::DescriptorRescue,
+                                trace::tracePack(rescued, core_id)));
+    }
+    dispatchRescued(succ);
 }
 
 std::vector<std::size_t>

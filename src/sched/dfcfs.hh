@@ -47,12 +47,26 @@ class DFcfsScheduler : public Scheduler
     void deliver(net::Rpc *r, unsigned queue) override;
     std::vector<std::size_t> queueLengths() const override;
 
+    /** Fail-stop recovery: the NIC re-steers the dead core's flows
+     *  to the next live core, which also adopts its backlog. */
+    void onCoreDeath(unsigned core_id, net::Rpc *orphan) override;
+
   protected:
     void onAttach() override;
     void onCompletion(cpu::Core &core, net::Rpc *r) override;
 
     /** Dispatch the head of @p queue if its core is idle. */
     void tryDispatch(unsigned queue);
+
+    /** Next live core after @p queue cyclically (rescue target and
+     *  RSS re-steering destination for a dead core's flows). */
+    unsigned redirectTarget(unsigned queue) const;
+
+    /** Kick the adoptive core after a rescue. Virtual because
+     *  derived schedulers may have the core in a state plain
+     *  tryDispatch must not preempt (a work-stealing core mid-steal
+     *  rechecks its queue itself when the episode resolves). */
+    virtual void dispatchRescued(unsigned succ) { tryDispatch(succ); }
 
     Config cfg_;
     std::vector<net::NetRxQueue> queues_;

@@ -36,4 +36,15 @@ Scheduler::totalQueued() const
     return total;
 }
 
+unsigned
+Scheduler::liveWorkerCores() const
+{
+    unsigned live = 0;
+    for (const cpu::Core *core : ctx_.cores) {
+        if (!core->dead() && isWorkerCore(core->id()))
+            ++live;
+    }
+    return live;
+}
+
 } // namespace altoc::sched

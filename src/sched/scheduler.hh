@@ -124,6 +124,54 @@ class Scheduler
         return true;
     }
 
+    /**
+     * Core @p core_id fail-stopped (fault injection). @p orphan is
+     * the request it was executing, or null when it was idle. The
+     * scheduler must stop dispatching to the dead core, rescue the
+     * orphan and any requests queued on it to a live core, and --
+     * for manager designs when the dead core is a manager -- fail
+     * the group over to a successor. Designs without a recovery
+     * story panic (an unhandled fail-stop must never look like a
+     * hang).
+     */
+    virtual void
+    onCoreDeath(unsigned core_id, net::Rpc *orphan)
+    {
+        (void)orphan;
+        panic("scheduler %s cannot survive the death of core %u",
+              name().c_str(), core_id);
+    }
+
+    /**
+     * Core id of manager @p mgr for designs with dedicated manager
+     * cores (killm targets), or -1 when the design has none and a
+     * killm spec is a documented no-op.
+     */
+    virtual int
+    managerCore(unsigned mgr) const
+    {
+        (void)mgr;
+        return -1;
+    }
+
+    /** Cores fail-stopped so far (fault injection). */
+    std::uint64_t coresDead() const { return coresDead_; }
+
+    /** Descriptors rescued off dead cores into live queues. */
+    std::uint64_t requestsRescued() const { return requestsRescued_; }
+
+    /** Manager groups failed over to a successor. */
+    std::uint64_t managersFailedOver() const
+    {
+        return managersFailedOver_;
+    }
+
+    /** Worker cores still able to execute requests (dead ones
+     *  excluded; manager designs also exclude workers stranded in a
+     *  group whose manager died); degradation-aware admission scales
+     *  to this. */
+    virtual unsigned liveWorkerCores() const;
+
   protected:
     /** Subclass hook invoked at the end of attach(). */
     virtual void onAttach() {}
@@ -142,6 +190,11 @@ class Scheduler
 
     SchedContext ctx_;
     CompletionSink *sink_ = nullptr;
+
+    /** Recovery accounting, maintained by subclasses' onCoreDeath. */
+    std::uint64_t coresDead_ = 0;
+    std::uint64_t requestsRescued_ = 0;
+    std::uint64_t managersFailedOver_ = 0;
 };
 
 } // namespace altoc::sched

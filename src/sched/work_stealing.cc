@@ -38,6 +38,11 @@ void
 WorkStealingScheduler::deliver(net::Rpc *r, unsigned queue)
 {
     altoc_assert(queue < queues_.size(), "queue %u out of range", queue);
+    // A dead core's queue is unreachable -- stealers read dead
+    // victims as empty -- so arrivals steered at it must be
+    // redirected, exactly as plain d-FCFS does.
+    if (ctx_.cores[queue]->dead())
+        queue = redirectTarget(queue);
     queues_[queue].enqueue(r, ctx_.sim->now());
     // The owning core may be mid-steal; it will recheck its queue
     // when the episode resolves.
@@ -56,11 +61,42 @@ WorkStealingScheduler::wakeIdleCore()
         const unsigned id = parked_.back();
         parked_.pop_back();
         cpu::Core *core = ctx_.cores[id];
-        if (!core->busy() && !stealing_[id] && queues_[id].empty()) {
+        if (!core->dead() && !core->busy() && !stealing_[id] &&
+            queues_[id].empty()) {
             beginSteal(id);
             return;
         }
     }
+}
+
+void
+WorkStealingScheduler::dispatchRescued(unsigned succ)
+{
+    // The adoptive core may be mid-steal; its episode rechecks the
+    // local queue when it resolves, so dispatching here would make a
+    // "stealing" core busy. Wake a parked core instead so rescued
+    // work never waits on a busy adopter.
+    if (!stealing_[succ])
+        tryDispatch(succ);
+    if (!queues_[succ].empty())
+        wakeIdleCore();
+}
+
+int
+WorkStealingScheduler::pickVictim(unsigned thief)
+{
+    const unsigned n = static_cast<unsigned>(queues_.size());
+    unsigned live_peers = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        if (i != thief && !ctx_.cores[i]->dead())
+            ++live_peers;
+    }
+    if (live_peers == 0)
+        return -1;
+    unsigned victim = thief;
+    while (victim == thief || ctx_.cores[victim]->dead())
+        victim = static_cast<unsigned>(ctx_.rng.below(n));
+    return static_cast<int>(victim);
 }
 
 void
@@ -79,18 +115,20 @@ void
 WorkStealingScheduler::beginSteal(unsigned thief)
 {
     // Random victim selection, as in ZygOS; the probe pays its
-    // latency regardless of outcome.
+    // latency regardless of outcome. Dead cores neither steal nor
+    // get picked as victims.
     const unsigned n = static_cast<unsigned>(queues_.size());
-    if (n <= 1)
+    if (n <= 1 || ctx_.cores[thief]->dead())
         return;
-    unsigned victim = thief;
-    while (victim == thief)
-        victim = static_cast<unsigned>(ctx_.rng.below(n));
+    const int victim = pickVictim(thief);
+    if (victim < 0)
+        return;
     stealing_[thief] = true;
     const Tick cost =
         ctx_.rng.range(wsCfg_.stealMin, wsCfg_.stealMax);
     ctx_.sim->after(cost, [this, thief, victim] {
-        finishSteal(thief, victim, wsCfg_.maxProbes - 1);
+        finishSteal(thief, static_cast<unsigned>(victim),
+                    wsCfg_.maxProbes - 1);
     });
 }
 
@@ -100,6 +138,11 @@ WorkStealingScheduler::finishSteal(unsigned thief, unsigned victim,
 {
     stealing_[thief] = false;
     cpu::Core *core = ctx_.cores[thief];
+    if (core->dead()) {
+        // The thief was killed mid-episode; it grabbed nothing, so
+        // the episode simply evaporates.
+        return;
+    }
     altoc_assert(!core->busy(), "stealing core became busy mid-episode");
 
     // Local work that arrived during the steal takes priority.
@@ -108,7 +151,11 @@ WorkStealingScheduler::finishSteal(unsigned thief, unsigned victim,
         return;
     }
 
-    net::Rpc *stolen = queues_[victim].dequeueHead();
+    // A victim killed while the miss chain resolved reads as empty:
+    // its queue was already rescued to a live core.
+    net::Rpc *stolen = ctx_.cores[victim]->dead()
+                           ? nullptr
+                           : queues_[victim].dequeueHead();
     if (stolen != nullptr) {
         ++steals_;
         core->run(stolen, wsCfg_.dispatchOverhead);
@@ -117,15 +164,15 @@ WorkStealingScheduler::finishSteal(unsigned thief, unsigned victim,
 
     ++failedSteals_;
     if (probes_left > 0) {
-        const unsigned n = static_cast<unsigned>(queues_.size());
-        unsigned next = thief;
-        while (next == thief)
-            next = static_cast<unsigned>(ctx_.rng.below(n));
+        const int next = pickVictim(thief);
+        if (next < 0)
+            return;
         stealing_[thief] = true;
         const Tick cost =
             ctx_.rng.range(wsCfg_.stealMin, wsCfg_.stealMax);
         ctx_.sim->after(cost, [this, thief, next, probes_left] {
-            finishSteal(thief, next, probes_left - 1);
+            finishSteal(thief, static_cast<unsigned>(next),
+                        probes_left - 1);
         });
         return;
     }

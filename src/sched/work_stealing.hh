@@ -56,10 +56,16 @@ class WorkStealingScheduler : public DFcfsScheduler
   protected:
     void onAttach() override;
     void onCompletion(cpu::Core &core, net::Rpc *r) override;
+    void dispatchRescued(unsigned succ) override;
 
   private:
     /** Begin a steal episode on idle core @p thief. */
     void beginSteal(unsigned thief);
+
+    /** Live victim for @p thief, or -1 when no live peer exists.
+     *  Consumes RNG draws exactly as the pre-fault code did when
+     *  every core is alive, keeping pristine runs bit-identical. */
+    int pickVictim(unsigned thief);
 
     /** Steal latency resolved: try to take work from @p victim. */
     void finishSteal(unsigned thief, unsigned victim, unsigned probes_left);

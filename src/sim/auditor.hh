@@ -122,6 +122,20 @@ class Auditor
         (void)len;
     }
 
+    /** A descriptor was shed at admission (degraded capacity). It
+     *  leaves the system without executing, but is fully accounted:
+     *  at drain, injected == completed + shed. */
+    virtual void onShed(const net::Rpc &r) { (void)r; }
+
+    /** A descriptor orphaned by a fail-stop (dead core's running or
+     *  queued work) was rescued into live group/queue @p dst. */
+    virtual void
+    onRescue(const net::Rpc &r, unsigned dst)
+    {
+        (void)r;
+        (void)dst;
+    }
+
     /** The event queue drained: end-of-run conservation checks. */
     virtual void onDrain() {}
 

@@ -28,6 +28,7 @@ constexpr std::uint64_t kExhaustStream = 0xE8A0;
 constexpr std::uint64_t kStallStream = 0x57A1;
 constexpr std::uint64_t kStraggleStream = 0x57AC;
 constexpr std::uint64_t kFreezeStream = 0xF8EE;
+constexpr std::uint64_t kKillStream = 0xDEAD;
 
 } // namespace
 
@@ -69,6 +70,12 @@ FaultInjector::note(Kind kind, Tick now, unsigned a, unsigned b)
         break;
       case Kind::CoreFreeze:
         ++c_.coreFreezes;
+        break;
+      case Kind::CoreKill:
+        ++c_.coreKills;
+        break;
+      case Kind::MgrKill:
+        ++c_.managerKills;
         break;
     }
     ALTOC_TRACE_HOOK(tracer_,
@@ -174,6 +181,21 @@ FaultInjector::recvExhausted(unsigned mgr, Tick now)
     if (!exhausted && managerStalledUntil(mgr, now) > now)
         exhausted = true;
     return exhausted;
+}
+
+bool
+FaultInjector::windowKillsCore(unsigned core, std::uint64_t window) const
+{
+    if (spec_.killProb <= 0.0 || spec_.killNs == 0)
+        return false;
+    return hashUniform(kKillStream, core, window) < spec_.killProb;
+}
+
+void
+FaultInjector::noteKill(Kind kind, Tick now, unsigned id,
+                        unsigned detail)
+{
+    note(kind, now, id, detail);
 }
 
 Tick

@@ -63,6 +63,8 @@ class FaultInjector
         MgrStall,
         CoreStraggle,
         CoreFreeze,
+        CoreKill,
+        MgrKill,
     };
 
     /** Aggregate injected-fault counters. */
@@ -75,13 +77,15 @@ class FaultInjector
         std::uint64_t stallWindows = 0;
         std::uint64_t coreStraggles = 0;
         std::uint64_t coreFreezes = 0;
+        std::uint64_t coreKills = 0;
+        std::uint64_t managerKills = 0;
 
         std::uint64_t
         total() const
         {
             return msgDropped + msgDuplicated + msgDelayed +
                    exhaustWindows + stallWindows + coreStraggles +
-                   coreFreezes;
+                   coreFreezes + coreKills + managerKills;
         }
     };
 
@@ -130,6 +134,23 @@ class FaultInjector
      * as busy time.
      */
     Tick stretchExecution(unsigned core, Tick start, Tick slice);
+
+    /**
+     * Pure-hash killp decision: does core @p core fail-stop in
+     * window @p window? A stateless predicate -- the server's kill
+     * reaper evaluates it once per live core at each window boundary
+     * and executes the deaths it returns, so the crash schedule is a
+     * function of (seed, core, window) alone.
+     */
+    bool windowKillsCore(unsigned core, std::uint64_t window) const;
+
+    /**
+     * Record an executed fail-stop (a scripted kill/killm or a killp
+     * window decision): counted, traced and mixed into the run
+     * fingerprint like every other injection. @p kind must be
+     * CoreKill or MgrKill.
+     */
+    void noteKill(Kind kind, Tick now, unsigned id, unsigned detail);
 
     const Counters &counters() const { return c_; }
 

@@ -17,7 +17,8 @@ FaultSpec::enabled() const
 {
     return dropProb > 0.0 || dupProb > 0.0 || delayProb > 0.0 ||
            exhaustProb > 0.0 || straggleProb > 0.0 || freezeProb > 0.0 ||
-           stallProb > 0.0 || stallSet;
+           stallProb > 0.0 || stallSet || killProb > 0.0 ||
+           !kills.empty() || !managerKills.empty();
 }
 
 namespace {
@@ -40,11 +41,37 @@ parseU64(std::string_view key, std::string_view text)
 {
     char *end = nullptr;
     const std::string s(text);
+    // strtoull silently accepts a leading '-' (the value wraps) and
+    // skips whitespace; reject anything but a plain digit string so a
+    // negative input fails loudly instead of becoming ~2^64.
+    const bool plainDigits =
+        !s.empty() && s.find_first_not_of("0123456789") == std::string::npos;
     const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-    if (end != s.c_str() + s.size() || s.empty())
+    if (!plainDigits || end != s.c_str() + s.size())
         panic("fault spec: '%.*s' needs an unsigned integer, got '%s'",
               static_cast<int>(key.size()), key.data(), s.c_str());
     return static_cast<std::uint64_t>(v);
+}
+
+/** A strictly positive tick count (durations, window lengths, kill
+ *  instants): zero and negative values are rejected with the key and
+ *  the offending value. */
+Tick
+parseDuration(std::string_view key, std::string_view text)
+{
+    const std::string s(text);
+    const bool plainDigits =
+        !s.empty() && s.find_first_not_of("0123456789") == std::string::npos;
+    if (!plainDigits)
+        panic("fault spec: '%.*s' needs a positive duration in ns, "
+              "got '%s'",
+              static_cast<int>(key.size()), key.data(), s.c_str());
+    const std::uint64_t v = parseU64(key, text);
+    if (v == 0)
+        panic("fault spec: '%.*s' needs a positive duration in ns, "
+              "got '%s'",
+              static_cast<int>(key.size()), key.data(), s.c_str());
+    return static_cast<Tick>(v);
 }
 
 double
@@ -100,11 +127,11 @@ FaultSpec::parse(std::string_view text)
         } else if (key == "delay") {
             const auto [p, ns] = splitColon(key, val);
             spec.delayProb = parseProb(key, p);
-            spec.delayNs = static_cast<Tick>(parseU64(key, ns));
+            spec.delayNs = parseDuration(key, ns);
         } else if (key == "exhaust") {
             const auto [p, ns] = splitColon(key, val);
             spec.exhaustProb = parseProb(key, p);
-            spec.exhaustNs = static_cast<Tick>(parseU64(key, ns));
+            spec.exhaustNs = parseDuration(key, ns);
         } else if (key == "straggle") {
             const auto [p, f] = splitColon(key, val);
             spec.straggleProb = parseProb(key, p);
@@ -112,7 +139,7 @@ FaultSpec::parse(std::string_view text)
         } else if (key == "freeze") {
             const auto [p, ns] = splitColon(key, val);
             spec.freezeProb = parseProb(key, p);
-            spec.freezeNs = static_cast<Tick>(parseU64(key, ns));
+            spec.freezeNs = parseDuration(key, ns);
         } else if (key == "stall") {
             // M@AT+DUR
             const std::size_t at = val.find('@');
@@ -125,12 +152,27 @@ FaultSpec::parse(std::string_view text)
                 parseU64(key, val.substr(0, at)));
             spec.stallAt = static_cast<Tick>(
                 parseU64(key, val.substr(at + 1, plus - at - 1)));
-            spec.stallFor = static_cast<Tick>(
-                parseU64(key, val.substr(plus + 1)));
+            spec.stallFor = parseDuration(key, val.substr(plus + 1));
         } else if (key == "stallp") {
             const auto [p, ns] = splitColon(key, val);
             spec.stallProb = parseProb(key, p);
-            spec.stallNs = static_cast<Tick>(parseU64(key, ns));
+            spec.stallNs = parseDuration(key, ns);
+        } else if (key == "kill" || key == "killm") {
+            // C@AT / M@AT; repeatable, kept in spec order.
+            const std::size_t at = val.find('@');
+            if (at == std::string_view::npos)
+                panic("fault spec: '%.*s' needs the form ID@AT",
+                      static_cast<int>(key.size()), key.data());
+            FaultSpec::Kill k;
+            k.id =
+                static_cast<unsigned>(parseU64(key, val.substr(0, at)));
+            k.at = parseDuration(key, val.substr(at + 1));
+            (key == "kill" ? spec.kills : spec.managerKills)
+                .push_back(k);
+        } else if (key == "killp") {
+            const auto [p, ns] = splitColon(key, val);
+            spec.killProb = parseProb(key, p);
+            spec.killNs = parseDuration(key, ns);
         } else if (key == "seed") {
             spec.seed = parseU64(key, val);
         } else {
@@ -197,6 +239,21 @@ FaultSpec::describe() const
     if (stallProb > 0.0) {
         std::snprintf(buf, sizeof buf, "stallp=%g:%llu", stallProb,
                       static_cast<unsigned long long>(stallNs));
+        add(buf);
+    }
+    for (const Kill &k : kills) {
+        std::snprintf(buf, sizeof buf, "kill=%u@%llu", k.id,
+                      static_cast<unsigned long long>(k.at));
+        add(buf);
+    }
+    for (const Kill &k : managerKills) {
+        std::snprintf(buf, sizeof buf, "killm=%u@%llu", k.id,
+                      static_cast<unsigned long long>(k.at));
+        add(buf);
+    }
+    if (killProb > 0.0) {
+        std::snprintf(buf, sizeof buf, "killp=%g:%llu", killProb,
+                      static_cast<unsigned long long>(killNs));
         add(buf);
     }
     std::snprintf(buf, sizeof buf, "seed=%llu",

@@ -27,7 +27,17 @@
  *   stall=M@AT+DUR    manager M's runtime stalls during [AT, AT+DUR)
  *   stallp=P:NS       per NS-long window, a manager's runtime stalls
  *                     for the window with probability P
+ *   kill=C@AT         core C fail-stops (permanently) at tick AT;
+ *                     repeatable for multiple cores
+ *   killm=M@AT        manager tile M fail-stops at tick AT (manager
+ *                     designs fail the whole group over; repeatable)
+ *   killp=P:NS        per NS-long window, each live core fail-stops
+ *                     with probability P (probabilistic crash storm)
  *   seed=N            fault-stream seed (independent of the workload)
+ *
+ * Probabilities must lie in [0, 1]; durations, window lengths and
+ * kill ticks must be positive integers -- parse() rejects anything
+ * else with a message naming the key and the offending value.
  *
  * Example: "drop=0.01,dup=0.05,delay=0.2:300,stall=1@50000+30000"
  */
@@ -39,6 +49,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/units.hh"
 
@@ -88,6 +99,26 @@ struct FaultSpec
      *  runtime stalls for the window with prob. stallProb. */
     double stallProb = 0.0;
     Tick stallNs = 0;
+
+    /** One scripted fail-stop event: entity @p id dies at tick @p at
+     *  and never recovers. */
+    struct Kill
+    {
+        unsigned id = 0;
+        Tick at = 0;
+    };
+
+    /** Scripted core deaths (kill=C@AT, repeatable, schedule order). */
+    std::vector<Kill> kills;
+
+    /** Scripted manager-tile deaths (killm=M@AT, repeatable). */
+    std::vector<Kill> managerKills;
+
+    /** Probabilistic crash storm: per window of killNs ns, each still-
+     *  live core fail-stops with prob. killProb (pure-hash decision,
+     *  so the schedule is a function of (seed, core, window)). */
+    double killProb = 0.0;
+    Tick killNs = 0;
 
     /** Seed of the fault decision streams (independent of workload). */
     std::uint64_t seed = 1;

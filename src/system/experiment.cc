@@ -365,6 +365,10 @@ runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
     result.utilization = server->workerUtilization();
     result.predictions = server->predictions();
     result.dropped = server->dropped();
+    result.coresKilled = server->scheduler().coresDead();
+    result.requestsRescued = server->scheduler().requestsRescued();
+    result.managersFailedOver = server->scheduler().managersFailedOver();
+    result.requestsShed = server->requestsShed();
     result.fingerprint = fp.digest();
     result.fingerprintEvents = fp_events;
     if (spec.dumpStats)
@@ -377,6 +381,7 @@ runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
         result.migratesRetried = group->migratesRetried();
         result.migratesTimedOut = group->migratesTimedOut();
         result.peersQuarantined = group->peersQuarantined();
+        result.peersDeadDeclared = group->peersDeadDeclared();
     }
     if (const sim::FaultInjector *fi = server->faultInjector())
         result.faultsInjected = fi->counters().total();

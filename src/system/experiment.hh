@@ -196,6 +196,21 @@ struct RunResult
     std::uint64_t peersQuarantined = 0;
     std::uint64_t faultsInjected = 0;
 
+    /** Fail-stop extras (nonzero only under kill specs): cores that
+     *  fail-stopped, descriptors rescued off dead cores/groups,
+     *  manager groups failed over, and arrivals shed at admission
+     *  under degraded capacity. Conservation under any kill spec:
+     *  completed + requestsShed == issued (rescued descriptors stay
+     *  live and complete on their adoptive core). */
+    std::uint64_t coresKilled = 0;
+    std::uint64_t requestsRescued = 0;
+    std::uint64_t managersFailedOver = 0;
+    std::uint64_t requestsShed = 0;
+
+    /** AC-only: peers escalated from quarantine to declared-dead
+     *  after repeated half-open probe failures. */
+    std::uint64_t peersDeadDeclared = 0;
+
     /** Tracing extras (nonzero only when WorkloadSpec::tracing is
      *  enabled): records pushed to / evicted from the trace rings. */
     std::uint64_t traceRecords = 0;

@@ -11,6 +11,16 @@
 
 namespace altoc::system {
 
+namespace {
+
+/** Admission bound while degraded: arrivals are shed once the total
+ *  scheduler backlog exceeds this many requests per surviving worker
+ *  core. Deep enough that transient bursts still queue; shallow
+ *  enough that a half-dead machine cannot build an unbounded queue. */
+constexpr std::size_t kShedDepthPerLiveCore = 64;
+
+} // namespace
+
 Server::Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched)
     : cfg_(cfg), rng_(cfg.seed), sched_(std::move(sched)),
       tracker_(cfg.sloTarget, cfg.logLatencyHistogram)
@@ -74,6 +84,9 @@ Server::Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched)
     });
 
     sched_->start();
+
+    if (faults_ != nullptr)
+        scheduleKills();
 }
 
 Server::~Server() = default;
@@ -89,7 +102,109 @@ Server::inject(net::Rpc *r)
 {
     altoc_assert(r->remaining > 0, "injecting a request with no demand");
     ALTOC_AUDIT_HOOK(auditor_.get(), onInject(*r));
+    if (degraded_) {
+        // Graceful degradation: with cores fail-stopped, shed at
+        // admission once the backlog outgrows the surviving
+        // capacity. The descriptor is fully accounted (injected and
+        // shed), so conservation holds at drain.
+        const unsigned live = sched_->liveWorkerCores();
+        if (live == 0 ||
+            sched_->totalQueued() >= kShedDepthPerLiveCore * live) {
+            ALTOC_AUDIT_HOOK(auditor_.get(), onShed(*r));
+            ++requestsShed_;
+            ALTOC_TRACE_HOOK(tracer_.get(),
+                             record(sim_.now(), 0,
+                                    trace::TraceKind::AdmissionShed,
+                                    static_cast<std::uint32_t>(r->id)));
+            pool_.release(r);
+            return;
+        }
+    }
     nic_->receive(r);
+}
+
+void
+Server::scheduleKills()
+{
+    const sim::FaultSpec &fs = cfg_.faults;
+    for (const sim::FaultSpec::Kill &k : fs.kills) {
+        if (k.id >= cfg_.cores) {
+            fatal("fault spec: kill=%u@%llu targets a core outside "
+                  "this server's %u cores",
+                  k.id, static_cast<unsigned long long>(k.at),
+                  cfg_.cores);
+        }
+        sim_.at(k.at, [this, k] { killCore(k.id); });
+    }
+    for (const sim::FaultSpec::Kill &k : fs.managerKills) {
+        sim_.at(k.at, [this, k] {
+            // Designs without dedicated manager cores make killm a
+            // documented no-op.
+            const int c = sched_->managerCore(k.id);
+            if (c >= 0)
+                killCore(static_cast<unsigned>(c));
+        });
+    }
+    if (fs.killProb > 0.0 && fs.killNs > 0)
+        sim_.at(fs.killNs, [this] { killWindowSweep(1); });
+}
+
+int
+Server::managerIndexOf(unsigned core_id) const
+{
+    for (unsigned m = 0;; ++m) {
+        const int c = sched_->managerCore(m);
+        if (c < 0)
+            return -1;
+        if (static_cast<unsigned>(c) == core_id)
+            return static_cast<int>(m);
+    }
+}
+
+void
+Server::killCore(unsigned core_id)
+{
+    cpu::Core &core = *cores_[core_id];
+    if (core.dead())
+        return;
+    const int mgr = managerIndexOf(core_id);
+    faults_->noteKill(mgr >= 0 ? sim::FaultInjector::Kind::MgrKill
+                               : sim::FaultInjector::Kind::CoreKill,
+                      sim_.now(), core_id,
+                      mgr >= 0 ? static_cast<unsigned>(mgr) : 0u);
+    // Manager deaths land on the group-index ring (the decoder's
+    // dead-manager causal rule keys on it); worker deaths on the
+    // core-id ring.
+    ALTOC_TRACE_HOOK(
+        tracer_.get(),
+        record(sim_.now(),
+               mgr >= 0 ? static_cast<unsigned>(mgr) : core_id,
+               trace::TraceKind::CoreDead, core_id,
+               mgr >= 0 ? std::uint8_t{1} : std::uint8_t{0}));
+    net::Rpc *orphan = core.kill();
+    sched_->onCoreDeath(core_id, orphan);
+    degraded_ = true;
+}
+
+void
+Server::killWindowSweep(std::uint64_t window)
+{
+    // killp only reaps request-serving cores: losing a worker is the
+    // graceful-degradation case under study, while scripted killm
+    // targets managers deliberately. The last surviving worker is
+    // spared so the machine degrades instead of bricking.
+    for (unsigned i = 0; i < cfg_.cores; ++i) {
+        if (cores_[i]->dead() || !sched_->isWorkerCore(i))
+            continue;
+        if (sched_->liveWorkerCores() <= 1)
+            break;
+        if (faults_->windowKillsCore(i, window))
+            killCore(i);
+    }
+    if (sched_->liveWorkerCores() > 1) {
+        sim_.at((window + 1) * cfg_.faults.killNs,
+                [this, window] { killWindowSweep(window + 1); });
+    }
 }
 
 void
@@ -185,7 +300,15 @@ Server::dumpStats(std::FILE *out) const
     line("noc.flitHops", static_cast<double>(mesh_->flitHops()));
     line("server.completed", static_cast<double>(completed_));
     line("server.dropped", static_cast<double>(dropped_));
+    line("server.requestsShed", static_cast<double>(requestsShed_));
     line("server.workerUtilization", workerUtilization());
+    line("sched.coresDead", static_cast<double>(sched_->coresDead()));
+    line("sched.requestsRescued",
+         static_cast<double>(sched_->requestsRescued()));
+    line("sched.managersFailedOver",
+         static_cast<double>(sched_->managersFailedOver()));
+    line("sched.liveWorkerCores",
+         static_cast<double>(sched_->liveWorkerCores()));
 
     const stats::Summary lat = tracker_.summary();
     line("latency.samples", static_cast<double>(lat.count));
@@ -223,6 +346,8 @@ Server::dumpStats(std::FILE *out) const
              static_cast<double>(gs->migratesTimedOut()));
         line("sched.peersQuarantined",
              static_cast<double>(gs->peersQuarantined()));
+        line("sched.peersDeadDeclared",
+             static_cast<double>(gs->peersDeadDeclared()));
     }
     if (faults_) {
         const sim::FaultInjector::Counters &fc = faults_->counters();
@@ -238,6 +363,9 @@ Server::dumpStats(std::FILE *out) const
         line("faults.coreStraggles",
              static_cast<double>(fc.coreStraggles));
         line("faults.coreFreezes", static_cast<double>(fc.coreFreezes));
+        line("faults.coreKills", static_cast<double>(fc.coreKills));
+        line("faults.managerKills",
+             static_cast<double>(fc.managerKills));
     }
     if (tracer_) {
         line("trace.recorded",

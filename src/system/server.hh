@@ -184,6 +184,16 @@ class Server : public sched::CompletionSink
     /** Requests rejected by a drop-based scheduler. */
     std::uint64_t dropped() const { return dropped_; }
 
+    /**
+     * Requests shed at admission under degraded capacity: once any
+     * core has fail-stopped, arrivals are rejected while the backlog
+     * exceeds what the surviving workers can absorb, so a shrunk
+     * machine degrades to lower throughput instead of unbounded
+     * queueing. Shed requests never reach the NIC; conservation
+     * becomes completed + shed == issued.
+     */
+    std::uint64_t requestsShed() const { return requestsShed_; }
+
     /** Fraction of worker-core time spent executing requests. */
     double workerUtilization() const;
 
@@ -225,6 +235,25 @@ class Server : public sched::CompletionSink
     void dumpStats(std::FILE *out = nullptr) const;
 
   private:
+    /** Schedule the spec's scripted kills (kill=, killm=) and arm the
+     *  killp window reaper (called once at construction when a fault
+     *  injector exists). */
+    void scheduleKills();
+
+    /** Execute one fail-stop: record it, kill the core, hand the
+     *  orphan to the scheduler's recovery path. Idempotent (a
+     *  scripted kill racing a killp decision dies once). */
+    void killCore(unsigned core_id);
+
+    /** Manager index owning @p core_id per the scheduler's manager
+     *  map, or -1 for worker cores and flat designs. */
+    int managerIndexOf(unsigned core_id) const;
+
+    /** killp reaper: evaluate every live worker core's pure-hash
+     *  kill decision for @p window, then re-arm for the next window
+     *  boundary. */
+    void killWindowSweep(std::uint64_t window);
+
     Config cfg_;
     sim::Simulator sim_;
     Rng rng_;
@@ -243,6 +272,10 @@ class Server : public sched::CompletionSink
     std::uint64_t completed_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t stopAfter_ = ~std::uint64_t{0};
+    /** At least one core has fail-stopped; admission shedding is
+     *  armed (see requestsShed()). */
+    bool degraded_ = false;
+    std::uint64_t requestsShed_ = 0;
 };
 
 } // namespace altoc::system

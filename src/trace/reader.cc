@@ -55,6 +55,9 @@ pairKind(TraceKind kind)
     case TraceKind::QuarantineEnter:
     case TraceKind::QuarantineProbe:
     case TraceKind::QuarantineRejoin:
+    case TraceKind::PeerDeadDeclared:
+    case TraceKind::ManagerFailover:
+    case TraceKind::DescriptorRescue:
         return true;
     default:
         return false;
@@ -240,6 +243,19 @@ validateTimeline(const std::vector<TraceRecord> &timeline,
 
     std::map<std::uint64_t, PairState> migrate;
     std::map<std::uint64_t, std::uint64_t> quarantined;
+    // Group rings whose manager has fail-stopped (CoreDead, aux=1):
+    // a dead group must emit no further runtime activity.
+    std::map<std::uint32_t, Tick> deadManagers;
+    const auto deadCheck = [&](std::size_t i, const TraceRecord &rec,
+                               TraceKind kind) {
+        const auto it = deadManagers.find(rec.core);
+        if (it != deadManagers.end() && rec.tick > it->second)
+            fail(format("record %zu: %s on group %u at %llu after its "
+                        "manager died at %llu",
+                        i, traceKindName(kind), rec.core,
+                        (unsigned long long)rec.tick,
+                        (unsigned long long)it->second));
+    };
     Tick prev = 0;
     for (std::size_t i = 0; i < timeline.size(); ++i) {
         const TraceRecord &rec = timeline[i];
@@ -254,9 +270,11 @@ validateTimeline(const std::vector<TraceRecord> &timeline,
         const std::uint32_t peer = tracePeer(rec.arg);
         switch (kind) {
         case TraceKind::MigrateSend:
+            deadCheck(i, rec, kind);
             ++migrate[pairKey(rec.core, peer)].sends;
             break;
         case TraceKind::MigrateArrive: {
+            deadCheck(i, rec, kind);
             // Arrival is logged on the destination ring; the pair is
             // (peer -> this core).
             PairState &p = migrate[pairKey(peer, rec.core)];
@@ -285,10 +303,21 @@ validateTimeline(const std::vector<TraceRecord> &timeline,
             break;
         case TraceKind::QuarantineProbe:
         case TraceKind::QuarantineRejoin:
+        case TraceKind::PeerDeadDeclared:
             if (quarantined[pairKey(rec.core, peer)] == 0)
                 fail(format("record %zu: %s of peer %u on core %u "
                             "without a prior QuarantineEnter",
                             i, traceKindName(kind), peer, rec.core));
+            break;
+        case TraceKind::ThresholdRecompute:
+        case TraceKind::ManagerStall:
+            deadCheck(i, rec, kind);
+            break;
+        case TraceKind::CoreDead:
+            // aux=1 marks a manager death; the ring is the group
+            // index, so later runtime events on it are violations.
+            if (rec.aux == 1)
+                deadManagers.emplace(rec.core, rec.tick);
             break;
         default:
             break;
@@ -317,6 +346,10 @@ formatRecord(const TraceRecord &rec)
     } else if (kind == TraceKind::FaultInject) {
         line += format(" fault=%u a=%u b=%u", rec.aux, rec.core,
                        rec.arg);
+    } else if (kind == TraceKind::CoreDead) {
+        line += format(" core_id=%u manager=%u", rec.arg, rec.aux);
+    } else if (kind == TraceKind::AdmissionShed) {
+        line += format(" rpc=%u", rec.arg);
     } else {
         line += format(" arg=%u aux=%u", rec.arg, rec.aux);
     }

@@ -11,7 +11,8 @@ constexpr const char *kKindNames[kTraceKindCount] = {
     "MigrateAck",      "MigrateNack",     "MigrateTimeout",
     "MigrateRetry",    "QuarantineEnter", "QuarantineProbe",
     "QuarantineRejoin", "ThresholdRecompute", "ManagerStall",
-    "FaultInject",
+    "FaultInject",     "CoreDead",        "PeerDeadDeclared",
+    "ManagerFailover", "DescriptorRescue", "AdmissionShed",
 };
 
 static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) ==

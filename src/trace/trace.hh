@@ -79,11 +79,20 @@ enum class TraceKind : std::uint8_t
     ThresholdRecompute, //!< Alg. 1 line 3         (core=group, arg=threshold)
     ManagerStall,       //!< runtime skipped       (core=group, arg=ns left)
     FaultInject,        //!< injected fault        (aux=FaultInjector::Kind)
+    CoreDead,           //!< core fail-stopped     (core=ring, arg=core id,
+                        //!<                        aux=1 for a manager)
+    PeerDeadDeclared,   //!< peer verdict: dead    (core=observer,
+                        //!<                        arg=(probeFailures, peer))
+    ManagerFailover,    //!< group adopted         (core=successor,
+                        //!<                        arg=(rescued, dead group))
+    DescriptorRescue,   //!< orphans re-homed      (core=rescuer,
+                        //!<                        arg=(count, source))
+    AdmissionShed,      //!< arrival shed          (core=0, arg=rpc id)
 };
 
 /** One past the largest valid kind (summary-table size). */
 constexpr std::size_t kTraceKindCount =
-    static_cast<std::size_t>(TraceKind::FaultInject) + 1;
+    static_cast<std::size_t>(TraceKind::AdmissionShed) + 1;
 
 /** Stable display name of @p kind ("?" for out-of-range values). */
 const char *traceKindName(TraceKind kind);

@@ -71,6 +71,108 @@ TEST(FaultSpec, DescribeRoundTrips)
     EXPECT_EQ(FaultSpec::parse(canon).describe(), canon);
 }
 
+TEST(FaultSpec, ParseKillGrammar)
+{
+    const FaultSpec spec = FaultSpec::parse(
+        "kill=3@200000,kill=7@500000,killm=1@250000,"
+        "killp=0.02:1000000,seed=5");
+    EXPECT_TRUE(spec.enabled());
+    ASSERT_EQ(spec.kills.size(), 2u);
+    EXPECT_EQ(spec.kills[0].id, 3u);
+    EXPECT_EQ(spec.kills[0].at, 200000u);
+    EXPECT_EQ(spec.kills[1].id, 7u);
+    EXPECT_EQ(spec.kills[1].at, 500000u);
+    ASSERT_EQ(spec.managerKills.size(), 1u);
+    EXPECT_EQ(spec.managerKills[0].id, 1u);
+    EXPECT_EQ(spec.managerKills[0].at, 250000u);
+    EXPECT_DOUBLE_EQ(spec.killProb, 0.02);
+    EXPECT_EQ(spec.killNs, 1000000u);
+    EXPECT_EQ(spec.seed, 5u);
+}
+
+TEST(FaultSpec, KillGrammarRoundTrips)
+{
+    const char *text =
+        "kill=3@200000,kill=7@500000,killm=1@250000,"
+        "killp=0.05:1000000,seed=9";
+    const std::string canon = FaultSpec::parse(text).describe();
+    EXPECT_EQ(FaultSpec::parse(canon).describe(), canon);
+    // A kill-only spec counts as enabled even with every probability
+    // at zero (scripted deaths need no random stream).
+    EXPECT_TRUE(FaultSpec::parse("kill=1@1000").enabled());
+    EXPECT_TRUE(FaultSpec::parse("killm=0@1000").enabled());
+}
+
+// ---------------------------------------------------------------------
+// Grammar validation: malformed specs die loudly at parse time naming
+// the key and the offending value, instead of silently clamping or
+// wrapping. One death test per malformed shape.
+// ---------------------------------------------------------------------
+
+TEST(FaultSpecDeath, ProbabilityAboveOneIsRejected)
+{
+    EXPECT_DEATH(FaultSpec::parse("drop=1.5"),
+                 "'drop' needs a probability in \\[0, 1\\], got '1.5'");
+}
+
+TEST(FaultSpecDeath, NegativeProbabilityIsRejected)
+{
+    EXPECT_DEATH(FaultSpec::parse("dup=-0.1"),
+                 "'dup' needs a probability in \\[0, 1\\], got '-0.1'");
+}
+
+TEST(FaultSpecDeath, KillStormProbabilityIsValidated)
+{
+    EXPECT_DEATH(FaultSpec::parse("killp=2:1000"),
+                 "'killp' needs a probability in \\[0, 1\\], got '2'");
+}
+
+TEST(FaultSpecDeath, ZeroDurationIsRejected)
+{
+    EXPECT_DEATH(FaultSpec::parse("delay=0.1:0"),
+                 "'delay' needs a positive duration in ns, got '0'");
+}
+
+TEST(FaultSpecDeath, NegativeDurationIsRejected)
+{
+    // strtoull would silently wrap "-500" to ~2^64; the duration
+    // parser rejects anything but plain digits.
+    EXPECT_DEATH(FaultSpec::parse("exhaust=0.1:-500"),
+                 "'exhaust' needs a positive duration in ns, got "
+                 "'-500'");
+}
+
+TEST(FaultSpecDeath, KillInstantZeroIsRejected)
+{
+    // A kill at t=0 would fire before the scheduler attaches; the
+    // grammar requires a strictly positive instant.
+    EXPECT_DEATH(FaultSpec::parse("kill=3@0"),
+                 "'kill' needs a positive duration in ns, got '0'");
+}
+
+TEST(FaultSpecDeath, KillWithoutInstantIsRejected)
+{
+    EXPECT_DEATH(FaultSpec::parse("kill=3"),
+                 "'kill' needs the form ID@AT");
+}
+
+TEST(FaultSpecDeath, KillmNonNumericIdIsRejected)
+{
+    EXPECT_DEATH(FaultSpec::parse("killm=two@1000"),
+                 "'killm' needs an unsigned integer, got 'two'");
+}
+
+TEST(FaultSpecDeath, KillStormZeroWindowIsRejected)
+{
+    EXPECT_DEATH(FaultSpec::parse("killp=0.1:0"),
+                 "'killp' needs a positive duration in ns, got '0'");
+}
+
+TEST(FaultSpecDeath, UnknownKeyIsRejected)
+{
+    EXPECT_DEATH(FaultSpec::parse("killx=1@2"), "unknown key 'killx'");
+}
+
 TEST(FaultSpec, FromEnvReadsAltocFaults)
 {
     ::unsetenv("ALTOC_FAULTS");
@@ -137,6 +239,27 @@ TEST(FaultInjector, WindowedDecisionsIndependentOfQueryOrder)
                 break;
         }
     }
+}
+
+TEST(FaultInjector, KillDecisionsArePureHashes)
+{
+    const FaultSpec spec = FaultSpec::parse("killp=0.5:1000,seed=3");
+    const FaultInjector a(spec);
+    const FaultInjector b(spec);
+    bool killed_any = false;
+    bool spared_any = false;
+    for (unsigned core = 0; core < 16; ++core) {
+        for (std::uint64_t w = 1; w <= 8; ++w) {
+            EXPECT_EQ(a.windowKillsCore(core, w),
+                      b.windowKillsCore(core, w))
+                << "core " << core << " window " << w;
+            (a.windowKillsCore(core, w) ? killed_any : spared_any) =
+                true;
+        }
+    }
+    // A 50% rate over 128 cells decides both ways.
+    EXPECT_TRUE(killed_any);
+    EXPECT_TRUE(spared_any);
 }
 
 TEST(FaultInjector, ScriptedFatesConsumedBeforeRandomDraws)
@@ -424,6 +547,48 @@ TEST(FaultWiring, FaultScheduleIsReproducible)
     const system::RunResult c = system::runExperiment(cfg, other);
     EXPECT_TRUE(c.fingerprint != a.fingerprint ||
                 c.faultsInjected != a.faultsInjected);
+}
+
+/**
+ * Quarantine/stall edge regression: a half-open probe that fires
+ * inside a stall window used to re-arm probation at a constant
+ * distance -- the backoff silently reset and the observer probed the
+ * dead peer forever. Each failed probe now counts exactly once,
+ * doubles the next wait, and after `deadAfterProbes` failures the
+ * peer is declared dead for good. With a stall long enough to absorb
+ * the whole backoff ladder (128 x 10 us here), at least one observer
+ * must escalate to a declared-dead verdict -- and the stalled group
+ * still drains its own backlog once the stall ends, so nothing is
+ * lost.
+ */
+TEST(FaultWiring, UnresponsivePeerIsDeclaredDeadAfterProbeBackoff)
+{
+    system::DesignConfig cfg;
+    cfg.design = system::Design::AcRss;
+    cfg.cores = 16;
+    cfg.groups = 4;
+    cfg.params.hardening.quarantineAfter = 2;
+    cfg.params.hardening.probation = 10 * kUs;
+
+    system::WorkloadSpec spec;
+    spec.service = workload::makeFixed(1 * kUs);
+    spec.rateMrps = 8.0;
+    spec.requests = 20000;
+    spec.connections = 8;
+    spec.seed = 42;
+    // Manager 1 stalls from 200 us until past the end of arrivals
+    // (~2.5 ms): probes keep failing for the whole backoff ladder.
+    spec.faults = FaultSpec::parse("stall=1@200000+2500000");
+    spec.timeLimit = 500 * kMs;
+
+    const system::RunResult res = system::runExperiment(cfg, spec);
+    EXPECT_EQ(res.completed, 20000u);
+    EXPECT_GE(res.peersQuarantined, 1u);
+    // The escalation fired: quarantine did not cycle forever.
+    EXPECT_GE(res.peersDeadDeclared, 1u);
+    // Declared-dead is bounded: at most every live observer of the
+    // one stalled group (3 here), not one verdict per probe.
+    EXPECT_LE(res.peersDeadDeclared, 3u);
 }
 
 // ---------------------------------------------------------------------
