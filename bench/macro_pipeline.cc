@@ -61,9 +61,8 @@ macroConfig(Design d, unsigned groups)
 }
 
 void
-runMacro(benchmark::State &state, Design d, unsigned groups)
+runMacroCfg(benchmark::State &state, const DesignConfig &cfg)
 {
-    const DesignConfig cfg = macroConfig(d, groups);
     const WorkloadSpec spec = macroSpec();
     std::uint64_t completed = 0;
     Fnv1a digest;
@@ -76,6 +75,12 @@ runMacro(benchmark::State &state, Design d, unsigned groups)
     state.SetItemsProcessed(static_cast<std::int64_t>(completed));
     state.counters["fingerprint_fold"] = static_cast<double>(
         digest.digest() & 0xffffffffu);
+}
+
+void
+runMacro(benchmark::State &state, Design d, unsigned groups)
+{
+    runMacroCfg(state, macroConfig(d, groups));
 }
 
 void
@@ -105,6 +110,20 @@ BM_MacroAcRss(benchmark::State &state)
     runMacro(state, Design::AcRss, 2);
 }
 BENCHMARK(BM_MacroAcRss)->Unit(benchmark::kMillisecond);
+
+// The federated path: the same AC_int servers, four of them behind
+// a power-of-2-choices ToR in one shared event kernel. Items are
+// rack-wide completions, so the counter exposes the per-request cost
+// the topology layer adds (ToR decision + link event + flattened
+// accounting) on top of BM_MacroAcInt.
+void
+BM_MacroRack4(benchmark::State &state)
+{
+    DesignConfig cfg = macroConfig(Design::AcInt, 2);
+    cfg.rack.servers = 4;
+    runMacroCfg(state, cfg);
+}
+BENCHMARK(BM_MacroRack4)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Rack ablation: ToR dispatch policy x workload skew.
+ *
+ * The two-layer scheduler (system/rack.hh) separates the inter-server
+ * decision (ToR policy) from the intra-server one (the per-server
+ * design). This bench isolates the top layer: four identical
+ * ALTOCUMULUS servers behind one ToR, swept over all four dispatch
+ * policies at rising load, on a uniform workload and on a heavy-
+ * tailed one. The RackSched observation this reproduces: load-
+ * oblivious policies (random, round-robin) are fine until skew or
+ * load pins a server, after which sampled (power-of-2-choices) and
+ * full-information (least-loaded) placement hold the rack-wide tail.
+ * The spread column -- (max-min)/mean of per-server completions --
+ * shows the imbalance each policy leaves behind.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "system/parallel_run.hh"
+#include "workload/distributions.hh"
+
+using namespace altoc;
+using namespace altoc::system;
+
+namespace {
+
+constexpr unsigned kServers = 4;
+constexpr TorPolicy kPolicies[] = {
+    TorPolicy::Random,
+    TorPolicy::RoundRobin,
+    TorPolicy::PowerOfK,
+    TorPolicy::LeastLoaded,
+};
+
+RunJob
+job(TorPolicy policy, double long_frac, double rate,
+    std::uint64_t requests)
+{
+    DesignConfig cfg;
+    cfg.design = Design::AcInt;
+    cfg.cores = 16;
+    cfg.groups = 2;
+    cfg.lineRateGbps = 1600.0;
+    cfg.rack.servers = kServers;
+    cfg.rack.policy = policy;
+
+    WorkloadSpec spec;
+    // long_frac == 0 is the uniform row; otherwise rare 30 us longs
+    // on a 1 us base create the server-level skew the ToR must react
+    // to (one long request stalls a core for ~30 service times).
+    if (long_frac > 0.0) {
+        spec.service = std::make_shared<workload::BimodalDist>(
+            long_frac, 1000, 30 * kUs);
+    } else {
+        spec.service = workload::makeFixed(1000);
+    }
+    spec.rateMrps = rate;
+    spec.requests = requests;
+    spec.sloFactor = 10.0;
+    spec.seed = 23;
+    return RunJob{cfg, spec};
+}
+
+/** (max-min)/mean of per-server completions, in percent. */
+double
+serverSpread(const RunResult &res)
+{
+    if (res.perServer.empty() || res.completed == 0)
+        return 0.0;
+    std::uint64_t mn = res.perServer[0].completed;
+    std::uint64_t mx = mn;
+    for (const PerServerResult &ps : res.perServer) {
+        mn = std::min(mn, ps.completed);
+        mx = std::max(mx, ps.completed);
+    }
+    const double mean = static_cast<double>(res.completed) /
+                        static_cast<double>(res.perServer.size());
+    return 100.0 * static_cast<double>(mx - mn) / mean;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opt = bench::parseArgs(argc, argv);
+    bench::banner("Rack ablation",
+                  "ToR dispatch policy x workload skew (4 x 16-core "
+                  "AC_int servers behind one ToR)");
+    bench::Stopwatch watch;
+    bench::SweepDigest digest;
+    const std::uint64_t requests = bench::scaled(400000, opt);
+
+    // ~14 worker cores per server at 1 us mean -> ~56 MRPS rack
+    // capacity; sweep to the edge.
+    const std::vector<double> rates{28.0, 42.0, 52.0};
+    const std::vector<double> skews{0.0, 0.01};
+
+    // One flat batch: row (skew s, rate r) uses the four consecutive
+    // results starting at ((s * rates.size()) + r) * kNumPolicies.
+    std::vector<RunJob> batch;
+    for (double skew : skews) {
+        for (double rate : rates) {
+            for (TorPolicy policy : kPolicies)
+                batch.push_back(job(policy, skew, rate, requests));
+        }
+    }
+    const std::vector<RunResult> results = runMany(batch, opt.jobs);
+    digest.addAll(results);
+
+    std::printf("\n%-9s %-6s |", "workload", "MRPS");
+    for (TorPolicy policy : kPolicies)
+        std::printf(" %8s %7s |", torPolicyName(policy), "spread");
+    std::printf("\n%-9s %-6s |", "", "");
+    for (std::size_t i = 0; i < std::size(kPolicies); ++i)
+        std::printf(" %8s %7s |", "p99(us)", "(%)");
+    std::printf("\n");
+
+    std::size_t idx = 0;
+    for (double skew : skews) {
+        for (double rate : rates) {
+            std::printf("%-9s %-6.0f |",
+                        skew > 0.0 ? "bimodal" : "fixed", rate);
+            for (std::size_t p = 0; p < std::size(kPolicies); ++p) {
+                const RunResult &res = results[idx++];
+                std::printf(" %8.2f %7.2f |", res.latency.p99 / 1e3,
+                            serverSpread(res));
+            }
+            std::printf("\n");
+            std::fflush(stdout);
+        }
+    }
+
+    std::printf("\nExpectation: on the uniform workload every policy "
+                "tracks the others -- steering information buys "
+                "nothing when servers are interchangeable. Under the "
+                "heavy tail at high load, random/round-robin keep "
+                "feeding servers stuck behind a 30 us request, so "
+                "their rack p99 and spread blow up first; p2c closes "
+                "most of the gap to full least-loaded with two "
+                "samples per decision, the power-of-k-choices "
+                "result the two-layer split is built on. Watch "
+                "least-loaded at LOW load: with every queue near "
+                "empty its deterministic lowest-index tie-break "
+                "herds requests onto server 0 (huge spread), the "
+                "classic full-information pathology that sampled "
+                "randomization avoids.\n");
+    digest.print();
+    watch.report();
+    return 0;
+}

@@ -51,6 +51,9 @@ struct Options
     bool msr = false;
     bool no_migration = false;
     std::uint64_t seed = 1;
+    unsigned rack = 1;
+    std::string tor_policy = "p2c";
+    unsigned tor_k = 2;
     bool csv = false;
     bool stats = false;
     double time_limit_ms = 500.0;
@@ -86,6 +89,10 @@ usage(int code)
         "  --msr              use the MSR interface (vs custom ISA)\n"
         "  --no-migration     disable proactive migration\n"
         "  --seed N           RNG seed                   [1]\n"
+        "  --rack N           servers behind one ToR     [1]\n"
+        "  --tor-policy P     random | rr | p2c | ll     [p2c]\n"
+        "  --tor-k N          sampled servers per p2c\n"
+        "                     decision                   [2]\n"
         "  --csv              one CSV row instead of the report\n"
         "  --stats            dump per-component statistics\n"
         "  --fault-spec S     fault schedule (sim/fault_spec.hh\n"
@@ -177,6 +184,12 @@ parse(int argc, char **argv)
             opt.no_migration = true;
         else if (!std::strcmp(arg, "--seed"))
             opt.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+        else if (!std::strcmp(arg, "--rack"))
+            opt.rack = static_cast<unsigned>(std::atoi(need(i)));
+        else if (!std::strcmp(arg, "--tor-policy"))
+            opt.tor_policy = need(i);
+        else if (!std::strcmp(arg, "--tor-k"))
+            opt.tor_k = static_cast<unsigned>(std::atoi(need(i)));
         else if (!std::strcmp(arg, "--csv"))
             opt.csv = true;
         else if (!std::strcmp(arg, "--stats"))
@@ -237,6 +250,13 @@ main(int argc, char **argv)
     cfg.params.iface =
         opt.msr ? core::Interface::Msr : core::Interface::Isa;
     cfg.params.migrationEnabled = !opt.no_migration;
+    if (opt.rack < 1) {
+        std::fprintf(stderr, "--rack must be >= 1\n");
+        usage(2);
+    }
+    cfg.rack.servers = opt.rack;
+    cfg.rack.policy = torPolicyFromName(opt.tor_policy);
+    cfg.rack.sampleK = opt.tor_k;
 
     WorkloadSpec spec;
     spec.service = makeDist(opt);
@@ -301,6 +321,24 @@ main(int argc, char **argv)
                 res.meetsSlo() ? "met" : "VIOLATED",
                 res.violationRatio * 100.0);
     std::printf("utilization  : %.1f%%\n", res.utilization * 100.0);
+    if (res.rackServers > 1) {
+        std::printf("rack         : %u servers, %s ToR "
+                    "(%llu dispatched, %llu shed at ToR)\n",
+                    res.rackServers, torPolicyName(cfg.rack.policy),
+                    static_cast<unsigned long long>(res.torDispatched),
+                    static_cast<unsigned long long>(res.torShed));
+        for (std::size_t s = 0; s < res.perServer.size(); ++s) {
+            const PerServerResult &ps = res.perServer[s];
+            std::printf("  server %-4zu: %llu done, p99 %.2f us, "
+                        "util %.1f%%%s%s\n",
+                        s,
+                        static_cast<unsigned long long>(ps.completed),
+                        ps.latency.p99 / 1e3,
+                        ps.utilization * 100.0,
+                        ps.requestsShed > 0 ? ", shed" : "",
+                        ps.dead ? ", DEAD" : "");
+        }
+    }
     std::printf("fingerprint  : %016llx (%llu events)\n",
                 static_cast<unsigned long long>(res.fingerprint),
                 static_cast<unsigned long long>(res.fingerprintEvents));

@@ -141,7 +141,12 @@ GroupScheduler::deliver(net::Rpc *r, unsigned queue)
         // The NIC's steering table was rewritten at failover: flows
         // of the dead group land at its successor. A plain redirect,
         // not a rescue -- the request never reached the dead group.
-        queue = successorOf(queue);
+        const int succ = successorOf(queue);
+        if (succ < 0) {
+            sink_->onRpcShed(r);
+            return;
+        }
+        queue = static_cast<unsigned>(succ);
     }
     Group &grp = groups_[queue];
     r->curGroup = static_cast<std::uint16_t>(queue);
@@ -273,7 +278,12 @@ GroupScheduler::arriveWorker(unsigned g, unsigned w, net::Rpc *r)
         // rescue it into a live queue instead of a dead mailbox.
         altoc_assert(grp.occupancy[w] > 0, "occupancy underflow");
         occupancyDec(grp, w);
-        const unsigned tgt = grp.dead ? successorOf(g) : g;
+        const int succ = grp.dead ? successorOf(g) : static_cast<int>(g);
+        if (succ < 0) {
+            sink_->onRpcShed(r);
+            return;
+        }
+        const unsigned tgt = static_cast<unsigned>(succ);
         rescueInto(tgt, r);
         ++requestsRescued_;
         ALTOC_TRACE_HOOK(ctx_.tracer,
@@ -546,8 +556,17 @@ GroupScheduler::onMigrateIn(unsigned g, const std::vector<net::Rpc *> &reqs)
     Group &grp = groups_[g];
     if (grp.dead) {
         // The batch landed in the MR bank just as (or just before)
-        // the manager died: salvage it into the successor's queue.
-        const unsigned succ = successorOf(g);
+        // the manager died: salvage it into the successor's queue,
+        // or shed it when there is no successor left.
+        const int succ_i = successorOf(g);
+        if (succ_i < 0) {
+            for (net::Rpc *r : reqs) {
+                ALTOC_AUDIT_HOOK(audit_, onMigrateIn(*r, g));
+                sink_->onRpcShed(r);
+            }
+            return;
+        }
+        const unsigned succ = static_cast<unsigned>(succ_i);
         for (net::Rpc *r : reqs) {
             ALTOC_AUDIT_HOOK(audit_, onMigrateIn(*r, g));
             rescueInto(succ, r);
@@ -830,8 +849,25 @@ GroupScheduler::killWorker(unsigned g, unsigned w, net::Rpc *orphan)
     // that already failed over, straight into the successor's.
     // Descriptors still crossing the NoC toward this worker are
     // rescued on arrival (arriveWorker); their occupancy stays
-    // charged until then.
-    const unsigned tgt = grp.dead ? successorOf(g) : g;
+    // charged until then. When every group is already dead there is
+    // nowhere to rescue to: everything this worker held is shed.
+    const int tgt_i = grp.dead ? successorOf(g) : static_cast<int>(g);
+    if (tgt_i < 0) {
+        if (orphan != nullptr) {
+            altoc_assert(grp.occupancy[w] > 0, "occupancy underflow");
+            occupancyDec(grp, w);
+            sink_->onRpcShed(orphan);
+        }
+        while (!grp.local[w].empty()) {
+            net::Rpc *r = grp.local[w].front();
+            grp.local[w].pop_front();
+            altoc_assert(grp.occupancy[w] > 0, "occupancy underflow");
+            occupancyDec(grp, w);
+            sink_->onRpcShed(r);
+        }
+        return;
+    }
+    const unsigned tgt = static_cast<unsigned>(tgt_i);
     unsigned rescued = 0;
     if (orphan != nullptr) {
         altoc_assert(grp.occupancy[w] > 0, "occupancy underflow");
@@ -900,7 +936,17 @@ GroupScheduler::failOverGroup(unsigned g)
         ph.deadDeclared = true;
     }
 
-    const unsigned succ = successorOf(g);
+    const int succ_i = successorOf(g);
+    if (succ_i < 0) {
+        // The last group went down with the machine: its pending
+        // arrivals have no adoptive group, so they are shed.
+        while (net::Rpc *r = grp.rx.dequeueHead())
+            sink_->onRpcShed(r);
+        ++managersFailedOver_;
+        grp.qView[g] = 0;
+        return;
+    }
+    const unsigned succ = static_cast<unsigned>(succ_i);
     Group &sgrp = groups_[succ];
 
     // The successor adopts the dead group's pending arrivals; its
@@ -922,15 +968,15 @@ GroupScheduler::failOverGroup(unsigned g)
     pump(succ);
 }
 
-unsigned
+int
 GroupScheduler::successorOf(unsigned g) const
 {
     for (unsigned i = 1; i < cfg_.numGroups; ++i) {
         const unsigned d = (g + i) % cfg_.numGroups;
         if (!groups_[d].dead)
-            return d;
+            return static_cast<int>(d);
     }
-    panic("group %u has no live successor: every group is dead", g);
+    return -1;
 }
 
 void
@@ -945,7 +991,13 @@ void
 GroupScheduler::rescueReturned(unsigned g,
                                const std::vector<net::Rpc *> &reqs)
 {
-    const unsigned succ = successorOf(g);
+    const int succ_i = successorOf(g);
+    if (succ_i < 0) {
+        for (net::Rpc *r : reqs)
+            sink_->onRpcShed(r);
+        return;
+    }
+    const unsigned succ = static_cast<unsigned>(succ_i);
     for (net::Rpc *r : reqs)
         rescueInto(succ, r);
     requestsRescued_ += reqs.size();

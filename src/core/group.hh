@@ -320,8 +320,9 @@ class GroupScheduler : public sched::Scheduler
     void failOverGroup(unsigned g);
 
     /** Next live group after @p g cyclically; the failover successor
-     *  and the redirect target for arrivals steered at dead groups. */
-    unsigned successorOf(unsigned g) const;
+     *  and the redirect target for arrivals steered at dead groups.
+     *  -1 when every group is dead: callers shed via the sink. */
+    int successorOf(unsigned g) const;
 
     /** Move @p r into group @p g's NetRX as a rescued descriptor
      *  (audited, counted, traced by the caller). */

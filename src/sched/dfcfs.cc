@@ -39,8 +39,17 @@ void
 DFcfsScheduler::deliver(net::Rpc *r, unsigned queue)
 {
     altoc_assert(queue < queues_.size(), "queue %u out of range", queue);
-    if (ctx_.cores[queue]->dead())
-        queue = redirectTarget(queue);
+    if (ctx_.cores[queue]->dead()) {
+        const int live = redirectTarget(queue);
+        if (live < 0) {
+            // Every core is dead: nothing can ever serve this
+            // request, so it is shed (NIC in-flight window between
+            // the last death and admission shedding kicking in).
+            sink_->onRpcShed(r);
+            return;
+        }
+        queue = static_cast<unsigned>(live);
+    }
     queues_[queue].enqueue(r, ctx_.sim->now());
     tryDispatch(queue);
 }
@@ -64,16 +73,16 @@ DFcfsScheduler::onCompletion(cpu::Core &core, net::Rpc *r)
     tryDispatch(core.id());
 }
 
-unsigned
+int
 DFcfsScheduler::redirectTarget(unsigned queue) const
 {
     const unsigned n = static_cast<unsigned>(ctx_.cores.size());
     for (unsigned i = 1; i < n; ++i) {
         const unsigned c = (queue + i) % n;
         if (!ctx_.cores[c]->dead())
-            return c;
+            return static_cast<int>(c);
     }
-    panic("core %u has no live successor: every core is dead", queue);
+    return -1;
 }
 
 void
@@ -82,7 +91,18 @@ DFcfsScheduler::onCoreDeath(unsigned core_id, net::Rpc *orphan)
     altoc_assert(core_id < queues_.size(), "core %u out of range",
                  core_id);
     ++coresDead_;
-    const unsigned succ = redirectTarget(core_id);
+    const int live = redirectTarget(core_id);
+    if (live < 0) {
+        // The last core standing died: there is no rescue target, so
+        // the orphan and the backlog are shed through the sink. The
+        // machine is now fully dead; a rack ToR steers around it.
+        if (orphan != nullptr)
+            sink_->onRpcShed(orphan);
+        while (net::Rpc *r = queues_[core_id].dequeueHead())
+            sink_->onRpcShed(r);
+        return;
+    }
+    const unsigned succ = static_cast<unsigned>(live);
     unsigned rescued = 0;
     if (orphan != nullptr) {
         ALTOC_AUDIT_HOOK(ctx_.auditor, onRescue(*orphan, succ));

@@ -59,8 +59,10 @@ class DFcfsScheduler : public Scheduler
     void tryDispatch(unsigned queue);
 
     /** Next live core after @p queue cyclically (rescue target and
-     *  RSS re-steering destination for a dead core's flows). */
-    unsigned redirectTarget(unsigned queue) const;
+     *  RSS re-steering destination for a dead core's flows), or -1
+     *  when every core is dead -- the caller then sheds via the sink
+     *  instead of rescuing. */
+    int redirectTarget(unsigned queue) const;
 
     /** Kick the adoptive core after a rescue. Virtual because
      *  derived schedulers may have the core in a state plain

@@ -51,6 +51,24 @@ class CompletionSink
      * recycling; the scheduler must not touch @p r afterwards.
      */
     virtual void onRpcDone(cpu::Core &core, net::Rpc *r) = 0;
+
+    /**
+     * Called when the scheduler must dispose of a request it can no
+     * longer serve: every core (or group) is dead and no rescue
+     * target exists. The sink accounts the request as shed and
+     * recycles the descriptor; the scheduler must not touch @p r
+     * afterwards. The default panics -- a sink without a fail-stop
+     * story treats whole-machine death as fatal, exactly as the
+     * schedulers themselves did before rack federation made a fully
+     * dead server a survivable failure domain.
+     */
+    virtual void
+    onRpcShed(net::Rpc *r)
+    {
+        panic("request %llu shed by the scheduler but the sink "
+              "cannot account sheds",
+              static_cast<unsigned long long>(r->id));
+    }
 };
 
 /** Everything a scheduler needs from the surrounding system. */

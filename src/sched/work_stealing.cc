@@ -40,9 +40,16 @@ WorkStealingScheduler::deliver(net::Rpc *r, unsigned queue)
     altoc_assert(queue < queues_.size(), "queue %u out of range", queue);
     // A dead core's queue is unreachable -- stealers read dead
     // victims as empty -- so arrivals steered at it must be
-    // redirected, exactly as plain d-FCFS does.
-    if (ctx_.cores[queue]->dead())
-        queue = redirectTarget(queue);
+    // redirected, exactly as plain d-FCFS does (or shed when every
+    // core is dead).
+    if (ctx_.cores[queue]->dead()) {
+        const int live = redirectTarget(queue);
+        if (live < 0) {
+            sink_->onRpcShed(r);
+            return;
+        }
+        queue = static_cast<unsigned>(live);
+    }
     queues_[queue].enqueue(r, ctx_.sim->now());
     // The owning core may be mid-steal; it will recheck its queue
     // when the episode resolves.

@@ -95,8 +95,11 @@ class Auditor
      * The simulator is about to dispatch event @p id at time @p when.
      * Checks monotone simulated time and establishes the (event,
      * tick) context every subsequent violate() is stamped with.
+     * Virtual so a rack-level auditor can fan the simulator's single
+     * hook out to its per-server auditors (audit builds only, so the
+     * indirect call costs release runs nothing).
      */
-    void beginEvent(EventId id, Tick when);
+    virtual void beginEvent(EventId id, Tick when);
 
     // ----- component hooks (no-ops here; see core::InvariantAuditor) -
 

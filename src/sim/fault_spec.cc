@@ -18,7 +18,54 @@ FaultSpec::enabled() const
     return dropProb > 0.0 || dupProb > 0.0 || delayProb > 0.0 ||
            exhaustProb > 0.0 || straggleProb > 0.0 || freezeProb > 0.0 ||
            stallProb > 0.0 || stallSet || killProb > 0.0 ||
-           !kills.empty() || !managerKills.empty();
+           !kills.empty() || !managerKills.empty() ||
+           !scopedKills.empty() || !scopedManagerKills.empty() ||
+           !scopedDrops.empty();
+}
+
+FaultSpec
+FaultSpec::forServer(unsigned server) const
+{
+    FaultSpec out;
+    if (server == 0)
+        out = *this; // unscoped keys mean "server 0"
+    // Same scoped schedule on two servers must not replay the same
+    // decision stream; the fold is the identity for server 0 so the
+    // pre-rack fault schedule of an unscoped spec is untouched.
+    out.seed = seed ^ (server * 0x9e3779b97f4a7c15ull);
+    out.scopedKills.clear();
+    out.scopedManagerKills.clear();
+    out.scopedDrops.clear();
+    for (const ScopedKill &k : scopedKills) {
+        if (k.server == server)
+            out.kills.push_back(k.kill);
+    }
+    for (const ScopedKill &k : scopedManagerKills) {
+        if (k.server == server)
+            out.managerKills.push_back(k.kill);
+    }
+    for (const ScopedDrop &d : scopedDrops) {
+        if (d.server == server)
+            out.dropProb = d.prob;
+    }
+    return out;
+}
+
+int
+FaultSpec::maxScopedServer() const
+{
+    int max = -1;
+    const auto fold = [&max](unsigned server) {
+        if (static_cast<int>(server) > max)
+            max = static_cast<int>(server);
+    };
+    for (const ScopedKill &k : scopedKills)
+        fold(k.server);
+    for (const ScopedKill &k : scopedManagerKills)
+        fold(k.server);
+    for (const ScopedDrop &d : scopedDrops)
+        fold(d.server);
+    return max;
 }
 
 namespace {
@@ -119,6 +166,49 @@ FaultSpec::parse(std::string_view text)
                   static_cast<int>(item.size()), item.data());
         const std::string_view key = item.substr(0, eq);
         const std::string_view val = item.substr(eq + 1);
+
+        // Server-scoped keys: S<k>.kill / S<k>.killm / S<k>.drop
+        // (rack runs only; sim/fault_spec.hh documents the grammar).
+        if (key.size() >= 2 && key[0] == 'S' &&
+            key.find('.') != std::string_view::npos) {
+            const std::size_t dot = key.find('.');
+            const std::string_view digits = key.substr(1, dot - 1);
+            const bool plainDigits =
+                !digits.empty() &&
+                digits.find_first_not_of("0123456789") ==
+                    std::string_view::npos;
+            if (!plainDigits)
+                panic("fault spec: bad server index in '%.*s' "
+                      "(expected S<digits>.<key>)",
+                      static_cast<int>(key.size()), key.data());
+            const unsigned server = static_cast<unsigned>(
+                parseU64(key, digits));
+            const std::string_view base = key.substr(dot + 1);
+            if (base == "kill" || base == "killm") {
+                const std::size_t at = val.find('@');
+                if (at == std::string_view::npos)
+                    panic("fault spec: '%.*s' needs the form ID@AT",
+                          static_cast<int>(key.size()), key.data());
+                ScopedKill sk;
+                sk.server = server;
+                sk.kill.id = static_cast<unsigned>(
+                    parseU64(key, val.substr(0, at)));
+                sk.kill.at = parseDuration(key, val.substr(at + 1));
+                (base == "kill" ? spec.scopedKills
+                                : spec.scopedManagerKills)
+                    .push_back(sk);
+            } else if (base == "drop") {
+                ScopedDrop sd;
+                sd.server = server;
+                sd.prob = parseProb(key, val);
+                spec.scopedDrops.push_back(sd);
+            } else {
+                panic("fault spec: key '%.*s' cannot be server-scoped "
+                      "(only kill, killm, drop take an S<k>. prefix)",
+                      static_cast<int>(key.size()), key.data());
+            }
+            continue;
+        }
 
         if (key == "drop") {
             spec.dropProb = parseProb(key, val);
@@ -254,6 +344,23 @@ FaultSpec::describe() const
     if (killProb > 0.0) {
         std::snprintf(buf, sizeof buf, "killp=%g:%llu", killProb,
                       static_cast<unsigned long long>(killNs));
+        add(buf);
+    }
+    for (const ScopedKill &k : scopedKills) {
+        std::snprintf(buf, sizeof buf, "S%u.kill=%u@%llu", k.server,
+                      k.kill.id,
+                      static_cast<unsigned long long>(k.kill.at));
+        add(buf);
+    }
+    for (const ScopedKill &k : scopedManagerKills) {
+        std::snprintf(buf, sizeof buf, "S%u.killm=%u@%llu", k.server,
+                      k.kill.id,
+                      static_cast<unsigned long long>(k.kill.at));
+        add(buf);
+    }
+    for (const ScopedDrop &d : scopedDrops) {
+        std::snprintf(buf, sizeof buf, "S%u.drop=%g", d.server,
+                      d.prob);
         add(buf);
     }
     std::snprintf(buf, sizeof buf, "seed=%llu",

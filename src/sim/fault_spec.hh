@@ -35,6 +35,15 @@
  *                     with probability P (probabilistic crash storm)
  *   seed=N            fault-stream seed (independent of the workload)
  *
+ * Rack runs (system/rack.hh) add an optional server scope: the kill,
+ * killm and drop keys accept an `S<k>.` prefix targeting server k of
+ * the topology (`S1.kill=3@200000` fail-stops core 3 of server 1;
+ * `S2.drop=0.05` drops scheduling-VN messages on server 2 only).
+ * Unscoped keys keep their single-server meaning and apply to server
+ * 0, so every pre-rack spec is unchanged by the extension. Scoping
+ * any other key, a malformed index (`S.kill`, `Sx.kill`) or an
+ * unknown scoped key is rejected at parse time.
+ *
  * Probabilities must lie in [0, 1]; durations, window lengths and
  * kill ticks must be positive integers -- parse() rejects anything
  * else with a message naming the key and the offending value.
@@ -120,6 +129,32 @@ struct FaultSpec
     double killProb = 0.0;
     Tick killNs = 0;
 
+    /** One server-scoped fail-stop (`S<k>.kill` / `S<k>.killm`). */
+    struct ScopedKill
+    {
+        unsigned server = 0;
+        Kill kill;
+    };
+
+    /** One server-scoped drop probability (`S<k>.drop`). */
+    struct ScopedDrop
+    {
+        unsigned server = 0;
+        double prob = 0.0;
+    };
+
+    /** Scoped core deaths (`S<k>.kill=C@AT`, repeatable, spec order).
+     *  Applied only by rack runs via forServer(); a single-server run
+     *  handed a spec that scopes past its topology dies loudly. */
+    std::vector<ScopedKill> scopedKills;
+
+    /** Scoped manager-tile deaths (`S<k>.killm=M@AT`, repeatable). */
+    std::vector<ScopedKill> scopedManagerKills;
+
+    /** Scoped sched-VN drop probabilities (`S<k>.drop=P`; overrides
+     *  the unscoped probability on that server). */
+    std::vector<ScopedDrop> scopedDrops;
+
     /** Seed of the fault decision streams (independent of workload). */
     std::uint64_t seed = 1;
 
@@ -134,6 +169,26 @@ struct FaultSpec
 
     /** Canonical spec string (parse(describe()) round-trips). */
     std::string describe() const;
+
+    /**
+     * The effective single-server spec for server @p server of a rack.
+     * Server 0 inherits every unscoped key plus its own scoped
+     * entries, so forServer(0) of an unscoped spec is the identity --
+     * the pre-rack bit-identity anchor. Servers past 0 see only their
+     * scoped entries. The fault seed folds the server index in
+     * (identity for server 0) so two servers under the same scoped
+     * schedule draw independent decision streams. The returned spec
+     * carries no scoped entries.
+     */
+    FaultSpec forServer(unsigned server) const;
+
+    /**
+     * Highest server index any scoped entry targets, or -1 when the
+     * spec is fully unscoped. Rack construction validates this
+     * against the topology; runExperiment's single-server path
+     * rejects any spec with maxScopedServer() > 0.
+     */
+    int maxScopedServer() const;
 };
 
 } // namespace altoc::sim

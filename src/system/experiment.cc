@@ -16,6 +16,7 @@
 #include "sched/jbsq.hh"
 #include "sched/work_stealing.hh"
 #include "cpu/topology.hh"
+#include "system/rack.hh"
 
 namespace altoc::system {
 
@@ -284,6 +285,17 @@ LoadGenerator::injectNext()
 RunResult
 runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
 {
+    // Topology dispatch: a federated rack gets the two-layer driver.
+    // The classic path below stays byte-for-byte what it was -- the
+    // N=1 bit-identity contract in system/rack.hh leans on it.
+    if (cfg.rack.servers > 1)
+        return runRackExperiment(cfg, spec);
+    if (spec.faults.maxScopedServer() > 0) {
+        fatal("fault spec scopes server %d but the run is "
+              "single-server (set --rack / DesignConfig::rack)",
+              spec.faults.maxScopedServer());
+    }
+
     const double mean_service =
         spec.trace ? spec.trace->meanService() : spec.service->mean();
     const std::string dist_name =
@@ -297,10 +309,12 @@ runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
     const std::uint64_t warmup = static_cast<std::uint64_t>(
         spec.warmupFraction * static_cast<double>(total));
 
+    // forServer(0) folds S0-scoped entries into the plain schedule;
+    // it is the identity on an unscoped spec.
     auto server = makeServer(cfg, static_cast<Tick>(mean_service),
                              dist_name, slo, warmup, spec.seed,
-                             spec.faults, spec.logLatencyHistogram,
-                             spec.tracing);
+                             spec.faults.forServer(0),
+                             spec.logLatencyHistogram, spec.tracing);
     // Pre-size the descriptor pool and latency store so the measured
     // run performs no slab growth or sample-vector reallocation.
     server->reserveFor(total);

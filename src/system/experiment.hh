@@ -21,6 +21,7 @@
 #include "sched/scheduler.hh"
 #include "stats/histogram.hh"
 #include "system/server.hh"
+#include "system/topology.hh"
 #include "workload/arrivals.hh"
 #include "workload/distributions.hh"
 #include "workload/trace.hh"
@@ -88,6 +89,15 @@ struct DesignConfig
      * optimistic single-domain assumption instead.
      */
     bool singleCoherenceDomain = false;
+
+    /**
+     * Rack topology (system/topology.hh). The default single-server
+     * shape keeps runExperiment on the classic path; rack.servers > 1
+     * federates `rack.servers` copies of the server shape above
+     * behind a ToR dispatcher (runExperiment then delegates to
+     * runRackExperiment in system/rack.hh).
+     */
+    RackConfig rack;
 };
 
 /** Workload-side configuration of one run. */
@@ -169,6 +179,21 @@ struct RequestOutcome
     bool predicted = false;
 };
 
+/** One server's slice of a rack run (RunResult::perServer). */
+struct PerServerResult
+{
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t migrated = 0;
+    std::uint64_t requestsShed = 0;
+    std::uint64_t coresKilled = 0;
+    std::uint64_t requestsRescued = 0;
+    std::uint64_t managersFailedOver = 0;
+    stats::Summary latency;
+    double utilization = 0.0;
+    bool dead = false; //!< lost every worker core during the run
+};
+
 /** Headline metrics of one run. */
 struct RunResult
 {
@@ -215,6 +240,16 @@ struct RunResult
      *  enabled): records pushed to / evicted from the trace rings. */
     std::uint64_t traceRecords = 0;
     std::uint64_t traceDropped = 0;
+
+    /** Rack extras: servers in the topology (1 = classic world),
+     *  ToR dispatch decisions and ToR-level sheds (requests arriving
+     *  with every server dead). The headline counters above are
+     *  rack-wide sums on a federated run; perServer carries each
+     *  server's slice (empty on the classic path). */
+    unsigned rackServers = 1;
+    std::uint64_t torDispatched = 0;
+    std::uint64_t torShed = 0;
+    std::vector<PerServerResult> perServer;
 
     /**
      * Order-sensitive digest of the completion stream: every

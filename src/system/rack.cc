@@ -1,0 +1,755 @@
+/**
+ * @file
+ * Rack federation implementation: construction, the ToR dispatcher,
+ * the rack-side load generator and runRackExperiment.
+ */
+
+#include "system/rack.hh"
+
+#include <cstring>
+
+#include "common/fingerprint.hh"
+#include "common/logging.hh"
+#include "sim/fault_injector.hh"
+
+namespace altoc::system {
+
+const char *
+torPolicyName(TorPolicy policy)
+{
+    switch (policy) {
+    case TorPolicy::Random:
+        return "random";
+    case TorPolicy::RoundRobin:
+        return "rr";
+    case TorPolicy::PowerOfK:
+        return "p2c";
+    case TorPolicy::LeastLoaded:
+        return "ll";
+    }
+    return "?";
+}
+
+TorPolicy
+torPolicyFromName(std::string_view name)
+{
+    if (name == "random")
+        return TorPolicy::Random;
+    if (name == "rr" || name == "round-robin")
+        return TorPolicy::RoundRobin;
+    if (name == "p2c" || name == "pk" || name == "power-of-k")
+        return TorPolicy::PowerOfK;
+    if (name == "ll" || name == "least-loaded")
+        return TorPolicy::LeastLoaded;
+    panic("unknown ToR policy '%.*s' (expected random, rr, p2c, ll)",
+          static_cast<int>(name.size()), name.data());
+}
+
+namespace {
+
+/** Salt folding the workload seed into the ToR's private decision
+ *  stream (never drawn when servers == 1). */
+constexpr std::uint64_t kTorSeedSalt = 0x70f25eed;
+
+/** Per-server seed/identity fold; identity for server 0 so the N=1
+ *  rack reproduces the classic world bit-for-bit. */
+constexpr std::uint64_t
+serverSalt(unsigned server)
+{
+    return server * 0x9e3779b97f4a7c15ull;
+}
+
+#if ALTOC_AUDIT_ENABLED
+/** Fans the shared kernel's single beginEvent hook out to every
+ *  server's auditor so each stamps violations with the right (event,
+ *  tick) context. Audit builds only; the base-class call keeps the
+ *  rack's own monotone-time check. */
+class RackAuditor final : public sim::Auditor
+{
+  public:
+    explicit RackAuditor(std::vector<sim::Auditor *> parts)
+        : parts_(std::move(parts))
+    {
+    }
+
+    void
+    beginEvent(sim::EventId id, Tick when) override
+    {
+        sim::Auditor::beginEvent(id, when);
+        for (sim::Auditor *a : parts_)
+            a->beginEvent(id, when);
+    }
+
+  private:
+    std::vector<sim::Auditor *> parts_;
+};
+#endif
+
+/** The (mean service, slo, total, warmup) every driver derives from a
+ *  WorkloadSpec; shared by the ctor and runRackExperiment so the two
+ *  can never disagree. */
+struct DerivedSpec
+{
+    double meanService = 0.0;
+    std::string distName;
+    Tick slo = 0;
+    std::uint64_t total = 0;
+    std::uint64_t warmup = 0;
+};
+
+DerivedSpec
+derive(const WorkloadSpec &spec)
+{
+    DerivedSpec d;
+    d.meanService =
+        spec.trace ? spec.trace->meanService() : spec.service->mean();
+    d.distName = spec.trace ? "Fixed" : spec.service->name();
+    d.slo = spec.sloAbsolute
+                ? *spec.sloAbsolute
+                : static_cast<Tick>(spec.sloFactor * d.meanService);
+    d.total = spec.trace ? spec.trace->size() : spec.requests;
+    d.warmup = static_cast<std::uint64_t>(
+        spec.warmupFraction * static_cast<double>(d.total));
+    return d;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Rack
+// ---------------------------------------------------------------------
+
+Rack::Rack(const DesignConfig &cfg, const WorkloadSpec &spec)
+    : cfg_(cfg), rack_(cfg.rack), traceCfg_(spec.tracing),
+      torRng_(spec.seed ^ kTorSeedSalt)
+{
+    altoc_assert(rack_.servers >= 1, "a rack needs at least one server");
+    altoc_assert(rack_.policy != TorPolicy::PowerOfK || rack_.sampleK >= 1,
+                 "power-of-k needs k >= 1");
+    const int maxScoped = spec.faults.maxScopedServer();
+    if (maxScoped >= static_cast<int>(rack_.servers)) {
+        fatal("fault spec scopes server %d but the rack has %u "
+              "server(s)",
+              maxScoped, rack_.servers);
+    }
+
+    const DerivedSpec d = derive(spec);
+    const std::uint64_t perWarmup =
+        rack_.servers == 1 ? d.warmup : d.warmup / rack_.servers;
+
+    servers_.reserve(rack_.servers);
+    for (unsigned s = 0; s < rack_.servers; ++s) {
+        Server::Config scfg;
+        scfg.cores = cfg_.cores;
+        scfg.nic = nicConfigFor(cfg_);
+        scfg.sloTarget = d.slo;
+        scfg.warmup = perWarmup;
+        scfg.seed = spec.seed ^ serverSalt(s);
+        scfg.serverId = s;
+        scfg.faults = spec.faults.forServer(s);
+        scfg.logLatencyHistogram = spec.logLatencyHistogram;
+        scfg.trace = spec.tracing;
+        servers_.push_back(std::make_unique<Server>(
+            scfg,
+            makeScheduler(cfg_, static_cast<Tick>(d.meanService),
+                          d.distName),
+            &sim_));
+    }
+
+    dead_.assign(rack_.servers, false);
+    liveServers_ = rack_.servers;
+
+    if (rack_.servers > 1) {
+        links_.reserve(rack_.servers);
+        for (unsigned s = 0; s < rack_.servers; ++s)
+            links_.emplace_back(rack_.linkLatency, rack_.linkGbps);
+        for (unsigned s = 0; s < rack_.servers; ++s) {
+            servers_[s]->setDeathNotifier(
+                [this, s](unsigned) { noteCoreDeath(s); });
+        }
+        if (traceCfg_.enabled) {
+            torTracer_ =
+                std::make_unique<trace::Tracer>(1, traceCfg_.ringSlots);
+        }
+    }
+
+#if ALTOC_AUDIT_ENABLED
+    // The kernel takes one auditor. Alone, server 0's own auditor is
+    // attached directly (the classic wiring, preserving bit-identical
+    // audit behavior); a federation gets the fan-out.
+    if (rack_.servers == 1) {
+        if (core::InvariantAuditor *a = servers_[0]->auditor())
+            sim_.setAuditor(a);
+    } else {
+        std::vector<sim::Auditor *> parts;
+        for (auto &srv : servers_) {
+            if (sim::Auditor *a = srv->auditor())
+                parts.push_back(a);
+        }
+        if (!parts.empty()) {
+            rackAuditor_ = std::make_unique<RackAuditor>(std::move(parts));
+            sim_.setAuditor(rackAuditor_.get());
+        }
+    }
+#endif
+}
+
+Rack::~Rack() = default;
+
+ALTOC_HOT int
+Rack::pickServer()
+{
+    const unsigned n = numServers();
+    if (n == 1)
+        return 0;
+    if (liveServers_ == 0)
+        return -1;
+    switch (rack_.policy) {
+    case TorPolicy::Random:
+        return nextLive(static_cast<unsigned>(torRng_.below(n)));
+    case TorPolicy::RoundRobin: {
+        const int c = nextLive(rrNext_);
+        rrNext_ = (static_cast<unsigned>(c) + 1) % n;
+        return c;
+    }
+    case TorPolicy::PowerOfK: {
+        // Sample k servers with replacement (dead draws probe to the
+        // next live machine), keep the least loaded; the first drawn
+        // wins ties, so the decision is a pure function of (rng
+        // stream, load vector).
+        int best = -1;
+        std::size_t bestLoad = 0;
+        for (unsigned k = 0; k < rack_.sampleK; ++k) {
+            const int c =
+                nextLive(static_cast<unsigned>(torRng_.below(n)));
+            const std::size_t load =
+                servers_[static_cast<unsigned>(c)]
+                    ->scheduler()
+                    .totalQueued();
+            if (best < 0 || load < bestLoad) {
+                best = c;
+                bestLoad = load;
+            }
+        }
+        return best;
+    }
+    case TorPolicy::LeastLoaded: {
+        // Full information, lowest index wins ties.
+        int best = -1;
+        std::size_t bestLoad = 0;
+        for (unsigned s = 0; s < n; ++s) {
+            if (dead_[s])
+                continue;
+            const std::size_t load =
+                servers_[s]->scheduler().totalQueued();
+            if (best < 0 || load < bestLoad) {
+                best = static_cast<int>(s);
+                bestLoad = load;
+            }
+        }
+        return best;
+    }
+    }
+    return -1;
+}
+
+int
+Rack::nextLive(unsigned start) const
+{
+    const unsigned n = numServers();
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned c = (start + i) % n;
+        if (!dead_[c])
+            return static_cast<int>(c);
+    }
+    return -1;
+}
+
+void
+Rack::deliver(unsigned s, net::Rpc *r)
+{
+    if (numServers() == 1) {
+        // The N=1 rack is the classic world: straight into the
+        // server, no ToR event, no link pacing, no trace record.
+        servers_[0]->inject(r);
+        return;
+    }
+    ++torDispatched_;
+    ALTOC_TRACE_HOOK(
+        torTracer_.get(),
+        record(sim_.now(), 0, trace::TraceKind::TorDispatch,
+               trace::tracePack(
+                   static_cast<std::uint32_t>(r->id) & 0xffffu, s),
+               static_cast<std::uint8_t>(rack_.policy)));
+    Server *srv = servers_[s].get();
+    const Tick arrive = links_[s].send(sim_.now(), r->sizeBytes);
+    sim_.at(arrive, [srv, r] { srv->inject(r); });
+}
+
+void
+Rack::shedAtTor(std::uint64_t rpc_id)
+{
+    ++torShed_;
+    ALTOC_TRACE_HOOK(torTracer_.get(),
+                     record(sim_.now(), 0,
+                            trace::TraceKind::AdmissionShed,
+                            static_cast<std::uint32_t>(rpc_id)));
+}
+
+void
+Rack::noteCoreDeath(unsigned s)
+{
+    if (dead_[s] || servers_[s]->scheduler().liveWorkerCores() > 0)
+        return;
+    dead_[s] = true;
+    --liveServers_;
+    ALTOC_TRACE_HOOK(torTracer_.get(),
+                     record(sim_.now(), 0, trace::TraceKind::ServerDead,
+                            s));
+}
+
+void
+Rack::stopAfterCompletions(std::uint64_t n)
+{
+    for (auto &srv : servers_)
+        srv->stopAfterSharedCompletions(&sharedDone_, n);
+}
+
+Tick
+Rack::run(Tick until)
+{
+    const Tick end = sim_.run(until);
+    for (auto &srv : servers_)
+        srv->finishRun();
+    if (rackAuditor_ != nullptr && !rackAuditor_->ok()) {
+        rackAuditor_->report(stderr);
+        panic("rack audit failed with %llu violation(s); see report "
+              "above",
+              static_cast<unsigned long long>(
+                  rackAuditor_->violationCount()));
+    }
+    return end;
+}
+
+void
+Rack::reserveFor(std::uint64_t total_requests)
+{
+    const unsigned n = numServers();
+    // Per-server share plus imbalance headroom; the pools still grow
+    // on demand if a skewed policy concentrates more than that.
+    const std::uint64_t per =
+        n == 1 ? total_requests
+               : total_requests / n + total_requests / (4 * n) + 1024;
+    for (auto &srv : servers_)
+        srv->reserveFor(per);
+}
+
+std::uint64_t
+Rack::completedTotal() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &srv : servers_)
+        sum += srv->completed();
+    return sum;
+}
+
+std::uint64_t
+Rack::requestsShedTotal() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &srv : servers_)
+        sum += srv->requestsShed();
+    return sum;
+}
+
+double
+Rack::workerUtilization() const
+{
+    // Homogeneous rack: every server has the same worker count and
+    // the same elapsed time, so the rack ratio is the plain mean.
+    double sum = 0.0;
+    for (const auto &srv : servers_)
+        sum += srv->workerUtilization();
+    return sum / static_cast<double>(numServers());
+}
+
+void
+Rack::checkConservation(std::uint64_t issued) const
+{
+    const std::uint64_t accounted =
+        completedTotal() + requestsShedTotal() + torShed_;
+    if (accounted != issued) {
+        panic("rack conservation violated: issued %llu != completed "
+              "%llu + shed %llu + torShed %llu",
+              static_cast<unsigned long long>(issued),
+              static_cast<unsigned long long>(completedTotal()),
+              static_cast<unsigned long long>(requestsShedTotal()),
+              static_cast<unsigned long long>(torShed_));
+    }
+}
+
+bool
+Rack::writeTrace(const std::string &path) const
+{
+    if (!traceCfg_.enabled)
+        return false;
+    const std::string &target = path.empty() ? traceCfg_.file : path;
+    if (target.empty())
+        return false;
+    if (numServers() == 1)
+        return servers_[0]->writeTrace(target);
+    std::vector<const trace::Tracer *> tracers;
+    tracers.reserve(servers_.size());
+    for (const auto &srv : servers_)
+        tracers.push_back(srv->tracer());
+    return trace::writeRackTraceFile(target, tracers, cfg_.cores,
+                                     torTracer_.get());
+}
+
+void
+Rack::dumpStats(std::FILE *out) const
+{
+    if (out == nullptr)
+        out = stdout;
+    auto line = [out](const char *name, double value) {
+        std::fprintf(out, "%-40s %20.6g\n", name, value);
+    };
+    std::fprintf(out, "---------- Begin Simulation Statistics ----------\n");
+    line("rack.servers", static_cast<double>(numServers()));
+    line("rack.liveServers", static_cast<double>(liveServers_));
+    line("rack.finalTick", static_cast<double>(sim_.now()));
+    line("rack.eventsExecuted",
+         static_cast<double>(sim_.eventsExecuted()));
+    line("rack.torDispatched", static_cast<double>(torDispatched_));
+    line("rack.torShed", static_cast<double>(torShed_));
+    line("rack.completed", static_cast<double>(completedTotal()));
+    line("rack.requestsShed",
+         static_cast<double>(requestsShedTotal()));
+    line("rack.workerUtilization", workerUtilization());
+    if (torTracer_) {
+        line("rack.torTraceRecorded",
+             static_cast<double>(torTracer_->totalWritten()));
+    }
+    for (unsigned s = 0; s < numServers(); ++s) {
+        char prefix[32];
+        std::snprintf(prefix, sizeof prefix, "server%u.", s);
+        servers_[s]->dumpStatsBody(out, prefix);
+    }
+    std::fprintf(out, "---------- End Simulation Statistics ----------\n");
+}
+
+// ---------------------------------------------------------------------
+// Rack-side load generator
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * The open-loop generator of experiment.cc, retargeted at a rack:
+ * every arrival asks the ToR for a placement, allocates from the
+ * chosen server's pool, and hands the filled descriptor to
+ * Rack::deliver. Field-fill and RNG-draw order replicate
+ * LoadGenerator exactly, so the N=1 rack consumes an identical
+ * random stream and schedules an identical event sequence.
+ */
+class RackLoadGenerator
+{
+  public:
+    RackLoadGenerator(Rack &rack, const WorkloadSpec &spec)
+        : rack_(rack), spec_(spec),
+          rng_(rack.server(0).forkRng(spec.seed))
+    {
+        if (spec_.trace == nullptr) {
+            altoc_assert(spec_.service != nullptr,
+                         "workload needs a service distribution or a "
+                         "trace");
+            const double rate = spec_.rateMrps * 1e-3; // requests/ns
+            if (spec_.realWorldArrivals) {
+                arrivals_ = workload::makeRealWorld(
+                    rate, static_cast<Tick>(spec_.service->mean()));
+            } else {
+                arrivals_ = workload::makePoisson(rate);
+            }
+        }
+    }
+
+    void
+    start()
+    {
+        if (spec_.trace != nullptr) {
+            const auto &recs = spec_.trace->records();
+            for (std::uint64_t i = 0; i < recs.size(); ++i) {
+                const workload::TraceRecord &rec = recs[i];
+                rack_.sim().at(rec.arrival, [this, i, &rec] {
+                    const int s = rack_.pickServer();
+                    ++injected_;
+                    if (s < 0) {
+                        rack_.shedAtTor(i);
+                        return;
+                    }
+                    net::Rpc *r =
+                        rack_.server(static_cast<unsigned>(s)).makeRpc();
+                    r->id = i;
+                    r->service = rec.service;
+                    r->remaining = rec.service;
+                    r->kind = rec.kind;
+                    r->conn = rec.conn;
+                    r->sizeBytes = rec.sizeBytes;
+                    r->key = rec.key;
+                    r->homeGroup = rec.homeGroup;
+                    rack_.deliver(static_cast<unsigned>(s), r);
+                });
+            }
+            return;
+        }
+        nextArrival_ = arrivals_->nextGap(rng_);
+        rack_.sim().at(nextArrival_, [this] { injectNext(); });
+    }
+
+    std::uint64_t injected() const { return injected_; }
+
+  private:
+    void
+    injectNext()
+    {
+        const int s = rack_.pickServer();
+        if (s >= 0) {
+            net::Rpc *r =
+                rack_.server(static_cast<unsigned>(s)).makeRpc();
+            r->id = injected_;
+            const workload::ServiceSample smp =
+                spec_.service->sample(rng_);
+            r->service = smp.service;
+            r->remaining = smp.service;
+            r->kind = smp.kind;
+            r->conn = static_cast<std::uint32_t>(
+                rng_.below(spec_.connections));
+            r->sizeBytes = spec_.requestBytes;
+            ++injected_;
+            rack_.deliver(static_cast<unsigned>(s), r);
+        } else {
+            // Every server is dead: shed at the ToR without drawing
+            // the workload samples the request would have carried.
+            rack_.shedAtTor(injected_);
+            ++injected_;
+        }
+
+        if (injected_ < spec_.requests) {
+            nextArrival_ += arrivals_->nextGap(rng_);
+            rack_.sim().at(nextArrival_, [this] { injectNext(); });
+        }
+    }
+
+    Rack &rack_;
+    const WorkloadSpec &spec_;
+    Rng rng_;
+    std::unique_ptr<workload::ArrivalProcess> arrivals_;
+    std::uint64_t injected_ = 0;
+    Tick nextArrival_ = 0;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// runRackExperiment
+// ---------------------------------------------------------------------
+
+RunResult
+runRackExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
+{
+    const DerivedSpec d = derive(spec);
+
+    Rack rack(cfg, spec);
+    const unsigned n = rack.numServers();
+    rack.reserveFor(d.total);
+    rack.stopAfterCompletions(d.total);
+
+    RunResult result;
+    result.rackServers = n;
+
+    // Rack-wide latency aggregation via the per-server completion
+    // hooks. The warmup gate counts completions rack-wide, so for
+    // n == 1 the sample stream matches the server's own tracker.
+    struct Agg
+    {
+        stats::SloTracker tracker;
+        std::uint64_t seen = 0;
+        std::uint64_t warmup = 0;
+        RunResult *result = nullptr;
+        bool capture = false;
+
+        Agg(Tick slo, bool log) : tracker(slo, log) {}
+    };
+    Agg agg(d.slo, spec.logLatencyHistogram);
+    agg.tracker.reserve(static_cast<std::size_t>(d.total));
+    agg.warmup = d.warmup;
+    agg.result = &result;
+    agg.capture = spec.capturePerRequest;
+    if (agg.capture)
+        result.perRequest.reserve(d.total);
+    for (unsigned s = 0; s < n; ++s) {
+        rack.server(s).setCompletionHook(
+            [&agg](const net::Rpc &r, Tick latency) {
+                if (++agg.seen > agg.warmup)
+                    agg.tracker.record(latency);
+                if (agg.capture) {
+                    agg.result->perRequest.push_back(RequestOutcome{
+                        r.id, latency, r.migrated,
+                        r.predictedViolation});
+                }
+            });
+    }
+
+    // Completion-stream digest, same scheme as runExperiment; a
+    // federation additionally mixes the server index (core ids are
+    // per-server), which leaves the n == 1 digest untouched.
+    struct Fp
+    {
+        Fnv1a fp;
+        std::uint64_t events = 0;
+        bool mixServer = false;
+    };
+    Fp fpc;
+    fpc.mixServer = n > 1;
+    for (unsigned s = 0; s < n; ++s) {
+        rack.server(s).setCompletionProbe(
+            [&fpc, s](const cpu::Core &core, const net::Rpc &r,
+                      Tick now) {
+                fpc.fp.mix(now);
+                fpc.fp.mix(static_cast<std::uint64_t>(r.kind));
+                fpc.fp.mix(core.id());
+                fpc.fp.mix(r.id);
+                if (fpc.mixServer)
+                    fpc.fp.mix(s);
+                ++fpc.events;
+            });
+        if (sim::FaultInjector *fi = rack.server(s).faultInjector()) {
+            fi->setEventHook([&fpc, s](sim::FaultInjector::Kind kind,
+                                       Tick now, unsigned a,
+                                       unsigned b) {
+                fpc.fp.mix(now);
+                fpc.fp.mix(0xFA000000ull +
+                           static_cast<std::uint64_t>(kind));
+                fpc.fp.mix(a);
+                fpc.fp.mix(b);
+                if (fpc.mixServer)
+                    fpc.fp.mix(s);
+                ++fpc.events;
+            });
+        }
+    }
+
+    RackLoadGenerator gen(rack, spec);
+    gen.start();
+    const Tick end = rack.run(spec.timeLimit);
+
+    // Conservation only holds once everything in flight finished; a
+    // run stopped early legitimately leaves live descriptors behind.
+    if (rack.sim().idle())
+        rack.checkConservation(gen.injected());
+
+    result.design = rack.server(0).scheduler().name();
+    result.offeredMrps =
+        spec.trace ? spec.trace->offeredRate() * 1e3 : spec.rateMrps;
+    result.achievedMrps =
+        end > 0 ? static_cast<double>(rack.completedTotal()) /
+                      static_cast<double>(end) * 1e3
+                : 0.0;
+    result.latency = agg.tracker.summary();
+    result.sloTarget = d.slo;
+    result.violationRatio = agg.tracker.violationRatio();
+    result.violations = agg.tracker.violations();
+    result.completed = rack.completedTotal();
+    result.utilization = rack.workerUtilization();
+    result.requestsShed = rack.requestsShedTotal();
+    result.torDispatched = rack.torDispatched();
+    result.torShed = rack.torShed();
+    result.fingerprint = fpc.fp.digest();
+    result.fingerprintEvents = fpc.events;
+
+    for (unsigned s = 0; s < n; ++s) {
+        const Server &srv = rack.server(s);
+        result.predictions.predicted += srv.predictions().predicted;
+        result.predictions.truePositives +=
+            srv.predictions().truePositives;
+        result.predictions.falsePositives +=
+            srv.predictions().falsePositives;
+        result.predictions.actualViolations +=
+            srv.predictions().actualViolations;
+        result.dropped += srv.dropped();
+        result.coresKilled += srv.scheduler().coresDead();
+        result.requestsRescued += srv.scheduler().requestsRescued();
+        result.managersFailedOver +=
+            srv.scheduler().managersFailedOver();
+        if (const auto *group =
+                dynamic_cast<const core::GroupScheduler *>(
+                    &srv.scheduler())) {
+            result.migrated += group->requestsMigrated();
+            result.migratesRetried += group->migratesRetried();
+            result.migratesTimedOut += group->migratesTimedOut();
+            result.peersQuarantined += group->peersQuarantined();
+            result.peersDeadDeclared += group->peersDeadDeclared();
+            const core::MessagingStats &ms = group->messagingStats();
+            core::MessagingStats &agg_ms = result.messaging;
+            agg_ms.migratesSent += ms.migratesSent;
+            agg_ms.migratesAcked += ms.migratesAcked;
+            agg_ms.migratesNacked += ms.migratesNacked;
+            agg_ms.migratesTimedOut += ms.migratesTimedOut;
+            agg_ms.staleMigratesDiscarded += ms.staleMigratesDiscarded;
+            agg_ms.descriptorsSent += ms.descriptorsSent;
+            agg_ms.descriptorsDelivered += ms.descriptorsDelivered;
+            agg_ms.descriptorsReturned += ms.descriptorsReturned;
+            agg_ms.updatesSent += ms.updatesSent;
+            agg_ms.sendsRefused += ms.sendsRefused;
+            agg_ms.bytesOnNoc += ms.bytesOnNoc;
+            agg_ms.migratesToDead += ms.migratesToDead;
+        }
+        if (const sim::FaultInjector *fi = srv.faultInjector())
+            result.faultsInjected += fi->counters().total();
+        if (const trace::Tracer *tr = srv.tracer()) {
+            result.traceRecords += tr->totalWritten();
+            result.traceDropped += tr->totalDropped();
+        }
+    }
+    if (const trace::Tracer *tor = rack.torTracer()) {
+        result.traceRecords += tor->totalWritten();
+        result.traceDropped += tor->totalDropped();
+    }
+
+    if (n > 1) {
+        result.perServer.reserve(n);
+        for (unsigned s = 0; s < n; ++s) {
+            const Server &srv = rack.server(s);
+            PerServerResult ps;
+            ps.completed = srv.completed();
+            ps.dropped = srv.dropped();
+            ps.requestsShed = srv.requestsShed();
+            ps.coresKilled = srv.scheduler().coresDead();
+            ps.requestsRescued = srv.scheduler().requestsRescued();
+            ps.managersFailedOver =
+                srv.scheduler().managersFailedOver();
+            ps.latency = srv.tracker().summary();
+            ps.utilization = srv.workerUtilization();
+            ps.dead = rack.serverDead(s);
+            if (const auto *group =
+                    dynamic_cast<const core::GroupScheduler *>(
+                        &srv.scheduler()))
+                ps.migrated = group->requestsMigrated();
+            result.perServer.push_back(ps);
+        }
+    }
+
+    if (spec.dumpStats) {
+        if (n == 1)
+            rack.server(0).dumpStats();
+        else
+            rack.dumpStats();
+    }
+    if (rack.server(0).tracer() != nullptr &&
+        !spec.tracing.file.empty()) {
+        altoc_assert(rack.writeTrace(), "failed to write trace file");
+    }
+    return result;
+}
+
+} // namespace altoc::system

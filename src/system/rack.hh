@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Rack-scale federation: N servers behind a ToR dispatcher, one
+ * shared event kernel.
+ *
+ * A Rack instantiates RackConfig::servers identical Servers against a
+ * single deterministic sim::Simulator, then layers a RackSched-style
+ * two-level scheduler on top: the ToR picks a server per request
+ * (system/topology.hh policies), pays the inter-server link cost
+ * (net/rack_link.hh), and the chosen server's ALTOCUMULUS (or
+ * baseline) scheduler takes over inside the machine. Placement is
+ * decided once, at admission -- the ~1 us fabric hop makes rack-level
+ * rebalancing three orders of magnitude more expensive than the 3 ns
+ * NoC migrations the intra-server layer performs freely.
+ *
+ * Determinism contract: with servers == 1 the Rack adds nothing to
+ * the world -- no ToR RNG draw, no link event, no extra trace ring --
+ * so the (tick, seq) event stream, and therefore every pre-rack
+ * golden, fingerprint and trace file, is reproduced bit-for-bit.
+ * tests/test_rack.cc pins this.
+ *
+ * Fail-stop handling: a server whose last worker core dies is
+ * declared dead (TraceKind::ServerDead) and the ToR stops steering to
+ * it; requests arriving with every server dead are shed at the ToR.
+ * Conservation across the rack: issued == sum(completed) +
+ * sum(requestsShed) + torShed, checked at drain.
+ */
+
+#ifndef ALTOC_SYSTEM_RACK_HH
+#define ALTOC_SYSTEM_RACK_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/annotations.hh"
+#include "net/rack_link.hh"
+#include "system/experiment.hh"
+#include "system/topology.hh"
+
+namespace altoc::system {
+
+/**
+ * N federated servers, one shared kernel, one ToR dispatcher.
+ */
+class Rack
+{
+  public:
+    /**
+     * Build the rack described by @p cfg (server shape + cfg.rack
+     * topology) for workload @p spec. Server 0 is constructed with
+     * exactly the configuration makeServer would produce, so an N=1
+     * rack is the classic single-server world. Panics when the fault
+     * spec scopes past the topology.
+     */
+    Rack(const DesignConfig &cfg, const WorkloadSpec &spec);
+    ~Rack();
+
+    Rack(const Rack &) = delete;
+    Rack &operator=(const Rack &) = delete;
+
+    /** The shared event kernel all servers run against. */
+    sim::Simulator &sim() { return sim_; }
+
+    unsigned numServers() const
+    {
+        return static_cast<unsigned>(servers_.size());
+    }
+
+    Server &server(unsigned s) { return *servers_[s]; }
+    const Server &server(unsigned s) const { return *servers_[s]; }
+
+    const RackConfig &rackConfig() const { return rack_; }
+
+    /**
+     * ToR placement decision: the index of the server the next
+     * request goes to, or -1 when every server is dead (shed at the
+     * ToR). Consumes ToR RNG only for the Random and PowerOfK
+     * policies, and only when servers > 1.
+     */
+    ALTOC_HOT int pickServer();
+
+    /**
+     * Hand @p r (allocated from server @p s's pool) to server @p s.
+     * With one server this is a direct inject -- no event, no trace
+     * record. Otherwise the ToR records the dispatch and the request
+     * arrives after the downlink's serialization + propagation
+     * delay.
+     */
+    void deliver(unsigned s, net::Rpc *r);
+
+    /** Account one request shed at the ToR (all servers dead). */
+    void shedAtTor(std::uint64_t rpc_id);
+
+    /** Stop the shared kernel once @p n requests completed rack-wide. */
+    void stopAfterCompletions(std::uint64_t n);
+
+    /** Run the shared kernel, then settle every server's audit. */
+    Tick run(Tick until = kTickInf);
+
+    /** Pre-size every server's pool and sample store. */
+    void reserveFor(std::uint64_t total_requests);
+
+    // ----- ToR state and counters ------------------------------------
+
+    std::uint64_t torDispatched() const { return torDispatched_; }
+    std::uint64_t torShed() const { return torShed_; }
+
+    bool serverDead(unsigned s) const { return dead_[s]; }
+    unsigned liveServers() const { return liveServers_; }
+
+    /** The ToR's own single-ring tracer (null unless tracing and
+     *  servers > 1). */
+    trace::Tracer *torTracer() const { return torTracer_.get(); }
+
+    // ----- rack aggregates -------------------------------------------
+
+    std::uint64_t completedTotal() const;
+    std::uint64_t requestsShedTotal() const;
+    double workerUtilization() const;
+
+    /**
+     * Rack-wide conservation: every issued request either completed
+     * on some server, was shed at some server's admission, or was
+     * shed at the ToR. Panics on a mismatch. Only meaningful once
+     * the kernel drained (in-flight requests are neither).
+     */
+    void checkConservation(std::uint64_t issued) const;
+
+    /**
+     * Write the run's trace to @p path (or the configured trace
+     * file). One server delegates to Server::writeTrace (byte-
+     * identical legacy format); a federation writes the merged
+     * format of trace::writeRackTraceFile.
+     */
+    bool writeTrace(const std::string &path = {}) const;
+
+    /**
+     * Rack stats dump: aggregate counters, then one per-server block
+     * under "serverN." prefixes, inside a single banner pair.
+     */
+    void dumpStats(std::FILE *out = nullptr) const;
+
+  private:
+    /** Death notifier for server @p s's cores: declare the server
+     *  dead once its last worker is gone. */
+    void noteCoreDeath(unsigned s);
+
+    /** First live server at or after @p start (wrapping), or -1. */
+    int nextLive(unsigned start) const;
+
+    DesignConfig cfg_;
+    RackConfig rack_;
+    trace::TraceConfig traceCfg_;
+    sim::Simulator sim_;
+    /** ToR decision stream, independent of every server RNG so the
+     *  N=1 world never observes it. */
+    Rng torRng_;
+    std::vector<std::unique_ptr<Server>> servers_;
+    std::vector<net::RackLink> links_;
+    std::vector<bool> dead_;
+    std::unique_ptr<trace::Tracer> torTracer_;
+    /** Fans the kernel's single beginEvent hook out to every
+     *  server's auditor (audit builds, servers > 1). */
+    std::unique_ptr<sim::Auditor> rackAuditor_;
+    unsigned liveServers_ = 0;
+    unsigned rrNext_ = 0;
+    std::uint64_t torDispatched_ = 0;
+    std::uint64_t torShed_ = 0;
+    std::uint64_t sharedDone_ = 0;
+};
+
+/**
+ * Rack counterpart of runExperiment: build a rack, drive the
+ * workload through the ToR, aggregate per-server and rack-wide
+ * metrics. runExperiment delegates here when cfg.rack.servers > 1;
+ * calling it directly with servers == 1 must produce the same
+ * RunResult (fingerprint included) as runExperiment -- the refactor's
+ * bit-identity anchor, pinned by tests/test_rack.cc.
+ */
+RunResult runRackExperiment(const DesignConfig &cfg,
+                            const WorkloadSpec &spec);
+
+} // namespace altoc::system
+
+#endif // ALTOC_SYSTEM_RACK_HH

@@ -5,6 +5,8 @@
 
 #include "system/server.hh"
 
+#include <cstring>
+
 #include "common/logging.hh"
 #include "core/group.hh"
 #include "sim/fault_injector.hh"
@@ -21,8 +23,13 @@ constexpr std::size_t kShedDepthPerLiveCore = 64;
 
 } // namespace
 
-Server::Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched)
-    : cfg_(cfg), rng_(cfg.seed), sched_(std::move(sched)),
+Server::Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched,
+               sim::Simulator *shared_sim)
+    : cfg_(cfg),
+      ownedSim_(shared_sim != nullptr ? nullptr
+                                      : std::make_unique<sim::Simulator>()),
+      sim_(shared_sim != nullptr ? *shared_sim : *ownedSim_),
+      rng_(cfg.seed), sched_(std::move(sched)),
       tracker_(cfg.sloTarget, cfg.logLatencyHistogram)
 {
     altoc_assert(cfg_.cores > 0, "server needs cores");
@@ -33,7 +40,11 @@ Server::Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched)
 #if ALTOC_AUDIT_ENABLED
     if (cfg_.audit) {
         auditor_ = std::make_unique<core::InvariantAuditor>();
-        sim_.setAuditor(auditor_.get());
+        // The kernel accepts one auditor; with a shared kernel the
+        // rack decides what to attach (server 0's auditor for N=1
+        // bit-identity, a fan-out auditor for N>1).
+        if (ownedSim_ != nullptr)
+            sim_.setAuditor(auditor_.get());
     }
 #endif
 
@@ -110,13 +121,7 @@ Server::inject(net::Rpc *r)
         const unsigned live = sched_->liveWorkerCores();
         if (live == 0 ||
             sched_->totalQueued() >= kShedDepthPerLiveCore * live) {
-            ALTOC_AUDIT_HOOK(auditor_.get(), onShed(*r));
-            ++requestsShed_;
-            ALTOC_TRACE_HOOK(tracer_.get(),
-                             record(sim_.now(), 0,
-                                    trace::TraceKind::AdmissionShed,
-                                    static_cast<std::uint32_t>(r->id)));
-            pool_.release(r);
+            onRpcShed(r);
             return;
         }
     }
@@ -184,6 +189,8 @@ Server::killCore(unsigned core_id)
     net::Rpc *orphan = core.kill();
     sched_->onCoreDeath(core_id, orphan);
     degraded_ = true;
+    if (deathNotifier_)
+        deathNotifier_(core_id);
 }
 
 void
@@ -212,6 +219,17 @@ Server::setResolver(cpu::Core::ServiceResolver fn)
 {
     for (auto &core : cores_)
         core->setResolver(fn);
+}
+
+void
+Server::onRpcShed(net::Rpc *r)
+{
+    ALTOC_AUDIT_HOOK(auditor_.get(), onShed(*r));
+    ++requestsShed_;
+    ALTOC_TRACE_HOOK(tracer_.get(),
+                     record(sim_.now(), 0, trace::TraceKind::AdmissionShed,
+                            static_cast<std::uint32_t>(r->id)));
+    pool_.release(r);
 }
 
 void
@@ -245,14 +263,25 @@ Server::onRpcDone(cpu::Core &core, net::Rpc *r)
     if (hook_)
         hook_(*r, latency);
     pool_.release(r);
-    if (completed_ >= stopAfter_)
+    if (sharedDone_ != nullptr) {
+        if (++*sharedDone_ >= stopAfter_)
+            sim_.requestStop();
+    } else if (completed_ >= stopAfter_) {
         sim_.requestStop();
+    }
 }
 
 Tick
 Server::run(Tick until)
 {
     const Tick end = sim_.run(until);
+    finishRun();
+    return end;
+}
+
+void
+Server::finishRun()
+{
 #if ALTOC_AUDIT_ENABLED
     if (auditor_) {
         // Conservation only holds once everything in flight has
@@ -269,7 +298,6 @@ Server::run(Tick until)
         }
     }
 #endif
-    return end;
 }
 
 bool
@@ -288,10 +316,19 @@ Server::dumpStats(std::FILE *out) const
 {
     if (out == nullptr)
         out = stdout;
-    auto line = [out](const char *name, double value) {
-        std::fprintf(out, "%-40s %20.6g\n", name, value);
-    };
     std::fprintf(out, "---------- Begin Simulation Statistics ----------\n");
+    dumpStatsBody(out, "");
+    std::fprintf(out, "---------- End Simulation Statistics ----------\n");
+}
+
+void
+Server::dumpStatsBody(std::FILE *out, const char *prefix) const
+{
+    auto line = [out, prefix](const char *name, double value) {
+        std::fprintf(out, "%s%-*s %20.6g\n", prefix,
+                     static_cast<int>(40 - std::strlen(prefix)), name,
+                     value);
+    };
     line("sim.finalTick", static_cast<double>(sim_.now()));
     line("sim.eventsExecuted",
          static_cast<double>(sim_.eventsExecuted()));
@@ -373,7 +410,6 @@ Server::dumpStats(std::FILE *out) const
         line("trace.dropped",
              static_cast<double>(tracer_->totalDropped()));
     }
-    std::fprintf(out, "---------- End Simulation Statistics ----------\n");
 }
 
 double

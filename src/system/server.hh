@@ -69,6 +69,13 @@ class Server : public sched::CompletionSink
     {
         unsigned cores = 16;
         net::Nic::Config nic;
+
+        /** Position of this server in a rack topology (0 for the
+         *  classic single-server world). Only affects labeling (trace
+         *  ring attribution, stats prefixes); never the event
+         *  stream. */
+        unsigned serverId = 0;
+
         /** Absolute SLO latency target (ns). */
         Tick sloTarget = 10 * kUs;
         /** Response wire size (Sec. II: >90% of responses < 64 B). */
@@ -113,7 +120,17 @@ class Server : public sched::CompletionSink
         trace::TraceConfig trace;
     };
 
-    Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched);
+    /**
+     * @param shared_sim  event kernel to run against. Null (the
+     *        classic case) means the server owns a private kernel;
+     *        a rack passes its one shared kernel so N servers'
+     *        events interleave in (tick, seq) order. Everything
+     *        else about construction is identical, so a server on a
+     *        fresh shared kernel schedules the exact event stream a
+     *        self-owned one would -- the N=1 bit-identity anchor.
+     */
+    Server(const Config &cfg, std::unique_ptr<sched::Scheduler> sched,
+           sim::Simulator *shared_sim = nullptr);
     ~Server() override;
 
     sim::Simulator &sim() { return sim_; }
@@ -165,8 +182,24 @@ class Server : public sched::CompletionSink
     // CompletionSink
     void onRpcDone(cpu::Core &core, net::Rpc *r) override;
 
-    /** Run the simulation until all events drain or @p until. */
+    /** Scheduler-side shed (every core dead, no rescue target):
+     *  accounted exactly like an admission shed, so conservation
+     *  (completed + shed == issued) survives whole-machine death. */
+    void onRpcShed(net::Rpc *r) override;
+
+    /** Run the simulation until all events drain or @p until.
+     *  Equivalent to sim().run(until) followed by finishRun(); only
+     *  meaningful for a server that owns its kernel (a rack drives
+     *  the shared kernel itself and calls finishRun() per server). */
     Tick run(Tick until = kTickInf);
+
+    /**
+     * End-of-run invariant settlement: when the event queue drained,
+     * run the auditor's conservation checks and panic on any recorded
+     * violation. run() calls this; rack runs call it directly on each
+     * server after the shared kernel stops.
+     */
+    void finishRun();
 
     /**
      * Halt the run loop once @p n requests have completed. Designs
@@ -175,6 +208,19 @@ class Server : public sched::CompletionSink
      * by completions.
      */
     void stopAfterCompletions(std::uint64_t n) { stopAfter_ = n; }
+
+    /**
+     * Rack variant: count this server's completions into the shared
+     * @p counter and stop the (shared) kernel once it reaches @p n.
+     * The pointer must outlive the run. Replaces any per-server
+     * stopAfterCompletions bound.
+     */
+    void
+    stopAfterSharedCompletions(std::uint64_t *counter, std::uint64_t n)
+    {
+        sharedDone_ = counter;
+        stopAfter_ = n;
+    }
 
     const stats::SloTracker &tracker() const { return tracker_; }
     const PredictionStats &predictions() const { return pred_; }
@@ -214,6 +260,20 @@ class Server : public sched::CompletionSink
         return auditor_.get();
     }
 
+    /** Mutable auditor access (rack auditor fan-out wiring). */
+    core::InvariantAuditor *auditor() { return auditor_.get(); }
+
+    /**
+     * Called whenever one of this server's cores fail-stops (after
+     * the scheduler's recovery path ran). A rack uses it to notice a
+     * server losing its last worker and stop dispatching to it.
+     */
+    using DeathNotifier = InlineFunction<void(unsigned core_id)>;
+    void setDeathNotifier(DeathNotifier fn)
+    {
+        deathNotifier_ = std::move(fn);
+    }
+
     /** The fault injector, or null for a pristine run. */
     sim::FaultInjector *faultInjector() const { return faults_.get(); }
 
@@ -233,6 +293,14 @@ class Server : public sched::CompletionSink
      * queues, latency summary). Writes to @p out (default stdout).
      */
     void dumpStats(std::FILE *out = nullptr) const;
+
+    /**
+     * The counter lines of dumpStats without the begin/end banner,
+     * each name prepended with @p prefix ("" reproduces dumpStats's
+     * body byte-for-byte). Rack dumps emit one block per server under
+     * "serverN." prefixes inside a single banner pair.
+     */
+    void dumpStatsBody(std::FILE *out, const char *prefix) const;
 
   private:
     /** Schedule the spec's scripted kills (kill=, killm=) and arm the
@@ -255,7 +323,11 @@ class Server : public sched::CompletionSink
     void killWindowSweep(std::uint64_t window);
 
     Config cfg_;
-    sim::Simulator sim_;
+    /** Private kernel when this server is its own world; null when a
+     *  rack supplied a shared one. Declared before sim_ so the
+     *  reference can bind to it during construction. */
+    std::unique_ptr<sim::Simulator> ownedSim_;
+    sim::Simulator &sim_;
     Rng rng_;
     std::unique_ptr<noc::Mesh> mesh_;
     std::unique_ptr<sim::FaultInjector> faults_;
@@ -269,9 +341,13 @@ class Server : public sched::CompletionSink
     PredictionStats pred_;
     CompletionHook hook_;
     CompletionProbe probe_;
+    DeathNotifier deathNotifier_;
     std::uint64_t completed_ = 0;
     std::uint64_t dropped_ = 0;
     std::uint64_t stopAfter_ = ~std::uint64_t{0};
+    /** Rack-shared completion counter; null in the classic world
+     *  (stopAfter_ then bounds this server's own completions). */
+    std::uint64_t *sharedDone_ = nullptr;
     /** At least one core has fail-stopped; admission shedding is
      *  armed (see requestsShed()). */
     bool degraded_ = false;

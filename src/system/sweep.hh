@@ -11,6 +11,11 @@
  * execution is an implementation detail: results are merged in
  * submission order and are bit-identical to a serial run for any job
  * count (tests/test_parallel_run.cc).
+ *
+ * Sweeps are topology-agnostic: the DesignConfig::rack field rides
+ * through unchanged, so a sweep over a multi-server rack probes
+ * rack-wide throughput@SLO (the RunResult's latency/violations are
+ * already rack aggregates) with no changes here.
  */
 
 #ifndef ALTOC_SYSTEM_SWEEP_HH

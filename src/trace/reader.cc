@@ -41,27 +41,12 @@ validKind(std::uint8_t kind)
     return kind > 0 && kind < kTraceKindCount;
 }
 
-/** True for kinds whose arg packs (count, peer). */
+/** True for kinds whose arg packs (count, peer) -- the shared
+ *  trace-layer list, so writer flattening and decoding agree. */
 bool
 pairKind(TraceKind kind)
 {
-    switch (kind) {
-    case TraceKind::MigrateSend:
-    case TraceKind::MigrateArrive:
-    case TraceKind::MigrateAck:
-    case TraceKind::MigrateNack:
-    case TraceKind::MigrateTimeout:
-    case TraceKind::MigrateRetry:
-    case TraceKind::QuarantineEnter:
-    case TraceKind::QuarantineProbe:
-    case TraceKind::QuarantineRejoin:
-    case TraceKind::PeerDeadDeclared:
-    case TraceKind::ManagerFailover:
-    case TraceKind::DescriptorRescue:
-        return true;
-    default:
-        return false;
-    }
+    return traceKindPacksPeer(kind);
 }
 
 std::string
@@ -142,6 +127,7 @@ readTraceFile(const std::string &path, TraceFileImage &out)
         return TraceReadStatus::BadVersion;
 
     TraceFileImage image;
+    image.coresPerServer = hdr.coresPerServer;
     image.rings.reserve(hdr.ringCount);
     for (std::uint32_t i = 0; i < hdr.ringCount; ++i) {
         TraceRingHeader rh;
@@ -243,6 +229,9 @@ validateTimeline(const std::vector<TraceRecord> &timeline,
 
     std::map<std::uint64_t, PairState> migrate;
     std::map<std::uint64_t, std::uint64_t> quarantined;
+    // Servers the ToR has declared dead (all workers fail-stopped):
+    // the dispatcher must never steer another request their way.
+    std::map<std::uint32_t, Tick> deadServers;
     // Group rings whose manager has fail-stopped (CoreDead, aux=1):
     // a dead group must emit no further runtime activity.
     std::map<std::uint32_t, Tick> deadManagers;
@@ -319,6 +308,18 @@ validateTimeline(const std::vector<TraceRecord> &timeline,
             if (rec.aux == 1)
                 deadManagers.emplace(rec.core, rec.tick);
             break;
+        case TraceKind::TorDispatch: {
+            const auto it = deadServers.find(peer);
+            if (it != deadServers.end())
+                fail(format("record %zu: TorDispatch to server %u at "
+                            "%llu after it died at %llu",
+                            i, peer, (unsigned long long)rec.tick,
+                            (unsigned long long)it->second));
+            break;
+        }
+        case TraceKind::ServerDead:
+            deadServers.emplace(rec.arg, rec.tick);
+            break;
         default:
             break;
         }
@@ -350,6 +351,12 @@ formatRecord(const TraceRecord &rec)
         line += format(" core_id=%u manager=%u", rec.arg, rec.aux);
     } else if (kind == TraceKind::AdmissionShed) {
         line += format(" rpc=%u", rec.arg);
+    } else if (kind == TraceKind::TorDispatch) {
+        line += format(" server=%-3u rpc16=%u policy=%u",
+                       tracePeer(rec.arg), traceCount(rec.arg),
+                       rec.aux);
+    } else if (kind == TraceKind::ServerDead) {
+        line += format(" server=%u", rec.arg);
     } else {
         line += format(" arg=%u aux=%u", rec.arg, rec.aux);
     }

@@ -53,8 +53,19 @@ struct TraceFileImage
 {
     std::vector<TraceRingImage> rings;
 
+    /** Rings per server of a federated trace (header field); 0 for a
+     *  legacy single-server file. See TraceFileHeader. */
+    std::uint32_t coresPerServer = 0;
+
     std::uint64_t totalWritten() const;
     std::uint64_t totalDropped() const;
+
+    /** Server owning flat ring @p ring (0 for single-server files;
+     *  the ToR ring maps past the last server). */
+    std::uint32_t serverOfRing(std::uint32_t ring) const
+    {
+        return coresPerServer == 0 ? 0 : ring / coresPerServer;
+    }
 };
 
 /**
@@ -96,7 +107,9 @@ summarize(const std::vector<TraceRecord> &timeline);
  *    (ack + nack + timeout) never outnumber the sends (send + retry),
  *    and the pair's first event is a send;
  *  - QuarantineProbe and QuarantineRejoin on an (observer, peer)
- *    pair require a prior QuarantineEnter on that pair.
+ *    pair require a prior QuarantineEnter on that pair;
+ *  - no TorDispatch targets a server already declared dead by a
+ *    ServerDead record (federated traces only).
  * Drop-lossy traces can violate these legitimately (the oldest
  * records were evicted), so callers gate on dropped == 0 first.
  */

@@ -13,6 +13,7 @@ constexpr const char *kKindNames[kTraceKindCount] = {
     "QuarantineRejoin", "ThresholdRecompute", "ManagerStall",
     "FaultInject",     "CoreDead",        "PeerDeadDeclared",
     "ManagerFailover", "DescriptorRescue", "AdmissionShed",
+    "TorDispatch",     "ServerDead",
 };
 
 static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) ==
@@ -52,6 +53,28 @@ traceKindName(TraceKind kind)
 {
     const auto idx = static_cast<std::size_t>(kind);
     return idx < kTraceKindCount ? kKindNames[idx] : "?";
+}
+
+bool
+traceKindPacksPeer(TraceKind kind)
+{
+    switch (kind) {
+    case TraceKind::MigrateSend:
+    case TraceKind::MigrateArrive:
+    case TraceKind::MigrateAck:
+    case TraceKind::MigrateNack:
+    case TraceKind::MigrateTimeout:
+    case TraceKind::MigrateRetry:
+    case TraceKind::QuarantineEnter:
+    case TraceKind::QuarantineProbe:
+    case TraceKind::QuarantineRejoin:
+    case TraceKind::PeerDeadDeclared:
+    case TraceKind::ManagerFailover:
+    case TraceKind::DescriptorRescue:
+        return true;
+    default:
+        return false;
+    }
 }
 
 TraceKind
@@ -138,7 +161,7 @@ Tracer::writeFile(const std::string &path) const
     hdr.version = kTraceVersion;
     hdr.recordSize = sizeof(TraceRecord);
     hdr.ringCount = static_cast<std::uint32_t>(rings_.size());
-    hdr.reserved = 0;
+    hdr.coresPerServer = 0;
     if (!f.put(&hdr, sizeof(hdr)))
         return false;
 
@@ -156,6 +179,80 @@ Tracer::writeFile(const std::string &path) const
             !f.put(live.data(), live.size() * sizeof(TraceRecord)))
             return false;
     }
+    return std::fflush(f.fp) == 0;
+}
+
+namespace {
+
+/**
+ * Serialize one ring of @p tr as flat ring @p flat (rack writer).
+ * @p peerBase is the writing server's base in the flat id space
+ * (server * coresPerServer): ring indices, packed peer halves and
+ * CoreDead core ids are all local to the writer, so each gets the
+ * base added -- the decoder's pair ledgers and death rules would
+ * otherwise cross-match cores of different servers.
+ */
+bool
+putRing(File &f, const Tracer &tr, unsigned core, unsigned flat,
+        unsigned peerBase)
+{
+    TraceRingHeader rh;
+    rh.core = flat;
+    rh.stored = static_cast<std::uint32_t>(tr.stored(core));
+    rh.written = tr.written(core);
+    rh.dropped = tr.dropped(core);
+    if (!f.put(&rh, sizeof(rh)))
+        return false;
+    std::vector<TraceRecord> live = tr.snapshot(core);
+    for (TraceRecord &rec : live) {
+        rec.core = static_cast<std::uint16_t>(flat);
+        const auto kind = static_cast<TraceKind>(rec.kind);
+        if (traceKindPacksPeer(kind)) {
+            rec.arg = tracePack(traceCount(rec.arg),
+                                tracePeer(rec.arg) + peerBase);
+        } else if (kind == TraceKind::CoreDead) {
+            rec.arg += peerBase;
+        }
+    }
+    return live.empty() ||
+           f.put(live.data(), live.size() * sizeof(TraceRecord));
+}
+
+} // namespace
+
+bool
+writeRackTraceFile(const std::string &path,
+                   const std::vector<const Tracer *> &servers,
+                   unsigned coresPerServer, const Tracer *tor)
+{
+    File f(path);
+    if (f.fp == nullptr)
+        return false;
+
+    TraceFileHeader hdr;
+    hdr.magic = kTraceMagic;
+    hdr.version = kTraceVersion;
+    hdr.recordSize = sizeof(TraceRecord);
+    hdr.ringCount = static_cast<std::uint32_t>(
+        servers.size() * coresPerServer + (tor != nullptr ? 1 : 0));
+    hdr.coresPerServer = coresPerServer;
+    if (!f.put(&hdr, sizeof(hdr)))
+        return false;
+
+    unsigned flat = 0;
+    unsigned base = 0;
+    for (const Tracer *tr : servers) {
+        for (unsigned core = 0; core < coresPerServer; ++core, ++flat) {
+            if (!putRing(f, *tr, core, flat, base))
+                return false;
+        }
+        base += coresPerServer;
+    }
+    // The ToR ring's records (TorDispatch, ServerDead, AdmissionShed)
+    // carry server indices or rpc ids, never local core ids -- no
+    // peer rewrite.
+    if (tor != nullptr && !putRing(f, *tor, 0, flat, 0))
+        return false;
     return std::fflush(f.fp) == 0;
 }
 

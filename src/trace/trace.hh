@@ -88,11 +88,16 @@ enum class TraceKind : std::uint8_t
     DescriptorRescue,   //!< orphans re-homed      (core=rescuer,
                         //!<                        arg=(count, source))
     AdmissionShed,      //!< arrival shed          (core=0, arg=rpc id)
+    TorDispatch,        //!< ToR steered a request (core=ToR ring,
+                        //!<                        arg=(rpc id low 16,
+                        //!<                        server), aux=policy)
+    ServerDead,         //!< server lost all workers (core=ToR ring,
+                        //!<                        arg=server id)
 };
 
 /** One past the largest valid kind (summary-table size). */
 constexpr std::size_t kTraceKindCount =
-    static_cast<std::size_t>(TraceKind::AdmissionShed) + 1;
+    static_cast<std::size_t>(TraceKind::ServerDead) + 1;
 
 /** Stable display name of @p kind ("?" for out-of-range values). */
 const char *traceKindName(TraceKind kind);
@@ -132,6 +137,16 @@ constexpr std::uint32_t tracePeer(std::uint32_t arg)
     return arg & 0xffffu;
 }
 
+/**
+ * True for kinds whose arg packs (count, peer) where peer is a core
+ * or group index local to the writing server. The rack trace writer
+ * rewrites those peers into the flat id space (server * cores +
+ * local); the decoder keys its pair ledgers off them. TorDispatch is
+ * deliberately not included -- its peer half is a server index, which
+ * is already global.
+ */
+bool traceKindPacksPeer(TraceKind kind);
+
 /** Per-run tracing configuration (Server::Config / WorkloadSpec). */
 struct TraceConfig
 {
@@ -155,7 +170,14 @@ struct TraceFileHeader
     std::uint16_t version = 0;    //!< kTraceVersion
     std::uint16_t recordSize = 0; //!< sizeof(TraceRecord)
     std::uint32_t ringCount = 0;
-    std::uint32_t reserved = 0;
+
+    /** Rings per server in a federated (rack) trace, so the decoder
+     *  can recover (server, core) from the flat ring index: ring
+     *  s*coresPerServer + c is core c of server s and the last ring is
+     *  the ToR. 0 means a legacy single-server trace (every pre-rack
+     *  file and every N=1 run writes 0, keeping those bytes
+     *  untouched). Was `reserved`, always written as 0. */
+    std::uint32_t coresPerServer = 0;
 };
 
 /** On-disk per-ring header, followed by `stored` records
@@ -271,6 +293,19 @@ class Tracer
     std::size_t slots_ = 0;
     bool enabled_ = true;
 };
+
+/**
+ * Serialize a rack's tracers into one federated trace file: server
+ * s's ring c becomes flat ring s*coresPerServer + c and @p tor (the
+ * ToR dispatcher's single-ring tracer, may be null) becomes the final
+ * ring. The header's coresPerServer field carries @p coresPerServer
+ * so decoders can invert the flattening; every per-server tracer must
+ * have exactly @p coresPerServer rings. Same determinism contract as
+ * Tracer::writeFile. Returns false on I/O failure.
+ */
+bool writeRackTraceFile(const std::string &path,
+                        const std::vector<const Tracer *> &servers,
+                        unsigned coresPerServer, const Tracer *tor);
 
 } // namespace altoc::trace
 

@@ -104,6 +104,101 @@ TEST(FaultSpec, KillGrammarRoundTrips)
 }
 
 // ---------------------------------------------------------------------
+// Server-scoped grammar (rack runs): S<k>.kill / S<k>.killm /
+// S<k>.drop land on server k only; forServer(k) projects one
+// machine's schedule out of the rack-wide spec.
+// ---------------------------------------------------------------------
+
+TEST(FaultSpec, ScopedGrammarParses)
+{
+    const FaultSpec spec = FaultSpec::parse(
+        "S1.kill=3@200000,S1.kill=7@250000,S2.killm=1@300000,"
+        "S3.drop=0.05,kill=9@400000,seed=6");
+    EXPECT_TRUE(spec.enabled());
+    ASSERT_EQ(spec.scopedKills.size(), 2u);
+    EXPECT_EQ(spec.scopedKills[0].server, 1u);
+    EXPECT_EQ(spec.scopedKills[0].kill.id, 3u);
+    EXPECT_EQ(spec.scopedKills[0].kill.at, 200000u);
+    EXPECT_EQ(spec.scopedKills[1].kill.id, 7u);
+    ASSERT_EQ(spec.scopedManagerKills.size(), 1u);
+    EXPECT_EQ(spec.scopedManagerKills[0].server, 2u);
+    ASSERT_EQ(spec.scopedDrops.size(), 1u);
+    EXPECT_EQ(spec.scopedDrops[0].server, 3u);
+    EXPECT_DOUBLE_EQ(spec.scopedDrops[0].prob, 0.05);
+    // The unscoped kill rides along untouched.
+    ASSERT_EQ(spec.kills.size(), 1u);
+    EXPECT_EQ(spec.maxScopedServer(), 3);
+}
+
+TEST(FaultSpec, ScopedGrammarRoundTrips)
+{
+    const char *text =
+        "kill=1@100000,S1.kill=3@200000,S2.killm=0@300000,"
+        "S2.drop=0.1,seed=4";
+    const std::string canon = FaultSpec::parse(text).describe();
+    EXPECT_EQ(FaultSpec::parse(canon).describe(), canon);
+    // A purely scoped spec still counts as enabled.
+    EXPECT_TRUE(FaultSpec::parse("S1.kill=0@1000").enabled());
+    EXPECT_EQ(FaultSpec().maxScopedServer(), -1);
+}
+
+TEST(FaultSpec, ForServerProjectsOneMachine)
+{
+    const FaultSpec spec = FaultSpec::parse(
+        "drop=0.01,kill=2@100000,S1.kill=3@200000,S1.drop=0.5,"
+        "S2.killm=1@300000,seed=7");
+
+    // Server 0 owns every unscoped key; the S1/S2 entries vanish.
+    const FaultSpec s0 = spec.forServer(0);
+    EXPECT_DOUBLE_EQ(s0.dropProb, 0.01);
+    ASSERT_EQ(s0.kills.size(), 1u);
+    EXPECT_EQ(s0.kills[0].id, 2u);
+    EXPECT_TRUE(s0.scopedKills.empty());
+    EXPECT_EQ(s0.seed, 7u) << "seed fold is the identity on server 0";
+
+    // Server 1 sees only its scoped entries, with a folded seed.
+    const FaultSpec s1 = spec.forServer(1);
+    EXPECT_DOUBLE_EQ(s1.dropProb, 0.5);
+    ASSERT_EQ(s1.kills.size(), 1u);
+    EXPECT_EQ(s1.kills[0].id, 3u);
+    EXPECT_TRUE(s1.managerKills.empty());
+    EXPECT_NE(s1.seed, spec.seed);
+
+    const FaultSpec s2 = spec.forServer(2);
+    EXPECT_DOUBLE_EQ(s2.dropProb, 0.0);
+    ASSERT_EQ(s2.managerKills.size(), 1u);
+    EXPECT_EQ(s2.managerKills[0].id, 1u);
+
+    // An unscoped spec projects onto server 0 unchanged.
+    const FaultSpec plain = FaultSpec::parse("drop=0.2,kill=1@5000");
+    EXPECT_EQ(plain.forServer(0).describe(), plain.describe());
+}
+
+TEST(FaultSpecDeath, ScopedIndexMustBeDigits)
+{
+    EXPECT_DEATH(FaultSpec::parse("S.kill=1@1000"),
+                 "bad server index in 'S.kill'");
+    EXPECT_DEATH(FaultSpec::parse("Sx.kill=1@1000"),
+                 "bad server index in 'Sx.kill'");
+}
+
+TEST(FaultSpecDeath, OnlyKillKillmDropAreScopable)
+{
+    EXPECT_DEATH(FaultSpec::parse("S1.freeze=0.1:100"),
+                 "key 'S1.freeze' cannot be server-scoped");
+    EXPECT_DEATH(FaultSpec::parse("S0.seed=4"),
+                 "key 'S0.seed' cannot be server-scoped");
+}
+
+TEST(FaultSpecDeath, ScopedValueIsStillValidated)
+{
+    EXPECT_DEATH(FaultSpec::parse("S1.kill=3"),
+                 "'S1.kill' needs the form ID@AT");
+    EXPECT_DEATH(FaultSpec::parse("S1.drop=1.5"),
+                 "'S1.drop' needs a probability in \\[0, 1\\]");
+}
+
+// ---------------------------------------------------------------------
 // Grammar validation: malformed specs die loudly at parse time naming
 // the key and the offending value, instead of silently clamping or
 // wrapping. One death test per malformed shape.
