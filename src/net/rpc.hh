@@ -97,6 +97,27 @@ struct Rpc
 };
 
 /**
+ * The on-the-wire essence of a not-yet-admitted request: every field
+ * a load generator decides, none of the server-side bookkeeping. A
+ * rack's ToR fills one of these per dispatch and the *receiving*
+ * server materializes the Rpc from it on arrival (Server::injectWire)
+ * -- the descriptor pool is then only ever touched from the server's
+ * own event-kernel region, which is what lets a sharded kernel run
+ * servers on different threads. Sized to ride in a 48-byte InlineFn
+ * capture alongside the target Server pointer.
+ */
+struct WireRpc
+{
+    std::uint64_t id = 0;
+    Tick service = 0;
+    std::uint64_t key = 0;
+    std::uint32_t conn = 0;
+    std::uint32_t sizeBytes = 0;
+    std::uint16_t homeGroup = 0;
+    RequestKind kind = RequestKind::Generic;
+};
+
+/**
  * Slab pool of Rpc descriptors with an embedded free list.
  *
  * Pointers remain stable for the lifetime of the pool (slabs are

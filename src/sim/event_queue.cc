@@ -49,7 +49,14 @@ EventQueue::freeSlot(std::uint32_t slot)
 void
 EventQueue::pushKey(Tick when, std::uint32_t slot, std::uint32_t gen)
 {
-    heap_.push_back(Key{when, nextSeq_++, slot, gen});
+    pushKeySeq(when, nextSeq_++, slot, gen);
+}
+
+void
+EventQueue::pushKeySeq(Tick when, std::uint64_t seq, std::uint32_t slot,
+                       std::uint32_t gen)
+{
+    heap_.push_back(Key{when, seq, slot, gen});
     siftUp(heap_.size() - 1);
     ++liveCount_;
 }

@@ -34,6 +34,7 @@
 
 #include "common/annotations.hh"
 #include "common/inline_fn.hh"
+#include "common/logging.hh"
 #include "common/units.hh"
 
 namespace altoc::sim {
@@ -43,6 +44,19 @@ using EventId = std::uint64_t;
 
 /** Sentinel for "no event". */
 constexpr EventId kNoEvent = 0;
+
+/**
+ * Sequence-number floor of the cross-region subspace. Locally
+ * scheduled events draw seq from a counter starting at 1 and could
+ * only reach this bit after 2^63 schedules; events injected from
+ * another kernel region (sim/kernel.hh) carry an explicit seq with
+ * this bit set, composed from (sender region, sender counter). At
+ * equal tick, every cross-region event therefore sorts after every
+ * locally scheduled one, and the composed seq is a pure function of
+ * the sender -- identical no matter how many shards the kernel runs,
+ * which is what keeps sharded runs bit-identical to serial ones.
+ */
+constexpr std::uint64_t kCrossSeqBase = std::uint64_t{1} << 63;
 
 /**
  * 4-ary-heap event queue with stable tie-breaking, O(1)
@@ -79,6 +93,32 @@ class EventQueue
     }
 
     /**
+     * Schedule @p cb at @p when under an explicit sort sequence
+     * instead of the insertion counter. The kernel's cross-region
+     * delivery path uses this to give an event the same global
+     * position regardless of which host thread enqueues it; @p seq
+     * must lie in the cross-region subspace (>= kCrossSeqBase) so it
+     * can never collide with or overtake locally drawn sequences.
+     */
+    template <typename F>
+    EventId
+    scheduleAtSeq(Tick when, std::uint64_t seq, F &&cb)
+    {
+        altoc_assert(seq >= kCrossSeqBase,
+                     "explicit seq outside the cross-region subspace");
+        const std::uint32_t slot = allocSlot();
+        Slot &s = slots_[slot];
+        if constexpr (std::is_same_v<std::decay_t<F>, Callback>)
+            s.cb = std::forward<F>(cb);
+        else
+            s.cb.emplace(std::forward<F>(cb));
+        s.live = true;
+        const EventId id = makeId(slot, s.gen);
+        pushKeySeq(when, seq, slot, s.gen);
+        return id;
+    }
+
+    /**
      * Cancel a previously scheduled event. The slot is reclaimed
      * immediately (O(1)); the heap key lingers until it surfaces at
      * the top or a compaction sweeps it. Cancelling an already-fired
@@ -101,6 +141,23 @@ class EventQueue
      * the subsequent runOne() O(log n). Preferred in run loops.
      */
     Tick peekTime();
+
+    /**
+     * Full sort key of the earliest live event, compacting cancelled
+     * records first (same contract as peekTime()). Returns false when
+     * empty. The kernel's serial merge loop orders region fronts by
+     * (when, region, seq), so it needs the seq component too.
+     */
+    bool
+    peekKey(Tick &when, std::uint64_t &seq)
+    {
+        skipDead();
+        if (heap_.empty())
+            return false;
+        when = heap_.front().when;
+        seq = heap_.front().seq;
+        return true;
+    }
 
     /**
      * Id of the event a subsequent runOne() will dispatch; only
@@ -207,6 +264,10 @@ class EventQueue
 
     /** Heap insertion half of schedule(): push + siftUp + liveCount. */
     void pushKey(Tick when, std::uint32_t slot, std::uint32_t gen);
+
+    /** Same, under an explicit sequence (scheduleAtSeq). */
+    void pushKeySeq(Tick when, std::uint64_t seq, std::uint32_t slot,
+                    std::uint32_t gen);
 
     void siftUp(std::size_t i);
     void siftDown(std::size_t i);

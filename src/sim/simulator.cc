@@ -5,7 +5,15 @@
 
 #include "sim/simulator.hh"
 
+#include "sim/kernel.hh"
+
 namespace altoc::sim {
+
+void
+Simulator::kernelRequestStop()
+{
+    kernel_->requestStop();
+}
 
 Tick
 Simulator::run(Tick until)

@@ -26,8 +26,16 @@
 
 namespace altoc::sim {
 
+class Kernel;
+
 /**
  * Event-driven simulation engine with nanosecond resolution.
+ *
+ * A Simulator can run standalone (the classic world) or as one
+ * *region* of a sim::Kernel, which then owns the run loop and the
+ * canonical cross-region dispatch order. Region membership only
+ * reroutes requestStop() to the kernel-wide flag; scheduling,
+ * auditing and the standalone run() are unchanged.
  */
 class Simulator
 {
@@ -82,8 +90,18 @@ class Simulator
     /** Total events executed (host-side performance accounting). */
     std::uint64_t eventsExecuted() const { return events_.executed(); }
 
-    /** Request that run() stop before dispatching the next event. */
-    void requestStop() { stopRequested_ = true; }
+    /** Request that the run loop stop before dispatching the next
+     *  event. For a kernel region this reaches the kernel-wide flag
+     *  (thread-safe; honored at the merge loop's next dispatch, or a
+     *  sharded run's next window boundary). */
+    void
+    requestStop()
+    {
+        if (kernel_ != nullptr)
+            kernelRequestStop();
+        else
+            stopRequested_ = true;
+    }
 
     /**
      * Attach an invariant auditor; it is notified before every event
@@ -95,8 +113,18 @@ class Simulator
     Auditor *auditor() const { return auditor_; }
 
   private:
+    friend class Kernel;
+
+    /** Out-of-line so this header need not see the Kernel type. */
+    void kernelRequestStop();
+
     EventQueue events_;
     Auditor *auditor_ = nullptr;
+    /** Owning kernel when this simulator is a region of a multi-
+     *  region world; null standalone (and for single-region kernels,
+     *  which delegate to the classic run loop). */
+    Kernel *kernel_ = nullptr;
+    unsigned regionIdx_ = 0;
     Tick now_ = 0;
     bool stopRequested_ = false;
 };

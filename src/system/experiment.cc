@@ -290,6 +290,10 @@ runExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
     // N=1 bit-identity contract in system/rack.hh leans on it.
     if (cfg.rack.servers > 1)
         return runRackExperiment(cfg, spec);
+    if (cfg.shards > 1) {
+        inform("sharding disabled: one server is one kernel region "
+               "(set --rack to get a shardable topology)");
+    }
     if (spec.faults.maxScopedServer() > 0) {
         fatal("fault spec scopes server %d but the run is "
               "single-server (set --rack / DesignConfig::rack)",

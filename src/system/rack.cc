@@ -6,7 +6,9 @@
 
 #include "system/rack.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "common/fingerprint.hh"
 #include "common/logging.hh"
@@ -59,32 +61,6 @@ serverSalt(unsigned server)
     return server * 0x9e3779b97f4a7c15ull;
 }
 
-#if ALTOC_AUDIT_ENABLED
-/** Fans the shared kernel's single beginEvent hook out to every
- *  server's auditor so each stamps violations with the right (event,
- *  tick) context. Audit builds only; the base-class call keeps the
- *  rack's own monotone-time check. */
-class RackAuditor final : public sim::Auditor
-{
-  public:
-    explicit RackAuditor(std::vector<sim::Auditor *> parts)
-        : parts_(std::move(parts))
-    {
-    }
-
-    void
-    beginEvent(sim::EventId id, Tick when) override
-    {
-        sim::Auditor::beginEvent(id, when);
-        for (sim::Auditor *a : parts_)
-            a->beginEvent(id, when);
-    }
-
-  private:
-    std::vector<sim::Auditor *> parts_;
-};
-#endif
-
 /** The (mean service, slo, total, warmup) every driver derives from a
  *  WorkloadSpec; shared by the ctor and runRackExperiment so the two
  *  can never disagree. */
@@ -121,7 +97,8 @@ derive(const WorkloadSpec &spec)
 
 Rack::Rack(const DesignConfig &cfg, const WorkloadSpec &spec)
     : cfg_(cfg), rack_(cfg.rack), traceCfg_(spec.tracing),
-      torRng_(spec.seed ^ kTorSeedSalt)
+      torRng_(spec.seed ^ kTorSeedSalt),
+      faultsHaveKills_(spec.faults.hasKills())
 {
     altoc_assert(rack_.servers >= 1, "a rack needs at least one server");
     altoc_assert(rack_.policy != TorPolicy::PowerOfK || rack_.sampleK >= 1,
@@ -137,8 +114,15 @@ Rack::Rack(const DesignConfig &cfg, const WorkloadSpec &spec)
     const std::uint64_t perWarmup =
         rack_.servers == 1 ? d.warmup : d.warmup / rack_.servers;
 
+    // Region topology: server s lives in kernel region s; a
+    // federation adds one more region for the ToR (arrivals, pick
+    // decisions, link departures). Region indices are the canonical
+    // tie-break order, so server events at a tick dispatch before
+    // the ToR's. With one server the ToR shares region 0 and the
+    // kernel degenerates to the classic single-Simulator world.
     servers_.reserve(rack_.servers);
     for (unsigned s = 0; s < rack_.servers; ++s) {
+        sim::Simulator &region = kernel_.addRegion();
         Server::Config scfg;
         scfg.cores = cfg_.cores;
         scfg.nic = nicConfigFor(cfg_);
@@ -153,7 +137,14 @@ Rack::Rack(const DesignConfig &cfg, const WorkloadSpec &spec)
             scfg,
             makeScheduler(cfg_, static_cast<Tick>(d.meanService),
                           d.distName),
-            &sim_));
+            &region));
+    }
+    if (rack_.servers == 1) {
+        torSim_ = &kernel_.region(0);
+        torRegion_ = 0;
+    } else {
+        torSim_ = &kernel_.addRegion();
+        torRegion_ = rack_.servers;
     }
 
     dead_.assign(rack_.servers, false);
@@ -174,22 +165,14 @@ Rack::Rack(const DesignConfig &cfg, const WorkloadSpec &spec)
     }
 
 #if ALTOC_AUDIT_ENABLED
-    // The kernel takes one auditor. Alone, server 0's own auditor is
-    // attached directly (the classic wiring, preserving bit-identical
-    // audit behavior); a federation gets the fan-out.
-    if (rack_.servers == 1) {
-        if (core::InvariantAuditor *a = servers_[0]->auditor())
-            sim_.setAuditor(a);
-    } else {
-        std::vector<sim::Auditor *> parts;
-        for (auto &srv : servers_) {
-            if (sim::Auditor *a = srv->auditor())
-                parts.push_back(a);
-        }
-        if (!parts.empty()) {
-            rackAuditor_ = std::make_unique<RackAuditor>(std::move(parts));
-            sim_.setAuditor(rackAuditor_.get());
-        }
+    // Each server's auditor attaches to its *own* region, so audit
+    // state is shard-confined by construction; the kernel folds
+    // per-region violation counts together at window boundaries
+    // (Kernel::reconcileAudit) and settle() panics per server. For
+    // one server this is exactly the classic wiring.
+    for (auto &srv : servers_) {
+        if (core::InvariantAuditor *a = srv->auditor())
+            srv->sim().setAuditor(a);
     }
 #endif
 }
@@ -216,7 +199,9 @@ Rack::pickServer()
         // Sample k servers with replacement (dead draws probe to the
         // next live machine), keep the least loaded; the first drawn
         // wins ties, so the decision is a pure function of (rng
-        // stream, load vector).
+        // stream, load vector). The load read crosses regions, which
+        // is why resolveShards() pins this policy to the serial
+        // kernel.
         int best = -1;
         std::size_t bestLoad = 0;
         for (unsigned k = 0; k < rack_.sampleK; ++k) {
@@ -266,24 +251,30 @@ Rack::nextLive(unsigned start) const
 }
 
 void
-Rack::deliver(unsigned s, net::Rpc *r)
+Rack::deliver(unsigned s, const net::WireRpc &w)
 {
     if (numServers() == 1) {
         // The N=1 rack is the classic world: straight into the
         // server, no ToR event, no link pacing, no trace record.
-        servers_[0]->inject(r);
+        servers_[0]->injectWire(w);
         return;
     }
     ++torDispatched_;
     ALTOC_TRACE_HOOK(
         torTracer_.get(),
-        record(sim_.now(), 0, trace::TraceKind::TorDispatch,
+        record(torSim_->now(), 0, trace::TraceKind::TorDispatch,
                trace::tracePack(
-                   static_cast<std::uint32_t>(r->id) & 0xffffu, s),
+                   static_cast<std::uint32_t>(w.id) & 0xffffu, s),
                static_cast<std::uint8_t>(rack_.policy)));
     Server *srv = servers_[s].get();
-    const Tick arrive = links_[s].send(sim_.now(), r->sizeBytes);
-    sim_.at(arrive, [srv, r] { srv->inject(r); });
+    const Tick arrive = links_[s].send(torSim_->now(), w.sizeBytes);
+    // The wire form crosses the region boundary; the descriptor
+    // materializes in the receiving server's own region at delivery
+    // time, >= the link's minDelivery() (the shard lookahead) from
+    // now. The cross-seq makes its dispatch position identical in
+    // serial and sharded execution.
+    kernel_.crossSchedule(torRegion_, s, arrive,
+                          [srv, w] { srv->injectWire(w); });
 }
 
 void
@@ -291,7 +282,7 @@ Rack::shedAtTor(std::uint64_t rpc_id)
 {
     ++torShed_;
     ALTOC_TRACE_HOOK(torTracer_.get(),
-                     record(sim_.now(), 0,
+                     record(torSim_->now(), 0,
                             trace::TraceKind::AdmissionShed,
                             static_cast<std::uint32_t>(rpc_id)));
 }
@@ -303,9 +294,13 @@ Rack::noteCoreDeath(unsigned s)
         return;
     dead_[s] = true;
     --liveServers_;
+    // Stamp the record with the dying server's own region clock --
+    // the causal time of the death -- not the ToR's possibly-lagging
+    // one. (Kills pin the run to the serial kernel, so this write is
+    // never raced; see resolveShards.)
     ALTOC_TRACE_HOOK(torTracer_.get(),
-                     record(sim_.now(), 0, trace::TraceKind::ServerDead,
-                            s));
+                     record(servers_[s]->sim().now(), 0,
+                            trace::TraceKind::ServerDead, s));
 }
 
 void
@@ -318,17 +313,73 @@ Rack::stopAfterCompletions(std::uint64_t n)
 Tick
 Rack::run(Tick until)
 {
-    const Tick end = sim_.run(until);
+    const Tick end = kernel_.run(until);
+    settle();
+    return end;
+}
+
+unsigned
+Rack::resolveShards(unsigned requested) const
+{
+    if (requested <= 1)
+        return 1;
+    if (numServers() == 1) {
+        inform("sharding disabled: one server is one region (the "
+               "3 ns NoC lookahead cannot amortize a window barrier)");
+        return 1;
+    }
+    if (rack_.policy == TorPolicy::PowerOfK ||
+        rack_.policy == TorPolicy::LeastLoaded) {
+        inform("sharding disabled: ToR policy '%s' reads server queue "
+               "depths at dispatch time (couples regions below the "
+               "rack-link lookahead)",
+               torPolicyName(rack_.policy));
+        return 1;
+    }
+    if (faultsHaveKills_) {
+        inform("sharding disabled: fault spec schedules fail-stops "
+               "(server death updates ToR steering synchronously)");
+        return 1;
+    }
+    unsigned shards = requested;
+    if (shards > numServers()) {
+        inform("clamping shards=%u to %u (one shard per server)",
+               shards, numServers());
+        shards = numServers();
+    }
+    // Deliberately no hardware-concurrency clamp here: results are
+    // bit-identical at any shard count, and the kernel's barriers
+    // yield under oversubscription, so an over-threaded run is only
+    // slow, never wrong. Host-fitting (the --jobs x --shards
+    // product) is the batch layer's job -- see runMany.
+    return shards;
+}
+
+Tick
+Rack::runSharded(unsigned shards, Tick until,
+                 sim::Kernel::ParallelGate gate)
+{
+    if (shards <= 1 || numServers() == 1)
+        return run(until);
+    sim::Kernel::ShardPlan plan;
+    plan.shards = shards;
+    plan.lookahead = links_[0].minDelivery();
+    for (const net::RackLink &link : links_)
+        plan.lookahead = std::min(plan.lookahead, link.minDelivery());
+    plan.shardOf.resize(kernel_.numRegions());
+    for (unsigned s = 0; s < numServers(); ++s)
+        plan.shardOf[s] = s * shards / numServers();
+    plan.shardOf[torRegion_] = 0;
+    const Tick end = kernel_.runSharded(plan, until, std::move(gate));
+    settle();
+    return end;
+}
+
+void
+Rack::settle()
+{
     for (auto &srv : servers_)
         srv->finishRun();
-    if (rackAuditor_ != nullptr && !rackAuditor_->ok()) {
-        rackAuditor_->report(stderr);
-        panic("rack audit failed with %llu violation(s); see report "
-              "above",
-              static_cast<unsigned long long>(
-                  rackAuditor_->violationCount()));
-    }
-    return end;
 }
 
 void
@@ -417,9 +468,9 @@ Rack::dumpStats(std::FILE *out) const
     std::fprintf(out, "---------- Begin Simulation Statistics ----------\n");
     line("rack.servers", static_cast<double>(numServers()));
     line("rack.liveServers", static_cast<double>(liveServers_));
-    line("rack.finalTick", static_cast<double>(sim_.now()));
+    line("rack.finalTick", static_cast<double>(kernel_.now()));
     line("rack.eventsExecuted",
-         static_cast<double>(sim_.eventsExecuted()));
+         static_cast<double>(kernel_.eventsExecuted()));
     line("rack.torDispatched", static_cast<double>(torDispatched_));
     line("rack.torShed", static_cast<double>(torShed_));
     line("rack.completed", static_cast<double>(completedTotal()));
@@ -446,9 +497,10 @@ namespace {
 
 /**
  * The open-loop generator of experiment.cc, retargeted at a rack:
- * every arrival asks the ToR for a placement, allocates from the
- * chosen server's pool, and hands the filled descriptor to
- * Rack::deliver. Field-fill and RNG-draw order replicate
+ * every arrival asks the ToR for a placement, fills a wire-form
+ * descriptor, and hands it to Rack::deliver (which materializes the
+ * Rpc inside the receiving server's region -- pool operations never
+ * cross a region boundary). Field-fill and RNG-draw order replicate
  * LoadGenerator exactly, so the N=1 rack consumes an identical
  * random stream and schedules an identical event sequence.
  */
@@ -487,17 +539,15 @@ class RackLoadGenerator
                         rack_.shedAtTor(i);
                         return;
                     }
-                    net::Rpc *r =
-                        rack_.server(static_cast<unsigned>(s)).makeRpc();
-                    r->id = i;
-                    r->service = rec.service;
-                    r->remaining = rec.service;
-                    r->kind = rec.kind;
-                    r->conn = rec.conn;
-                    r->sizeBytes = rec.sizeBytes;
-                    r->key = rec.key;
-                    r->homeGroup = rec.homeGroup;
-                    rack_.deliver(static_cast<unsigned>(s), r);
+                    net::WireRpc w;
+                    w.id = i;
+                    w.service = rec.service;
+                    w.kind = rec.kind;
+                    w.conn = rec.conn;
+                    w.sizeBytes = rec.sizeBytes;
+                    w.key = rec.key;
+                    w.homeGroup = rec.homeGroup;
+                    rack_.deliver(static_cast<unsigned>(s), w);
                 });
             }
             return;
@@ -514,19 +564,17 @@ class RackLoadGenerator
     {
         const int s = rack_.pickServer();
         if (s >= 0) {
-            net::Rpc *r =
-                rack_.server(static_cast<unsigned>(s)).makeRpc();
-            r->id = injected_;
+            net::WireRpc w;
+            w.id = injected_;
             const workload::ServiceSample smp =
                 spec_.service->sample(rng_);
-            r->service = smp.service;
-            r->remaining = smp.service;
-            r->kind = smp.kind;
-            r->conn = static_cast<std::uint32_t>(
+            w.service = smp.service;
+            w.kind = smp.kind;
+            w.conn = static_cast<std::uint32_t>(
                 rng_.below(spec_.connections));
-            r->sizeBytes = spec_.requestBytes;
+            w.sizeBytes = spec_.requestBytes;
             ++injected_;
-            rack_.deliver(static_cast<unsigned>(s), r);
+            rack_.deliver(static_cast<unsigned>(s), w);
         } else {
             // Every server is dead: shed at the ToR without drawing
             // the workload samples the request would have carried.
@@ -548,6 +596,28 @@ class RackLoadGenerator
     Tick nextArrival_ = 0;
 };
 
+/**
+ * One observation (completion or fault event) in a server's private
+ * log. Appended only from the region's own executing thread --
+ * thread-confined under sharding -- and merged after the run in
+ * ascending (tick, server, log position) order, which is exactly the
+ * kernel's canonical dispatch order restricted to observation
+ * points. Serial and sharded runs therefore replay byte-identical
+ * digest, tracker and capture streams by construction.
+ */
+struct ObsRec
+{
+    Tick now = 0;
+    std::uint64_t id = 0;   //!< completion: rpc id; fault: arg a
+    Tick latency = 0;       //!< completion only
+    std::uint32_t aux = 0;  //!< fault: arg b
+    std::uint16_t kind = 0; //!< RequestKind / FaultInjector::Kind
+    std::uint16_t core = 0; //!< completion: executing core id
+    std::uint8_t type = 0;  //!< 0 = completion, 1 = fault event
+    bool migrated = false;
+    bool predicted = false;
+};
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -567,9 +637,9 @@ runRackExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
     RunResult result;
     result.rackServers = n;
 
-    // Rack-wide latency aggregation via the per-server completion
-    // hooks. The warmup gate counts completions rack-wide, so for
-    // n == 1 the sample stream matches the server's own tracker.
+    // Rack-wide latency aggregation. The warmup gate counts
+    // completions rack-wide, so for n == 1 the sample stream matches
+    // the server's own tracker.
     struct Agg
     {
         stats::SloTracker tracker;
@@ -587,8 +657,27 @@ runRackExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
     agg.capture = spec.capturePerRequest;
     if (agg.capture)
         result.perRequest.reserve(d.total);
-    for (unsigned s = 0; s < n; ++s) {
-        rack.server(s).setCompletionHook(
+
+    // Completion-stream digest, same scheme as runExperiment; a
+    // federation additionally mixes the server index (core ids are
+    // per-server).
+    struct Fp
+    {
+        Fnv1a fp;
+        std::uint64_t events = 0;
+    };
+    Fp fpc;
+
+    // Observation wiring. One server keeps the classic direct hooks
+    // -- aggregation happens inside the completion callbacks, in
+    // event order, exactly as runExperiment does (the bit-identity
+    // anchor). A federation instead appends to per-server logs
+    // (thread-confined under sharding) and replays the merged stream
+    // after the run; both the serial and the sharded kernel produce
+    // the same logs, so every derived statistic agrees bit-for-bit.
+    std::vector<std::vector<ObsRec>> obs;
+    if (n == 1) {
+        rack.server(0).setCompletionHook(
             [&agg](const net::Rpc &r, Tick latency) {
                 if (++agg.seen > agg.warmup)
                     agg.tracker.record(latency);
@@ -598,54 +687,136 @@ runRackExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
                         r.predictedViolation});
                 }
             });
-    }
-
-    // Completion-stream digest, same scheme as runExperiment; a
-    // federation additionally mixes the server index (core ids are
-    // per-server), which leaves the n == 1 digest untouched.
-    struct Fp
-    {
-        Fnv1a fp;
-        std::uint64_t events = 0;
-        bool mixServer = false;
-    };
-    Fp fpc;
-    fpc.mixServer = n > 1;
-    for (unsigned s = 0; s < n; ++s) {
-        rack.server(s).setCompletionProbe(
-            [&fpc, s](const cpu::Core &core, const net::Rpc &r,
-                      Tick now) {
+        rack.server(0).setCompletionProbe(
+            [&fpc](const cpu::Core &core, const net::Rpc &r,
+                   Tick now) {
                 fpc.fp.mix(now);
                 fpc.fp.mix(static_cast<std::uint64_t>(r.kind));
                 fpc.fp.mix(core.id());
                 fpc.fp.mix(r.id);
-                if (fpc.mixServer)
-                    fpc.fp.mix(s);
                 ++fpc.events;
             });
-        if (sim::FaultInjector *fi = rack.server(s).faultInjector()) {
-            fi->setEventHook([&fpc, s](sim::FaultInjector::Kind kind,
-                                       Tick now, unsigned a,
-                                       unsigned b) {
+        if (sim::FaultInjector *fi = rack.server(0).faultInjector()) {
+            fi->setEventHook([&fpc](sim::FaultInjector::Kind kind,
+                                    Tick now, unsigned a, unsigned b) {
                 fpc.fp.mix(now);
                 fpc.fp.mix(0xFA000000ull +
                            static_cast<std::uint64_t>(kind));
                 fpc.fp.mix(a);
                 fpc.fp.mix(b);
-                if (fpc.mixServer)
-                    fpc.fp.mix(s);
                 ++fpc.events;
             });
+        }
+    } else {
+        obs.resize(n);
+        for (auto &log : obs) {
+            log.reserve(static_cast<std::size_t>(
+                d.total / n + d.total / (2 * n) + 1024));
+        }
+        for (unsigned s = 0; s < n; ++s) {
+            std::vector<ObsRec> *log = &obs[s];
+            // The probe fires first in onRpcDone and opens the
+            // record; the hook fires later in the same call and
+            // completes it -- nothing can append in between.
+            rack.server(s).setCompletionProbe(
+                [log](const cpu::Core &core, const net::Rpc &r,
+                      Tick now) {
+                    ObsRec o;
+                    o.now = now;
+                    o.id = r.id;
+                    o.kind = static_cast<std::uint16_t>(r.kind);
+                    o.core = static_cast<std::uint16_t>(core.id());
+                    log->push_back(o);
+                });
+            rack.server(s).setCompletionHook(
+                [log](const net::Rpc &r, Tick latency) {
+                    ObsRec &o = log->back();
+                    o.latency = latency;
+                    o.migrated = r.migrated;
+                    o.predicted = r.predictedViolation;
+                });
+            if (sim::FaultInjector *fi =
+                    rack.server(s).faultInjector()) {
+                fi->setEventHook(
+                    [log](sim::FaultInjector::Kind kind, Tick now,
+                          unsigned a, unsigned b) {
+                        ObsRec o;
+                        o.now = now;
+                        o.type = 1;
+                        o.kind = static_cast<std::uint16_t>(kind);
+                        o.id = a;
+                        o.aux = b;
+                        log->push_back(o);
+                    });
+            }
         }
     }
 
     RackLoadGenerator gen(rack, spec);
+    const unsigned shards = rack.resolveShards(cfg.shards);
     gen.start();
-    const Tick end = rack.run(spec.timeLimit);
+    Tick end = 0;
+    if (shards > 1) {
+        // Stay parallel only while arrivals are still pending: a
+        // request injected during a window cannot complete within it
+        // (delivery alone costs a full window), so the completion
+        // threshold can only be crossed in the serial tail and the
+        // stop lands on exactly the event it would serially.
+        end = rack.runSharded(
+            shards, spec.timeLimit,
+            sim::Kernel::ParallelGate([&gen, total = d.total] {
+                return gen.injected() < total;
+            }));
+    } else {
+        end = rack.run(spec.timeLimit);
+    }
+
+    if (n > 1) {
+        // Replay the merged observation stream in ascending (tick,
+        // server, log position) order -- the canonical dispatch
+        // order restricted to observation points.
+        std::vector<std::size_t> pos(n, 0);
+        for (;;) {
+            unsigned best = n;
+            Tick bw = kTickInf;
+            for (unsigned s = 0; s < n; ++s) {
+                if (pos[s] < obs[s].size() &&
+                    obs[s][pos[s]].now < bw) {
+                    bw = obs[s][pos[s]].now;
+                    best = s;
+                }
+            }
+            if (best == n)
+                break;
+            const ObsRec &o = obs[best][pos[best]++];
+            if (o.type == 0) {
+                fpc.fp.mix(o.now);
+                fpc.fp.mix(static_cast<std::uint64_t>(o.kind));
+                fpc.fp.mix(o.core);
+                fpc.fp.mix(o.id);
+                fpc.fp.mix(best);
+                ++fpc.events;
+                if (++agg.seen > agg.warmup)
+                    agg.tracker.record(o.latency);
+                if (agg.capture) {
+                    agg.result->perRequest.push_back(RequestOutcome{
+                        o.id, o.latency, o.migrated, o.predicted});
+                }
+            } else {
+                fpc.fp.mix(o.now);
+                fpc.fp.mix(0xFA000000ull +
+                           static_cast<std::uint64_t>(o.kind));
+                fpc.fp.mix(o.id);
+                fpc.fp.mix(o.aux);
+                fpc.fp.mix(best);
+                ++fpc.events;
+            }
+        }
+    }
 
     // Conservation only holds once everything in flight finished; a
     // run stopped early legitimately leaves live descriptors behind.
-    if (rack.sim().idle())
+    if (rack.idle())
         rack.checkConservation(gen.injected());
 
     result.design = rack.server(0).scheduler().name();
@@ -666,6 +837,7 @@ runRackExperiment(const DesignConfig &cfg, const WorkloadSpec &spec)
     result.torShed = rack.torShed();
     result.fingerprint = fpc.fp.digest();
     result.fingerprintEvents = fpc.events;
+    result.parallelWindows = rack.kernel().parallelWindows();
 
     for (unsigned s = 0; s < n; ++s) {
         const Server &srv = rack.server(s);

@@ -1,23 +1,40 @@
 /**
  * @file
  * Rack-scale federation: N servers behind a ToR dispatcher, one
- * shared event kernel.
+ * multi-region event kernel.
  *
- * A Rack instantiates RackConfig::servers identical Servers against a
- * single deterministic sim::Simulator, then layers a RackSched-style
- * two-level scheduler on top: the ToR picks a server per request
- * (system/topology.hh policies), pays the inter-server link cost
- * (net/rack_link.hh), and the chosen server's ALTOCUMULUS (or
- * baseline) scheduler takes over inside the machine. Placement is
- * decided once, at admission -- the ~1 us fabric hop makes rack-level
- * rebalancing three orders of magnitude more expensive than the 3 ns
- * NoC migrations the intra-server layer performs freely.
+ * A Rack instantiates RackConfig::servers identical Servers, each in
+ * its own region of a sim::Kernel (plus one region for the ToR when
+ * servers > 1), then layers a RackSched-style two-level scheduler on
+ * top: the ToR picks a server per request (system/topology.hh
+ * policies), pays the inter-server link cost (net/rack_link.hh), and
+ * the chosen server's ALTOCUMULUS (or baseline) scheduler takes over
+ * inside the machine. Placement is decided once, at admission -- the
+ * ~1 us fabric hop makes rack-level rebalancing three orders of
+ * magnitude more expensive than the 3 ns NoC migrations the
+ * intra-server layer performs freely.
+ *
+ * That same ~1 us hop is the kernel's conservative-PDES lookahead:
+ * the only events crossing a region boundary are ToR->server
+ * deliveries paying at least the link's propagation + serialization
+ * delay, so runSharded() can advance the regions in parallel windows
+ * of that width and still dispatch the exact canonical (tick,
+ * region, seq) order of the serial kernel. Fingerprints, goldens and
+ * raw trace bytes are bit-identical for every shard count
+ * (tests/test_sharded.cc pins this); sharding is purely an execution
+ * strategy. Configurations whose semantics genuinely couple regions
+ * mid-window -- load-inspecting ToR policies (p2c/ll read server
+ * queue depths at pick time) and fail-stop fault schedules (server
+ * death fans state back into the ToR's steering tables) -- are
+ * downgraded to the serial kernel by resolveShards(), with a log
+ * line, rather than silently changing results.
  *
  * Determinism contract: with servers == 1 the Rack adds nothing to
- * the world -- no ToR RNG draw, no link event, no extra trace ring --
- * so the (tick, seq) event stream, and therefore every pre-rack
- * golden, fingerprint and trace file, is reproduced bit-for-bit.
- * tests/test_rack.cc pins this.
+ * the world -- no ToR RNG draw, no link event, no extra trace ring,
+ * one kernel region whose run() delegates to the classic
+ * Simulator::run -- so the (tick, seq) event stream, and therefore
+ * every pre-rack golden, fingerprint and trace file, is reproduced
+ * bit-for-bit. tests/test_rack.cc pins this.
  *
  * Fail-stop handling: a server whose last worker core dies is
  * declared dead (TraceKind::ServerDead) and the ToR stops steering to
@@ -29,6 +46,7 @@
 #ifndef ALTOC_SYSTEM_RACK_HH
 #define ALTOC_SYSTEM_RACK_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -37,6 +55,7 @@
 
 #include "common/annotations.hh"
 #include "net/rack_link.hh"
+#include "sim/kernel.hh"
 #include "system/experiment.hh"
 #include "system/topology.hh"
 
@@ -61,8 +80,17 @@ class Rack
     Rack(const Rack &) = delete;
     Rack &operator=(const Rack &) = delete;
 
-    /** The shared event kernel all servers run against. */
-    sim::Simulator &sim() { return sim_; }
+    /** The multi-region event kernel all servers run against. */
+    sim::Kernel &kernel() { return kernel_; }
+    const sim::Kernel &kernel() const { return kernel_; }
+
+    /** The ToR's own kernel region (arrival events, dispatch
+     *  decisions, link departures live here). With one server it is
+     *  that server's region -- the classic single-clock world. */
+    sim::Simulator &sim() { return *torSim_; }
+
+    /** True when every region's queue drained. */
+    bool idle() const { return kernel_.idle(); }
 
     unsigned numServers() const
     {
@@ -83,22 +111,49 @@ class Rack
     ALTOC_HOT int pickServer();
 
     /**
-     * Hand @p r (allocated from server @p s's pool) to server @p s.
-     * With one server this is a direct inject -- no event, no trace
-     * record. Otherwise the ToR records the dispatch and the request
-     * arrives after the downlink's serialization + propagation
-     * delay.
+     * Dispatch the wire-form request @p w to server @p s. With one
+     * server this materializes and injects directly -- no event, no
+     * trace record. Otherwise the ToR records the dispatch, pays the
+     * downlink's serialization + propagation delay, and the request
+     * materializes *in the receiving server's region* (a sharded rack
+     * never touches a descriptor pool from a foreign thread).
      */
-    void deliver(unsigned s, net::Rpc *r);
+    void deliver(unsigned s, const net::WireRpc &w);
 
     /** Account one request shed at the ToR (all servers dead). */
     void shedAtTor(std::uint64_t rpc_id);
 
-    /** Stop the shared kernel once @p n requests completed rack-wide. */
+    /** Stop the kernel once @p n requests completed rack-wide. */
     void stopAfterCompletions(std::uint64_t n);
 
-    /** Run the shared kernel, then settle every server's audit. */
+    /** Serial canonical run, then settle every server's audit. */
     Tick run(Tick until = kTickInf);
+
+    /**
+     * The shard count this rack actually runs @p requested under.
+     * Downgrades (each with an inform() line naming the reason):
+     *  - servers == 1: one region, nothing to shard;
+     *  - p2c / ll ToR policies: pickServer reads remote queue depths
+     *    at decision time, an oracle the window protocol cannot
+     *    reproduce;
+     *  - fault specs with fail-stops: server death synchronously
+     *    updates the ToR's steering state;
+     * and clamps: at most one shard per server (the ToR shares shard
+     * 0), at most the host's hardware concurrency.
+     */
+    unsigned resolveShards(unsigned requested) const;
+
+    /**
+     * Sharded run: server s executes on shard s*shards/servers, the
+     * ToR on shard 0, windows of the rack link's minimum delivery
+     * time. @p gate as in sim::Kernel::runSharded -- runRackExperiment
+     * passes "arrivals still pending", which provably confines the
+     * completion-count stop to the serial tail (DESIGN.md sec. 14).
+     * Exact same results as run(); callers should pass a @p shards
+     * value vetted by resolveShards().
+     */
+    Tick runSharded(unsigned shards, Tick until = kTickInf,
+                    sim::Kernel::ParallelGate gate = {});
 
     /** Pre-size every server's pool and sample store. */
     void reserveFor(std::uint64_t total_requests);
@@ -151,10 +206,20 @@ class Rack
     /** First live server at or after @p start (wrapping), or -1. */
     int nextLive(unsigned start) const;
 
+    /** Post-run settlement: per-server audit checks (each panics on
+     *  its own violations -- the shard-safe successor of the old
+     *  fan-out auditor). */
+    void settle();
+
     DesignConfig cfg_;
     RackConfig rack_;
     trace::TraceConfig traceCfg_;
-    sim::Simulator sim_;
+    sim::Kernel kernel_;
+    /** The ToR's region (== region 0 when servers == 1, else the
+     *  extra region past the servers). */
+    sim::Simulator *torSim_ = nullptr;
+    /** The ToR's region index (crossSchedule source). */
+    unsigned torRegion_ = 0;
     /** ToR decision stream, independent of every server RNG so the
      *  N=1 world never observes it. */
     Rng torRng_;
@@ -162,14 +227,18 @@ class Rack
     std::vector<net::RackLink> links_;
     std::vector<bool> dead_;
     std::unique_ptr<trace::Tracer> torTracer_;
-    /** Fans the kernel's single beginEvent hook out to every
-     *  server's auditor (audit builds, servers > 1). */
-    std::unique_ptr<sim::Auditor> rackAuditor_;
+    /** The workload schedules fail-stops (resolveShards downgrades
+     *  sharding then -- death fans into ToR steering state). */
+    bool faultsHaveKills_ = false;
     unsigned liveServers_ = 0;
     unsigned rrNext_ = 0;
     std::uint64_t torDispatched_ = 0;
     std::uint64_t torShed_ = 0;
-    std::uint64_t sharedDone_ = 0;
+    /** Rack-wide completion count, shared across every server's
+     *  completion path; atomic so sharded workers settle completions
+     *  concurrently (the parallel gate keeps the stop threshold out
+     *  of the parallel phase -- DESIGN.md sec. 14). */
+    std::atomic<std::uint64_t> sharedDone_{0};
 };
 
 /**
@@ -178,7 +247,9 @@ class Rack
  * metrics. runExperiment delegates here when cfg.rack.servers > 1;
  * calling it directly with servers == 1 must produce the same
  * RunResult (fingerprint included) as runExperiment -- the refactor's
- * bit-identity anchor, pinned by tests/test_rack.cc.
+ * bit-identity anchor, pinned by tests/test_rack.cc. cfg.shards > 1
+ * requests sharded execution (resolved against the topology; the
+ * RunResult is identical either way).
  */
 RunResult runRackExperiment(const DesignConfig &cfg,
                             const WorkloadSpec &spec);

@@ -129,6 +129,21 @@ Server::inject(net::Rpc *r)
 }
 
 void
+Server::injectWire(const net::WireRpc &w)
+{
+    net::Rpc *r = makeRpc();
+    r->id = w.id;
+    r->service = w.service;
+    r->remaining = w.service;
+    r->kind = w.kind;
+    r->conn = w.conn;
+    r->sizeBytes = w.sizeBytes;
+    r->key = w.key;
+    r->homeGroup = w.homeGroup;
+    inject(r);
+}
+
+void
 Server::scheduleKills()
 {
     const sim::FaultSpec &fs = cfg_.faults;
@@ -264,7 +279,11 @@ Server::onRpcDone(cpu::Core &core, net::Rpc *r)
         hook_(*r, latency);
     pool_.release(r);
     if (sharedDone_ != nullptr) {
-        if (++*sharedDone_ >= stopAfter_)
+        // Relaxed is enough: the count only gates the stop request,
+        // and the rack's parallel gate confines the threshold
+        // crossing to single-threaded execution.
+        if (sharedDone_->fetch_add(1, std::memory_order_relaxed) + 1 >=
+            stopAfter_)
             sim_.requestStop();
     } else if (completed_ >= stopAfter_) {
         sim_.requestStop();

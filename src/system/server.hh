@@ -15,6 +15,7 @@
 #ifndef ALTOC_SYSTEM_SERVER_HH
 #define ALTOC_SYSTEM_SERVER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -157,6 +158,12 @@ class Server : public sched::CompletionSink
     /** Hand a request to the NIC at the current time. */
     void inject(net::Rpc *r);
 
+    /** Materialize a descriptor from its wire form and inject it.
+     *  The rack delivery path: allocation happens here, inside the
+     *  receiving server's own kernel region, so a sharded rack never
+     *  touches a pool from a foreign thread. */
+    void injectWire(const net::WireRpc &w);
+
     /** Install a per-core service resolver (MICA substrate hook). */
     void setResolver(cpu::Core::ServiceResolver fn);
 
@@ -213,10 +220,14 @@ class Server : public sched::CompletionSink
      * Rack variant: count this server's completions into the shared
      * @p counter and stop the (shared) kernel once it reaches @p n.
      * The pointer must outlive the run. Replaces any per-server
-     * stopAfterCompletions bound.
+     * stopAfterCompletions bound. Atomic so N servers sharded across
+     * kernel threads can settle completions concurrently; the rack's
+     * parallel gate guarantees the threshold itself can only be
+     * crossed in the serial phase (DESIGN.md section 14).
      */
     void
-    stopAfterSharedCompletions(std::uint64_t *counter, std::uint64_t n)
+    stopAfterSharedCompletions(std::atomic<std::uint64_t> *counter,
+                               std::uint64_t n)
     {
         sharedDone_ = counter;
         stopAfter_ = n;
@@ -347,7 +358,7 @@ class Server : public sched::CompletionSink
     std::uint64_t stopAfter_ = ~std::uint64_t{0};
     /** Rack-shared completion counter; null in the classic world
      *  (stopAfter_ then bounds this server's own completions). */
-    std::uint64_t *sharedDone_ = nullptr;
+    std::atomic<std::uint64_t> *sharedDone_ = nullptr;
     /** At least one core has fail-stopped; admission shedding is
      *  armed (see requestsShed()). */
     bool degraded_ = false;
